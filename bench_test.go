@@ -1,0 +1,109 @@
+package repro
+
+// Top-level benchmarks: one per table and figure of the paper's
+// evaluation. Each benchmark regenerates its artifact and reports it
+// via b.Log, so
+//
+//	go test -bench=. -benchtime=1x .
+//
+// reproduces the entire evaluation in one run. Wall-clock time per
+// benchmark is the time to regenerate the artifact once.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Table 1 is qualitative; its measured rows are t5/t6. Nothing to
+		// compute, but keep the experiment id addressable.
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := bench.DefaultTable2Options()
+		opts.TimeBudget = 3 * time.Second
+		rows, err := bench.Table2(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable2(rows))
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table3(50, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable3(rows, 50))
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Table4(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable4(res))
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable5(rows))
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable6(rows))
+		}
+	}
+}
+
+func benchFigure(b *testing.B, run func() (*bench.FigureResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !f.OK {
+			b.Fatalf("figure not reproduced:\n%s", f)
+		}
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) { benchFigure(b, bench.Figure1) }
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, bench.Figure3) }
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, bench.Figure4) }
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, bench.Figure5) }
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, bench.Figure6) }
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, bench.Figure7) }

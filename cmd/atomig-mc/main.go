@@ -1,0 +1,134 @@
+// Command atomig-mc model-checks a corpus program (or MiniC file) under
+// a chosen memory model, optionally after porting it — the GenMC-style
+// verification flow of the paper's Table 2.
+//
+// Usage:
+//
+//	atomig-mc -corpus mp -model wmm
+//	atomig-mc -corpus mp -model wmm -port
+//	atomig-mc -model tso -entries reader,writer file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/mc"
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+)
+
+func main() {
+	corpusName := flag.String("corpus", "", "model-check a named corpus program")
+	model := flag.String("model", "wmm", "memory model: sc, tso, or wmm")
+	port := flag.Bool("port", false, "apply the full atomig pipeline first")
+	level := flag.String("level", "full", "pipeline level when porting: expl, spin, full")
+	entries := flag.String("entries", "", "comma-separated thread entry functions (files only)")
+	budget := flag.Duration("budget", 10*time.Second, "exploration time budget")
+	maxExecs := flag.Int("max-execs", 1_000_000, "maximum explored executions")
+	trace := flag.Bool("trace", false, "print a counterexample trace per violation")
+	flag.Parse()
+
+	mod, entryList, err := load(*corpusName, *entries, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *port {
+		opts := atomig.DefaultOptions()
+		switch *level {
+		case "expl":
+			opts.Level = atomig.LevelExplicit
+		case "spin":
+			opts.Level = atomig.LevelSpin
+		case "full":
+			opts.Level = atomig.LevelFull
+		default:
+			fatal(fmt.Errorf("unknown level %q", *level))
+		}
+		rep, err := atomig.Port(mod, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ported: %d spinloops, %d optimistic loops, +%d implicit, +%d explicit barriers\n",
+			rep.Spinloops, rep.Optiloops, rep.ImplicitAdded, rep.ExplicitAdded)
+	}
+
+	var mm memmodel.Model
+	switch *model {
+	case "sc":
+		mm = memmodel.ModelSC
+	case "tso":
+		mm = memmodel.ModelTSO
+	case "wmm":
+		mm = memmodel.ModelWMM
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	res, err := mc.Check(mod, mc.Options{
+		Model:         mm,
+		Entries:       entryList,
+		TimeBudget:    *budget,
+		MaxExecutions: *maxExecs,
+		Traces:        *trace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model=%s verdict=%s executions=%d pruned=%d truncated=%d\n",
+		mm, res.Verdict, res.Executions, res.Pruned, res.Truncated)
+	if *trace {
+		for _, ce := range res.Counterexamples {
+			fmt.Print(ce)
+		}
+	} else {
+		for _, v := range res.Violations {
+			fmt.Printf("violation: %s\n", v)
+		}
+	}
+	if res.Verdict == mc.VerdictFail {
+		os.Exit(1)
+	}
+}
+
+func load(corpusName, entries string, args []string) (*ir.Module, []string, error) {
+	if corpusName != "" {
+		p := corpus.Get(corpusName)
+		if p == nil {
+			return nil, nil, fmt.Errorf("unknown corpus program %q", corpusName)
+		}
+		if len(p.MCEntries) == 0 {
+			return nil, nil, fmt.Errorf("corpus program %q has no model-checking harness", corpusName)
+		}
+		m, err := p.Compile()
+		return m, p.MCEntries, err
+	}
+	if len(args) != 1 || entries == "" {
+		return nil, nil, fmt.Errorf("usage: atomig-mc -corpus name | -entries a,b file.c")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	if strings.HasSuffix(args[0], ".air") {
+		m, err := ir.ParseModule(string(src))
+		return m, strings.Split(entries, ","), err
+	}
+	res, err := minic.Compile(args[0], string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Module, strings.Split(entries, ","), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atomig-mc:", err)
+	os.Exit(1)
+}

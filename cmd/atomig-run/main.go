@@ -1,0 +1,160 @@
+// Command atomig-run executes a corpus program (or MiniC/.air file) on
+// the VM under a chosen memory model — the quickest way to watch a
+// program behave, misbehave, or cost cycles.
+//
+// Usage:
+//
+//	atomig-run -corpus memcached                  # perf harness, SC
+//	atomig-run -corpus mp -model wmm -seed 13     # hunt a weak behavior
+//	atomig-run -corpus memcached -port -profile   # port, then profile
+//	atomig-run -entries main_thread file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+func main() {
+	corpusName := flag.String("corpus", "", "run a named corpus program")
+	model := flag.String("model", "sc", "memory model: sc, tso, or wmm")
+	entries := flag.String("entries", "", "comma-separated thread entry functions")
+	seed := flag.Int64("seed", 1, "scheduler seed")
+	maxSteps := flag.Int64("max-steps", 0, "instruction budget (0 = default)")
+	port := flag.Bool("port", false, "apply the atomig pipeline before running")
+	o2 := flag.Bool("O2", false, "optimize (with -port: after porting)")
+	profile := flag.Bool("profile", false, "print the per-function cycle profile")
+	mcHarness := flag.Bool("mc", false, "use the corpus program's model-checking harness instead of the perf harness")
+	flag.Parse()
+
+	mod, entryList, maxDefault, err := load(*corpusName, *entries, *mcHarness, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if *maxSteps == 0 {
+		*maxSteps = maxDefault
+	}
+	if *port {
+		opts := atomig.DefaultOptions()
+		opts.Optimize = *o2
+		rep, err := atomig.Port(mod, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ported: %d spinloops, %d optimistic, +%d implicit, +%d explicit\n",
+			rep.Spinloops, rep.Optiloops, rep.ImplicitAdded, rep.ExplicitAdded)
+	} else if *o2 {
+		st := opt.Optimize(mod)
+		fmt.Printf("optimized: folded %d, hoisted %d, removed %d\n",
+			st.Folded, st.Hoisted, st.DeadRemoved+st.BlocksRemoved)
+	}
+
+	var mm memmodel.Model
+	switch *model {
+	case "sc":
+		mm = memmodel.ModelSC
+	case "tso":
+		mm = memmodel.ModelTSO
+	case "wmm":
+		mm = memmodel.ModelWMM
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	res, err := vm.Run(mod, vm.Options{
+		Model: mm, Entries: entryList, Seed: *seed,
+		MaxSteps: *maxSteps, Profile: *profile,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("status=%s steps=%d makespan=%d cycles (total %d)\n",
+		res.Status, res.Steps, res.MaxCycles, res.TotalCycles)
+	if res.FailMsg != "" {
+		fmt.Println(res.FailMsg)
+	}
+	c := res.Counters
+	fmt.Printf("loads=%d/%d stores=%d/%d rmw=%d fences=%d (non-atomic/atomic)\n",
+		c.NonAtomicLoads, c.AtomicLoads, c.NonAtomicStores, c.AtomicStores, c.RMWs, c.Fences)
+	if len(res.Output) > 0 {
+		fmt.Printf("output: %v\n", res.Output)
+	}
+	if *profile {
+		type fc struct {
+			name   string
+			cycles int64
+		}
+		var fns []fc
+		for name, cycles := range res.FuncCycles {
+			fns = append(fns, fc{name, cycles})
+		}
+		sort.Slice(fns, func(i, j int) bool { return fns[i].cycles > fns[j].cycles })
+		fmt.Println("hottest functions:")
+		for i, f := range fns {
+			if i == 10 {
+				break
+			}
+			fmt.Printf("  %-24s %12d cycles (%4.1f%%)\n",
+				f.name, f.cycles, 100*float64(f.cycles)/float64(res.TotalCycles))
+		}
+	}
+	if res.Status == vm.StatusAssertFailed {
+		os.Exit(1)
+	}
+}
+
+func load(corpusName, entries string, mcHarness bool, args []string) (*ir.Module, []string, int64, error) {
+	if corpusName != "" {
+		p := corpus.Get(corpusName)
+		if p == nil {
+			return nil, nil, 0, fmt.Errorf("unknown corpus program %q", corpusName)
+		}
+		m, err := p.Compile()
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		list := p.PerfEntries
+		if mcHarness || len(list) == 0 {
+			list = p.MCEntries
+		}
+		if entries != "" {
+			list = strings.Split(entries, ",")
+		}
+		if len(list) == 0 {
+			return nil, nil, 0, fmt.Errorf("program %q has no harness; pass -entries", corpusName)
+		}
+		return m, list, p.PerfSteps, nil
+	}
+	if len(args) != 1 || entries == "" {
+		return nil, nil, 0, fmt.Errorf("usage: atomig-run -corpus name | -entries a,b file.c")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if strings.HasSuffix(args[0], ".air") {
+		m, err := ir.ParseModule(string(src))
+		return m, strings.Split(entries, ","), 0, err
+	}
+	res, err := minic.Compile(args[0], string(src))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res.Module, strings.Split(entries, ","), 0, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atomig-run:", err)
+	os.Exit(1)
+}

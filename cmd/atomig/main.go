@@ -1,0 +1,152 @@
+// Command atomig is the porting tool: it compiles a MiniC source file
+// (or a named corpus program) and applies the AtoMig pipeline, printing
+// the porting report and, on request, the transformed IR.
+//
+// Usage:
+//
+//	atomig [flags] file.c
+//	atomig [flags] -corpus ck_sequence
+//
+// Flags:
+//
+//	-level expl|spin|full   pipeline level (default full)
+//	-naive                  apply the naïve all-SC strategy instead
+//	-lasagne                apply the Lasagne-style explicit-fence strategy
+//	-emit                   print the transformed module IR
+//	-emit-orig              print the original module IR
+//	-no-inline              disable the pre-analysis inliner
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/transform"
+)
+
+func main() {
+	level := flag.String("level", "full", "pipeline level: expl, spin, or full")
+	naive := flag.Bool("naive", false, "apply the naïve all-SC strategy")
+	lasagne := flag.Bool("lasagne", false, "apply the Lasagne-style strategy")
+	emit := flag.Bool("emit", false, "print the transformed module IR")
+	emitOrig := flag.Bool("emit-orig", false, "print the original module IR")
+	noInline := flag.Bool("no-inline", false, "disable the pre-analysis inliner")
+	corpusName := flag.String("corpus", "", "port a named corpus program instead of a file")
+	list := flag.Bool("list", false, "list corpus programs and exit")
+	out := flag.String("o", "", "write the transformed module to a .air file")
+	o2 := flag.Bool("O2", false, "run the post-transformation optimizer (Figure 2)")
+	flag.Parse()
+
+	if *list {
+		for _, p := range corpus.All() {
+			fmt.Printf("%-18s %s\n", p.Name, p.Desc)
+		}
+		return
+	}
+
+	mod, err := loadModule(*corpusName, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if *emitOrig {
+		fmt.Println(mod.String())
+	}
+
+	switch {
+	case *naive:
+		n := transform.Naive(mod)
+		expl, impl := transform.CountBarriers(mod)
+		fmt.Printf("naive: converted %d accesses to seq_cst (%d explicit, %d implicit barriers present)\n",
+			n, expl, impl)
+	case *lasagne:
+		st := transform.LasagneStyle(mod)
+		expl, impl := transform.CountBarriers(mod)
+		fmt.Printf("lasagne: inserted %d fences, elided %d (%d explicit, %d implicit barriers present)\n",
+			st.FencesInserted, st.FencesElided, expl, impl)
+	default:
+		opts := atomig.DefaultOptions()
+		opts.Inline = !*noInline
+		switch *level {
+		case "expl":
+			opts.Level = atomig.LevelExplicit
+		case "spin":
+			opts.Level = atomig.LevelSpin
+		case "full":
+			opts.Level = atomig.LevelFull
+		default:
+			fatal(fmt.Errorf("unknown level %q", *level))
+		}
+		opts.Optimize = *o2
+		rep, err := atomig.Port(mod, opts)
+		if err != nil {
+			fatal(err)
+		}
+		printReport(rep)
+		if *o2 {
+			fmt.Printf("  optimizer: folded %d, hoisted %d, removed %d\n",
+				rep.OptFolded, rep.OptHoisted, rep.OptRemoved)
+		}
+	}
+	if *emit {
+		fmt.Println(mod.String())
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(mod.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func loadModule(corpusName string, args []string) (*ir.Module, error) {
+	if corpusName != "" {
+		p := corpus.Get(corpusName)
+		if p == nil {
+			return nil, fmt.Errorf("unknown corpus program %q (use -list)", corpusName)
+		}
+		return p.Compile()
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("usage: atomig [flags] file.c|file.air (or -corpus name, or -list)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	// .air files are textual IR; anything else is MiniC source.
+	if strings.HasSuffix(args[0], ".air") {
+		return ir.ParseModule(string(src))
+	}
+	res, err := minic.Compile(args[0], string(src))
+	if err != nil {
+		return nil, err
+	}
+	return res.Module, nil
+}
+
+func printReport(rep *atomig.Report) {
+	fmt.Printf("atomig report for %s (level %s)\n", rep.Module, rep.Level)
+	fmt.Printf("  spinloops detected:        %d\n", rep.Spinloops)
+	fmt.Printf("  optimistic loops detected: %d\n", rep.Optiloops)
+	fmt.Printf("  call sites inlined:        %d\n", rep.FunctionsInlined)
+	fmt.Printf("  volatile accesses -> SC:   %d\n", rep.VolatileConverted)
+	fmt.Printf("  atomics upgraded to SC:    %d\n", rep.AtomicUpgraded)
+	fmt.Printf("  spin controls marked:      %d\n", rep.SpinControlsMarked)
+	fmt.Printf("  sticky buddies converted:  %d\n", rep.StickyMarked)
+	fmt.Printf("  implicit barriers added:   %d (%d -> %d)\n",
+		rep.ImplicitAdded, rep.ImplicitBefore, rep.ImplicitAfter)
+	fmt.Printf("  explicit fences added:     %d (%d -> %d)\n",
+		rep.ExplicitAdded, rep.ExplicitBefore, rep.ExplicitAfter)
+	fmt.Printf("  porting time:              %s\n", rep.Duration)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atomig:", err)
+	os.Exit(1)
+}

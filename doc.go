@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of "AtoMig:
+// Automatically Migrating Millions Lines of Code from TSO to WMM"
+// (ASPLOS 2023).
+//
+// The repository contains the complete system: a C-like frontend and
+// LLVM-flavoured IR (internal/minic, internal/ir), the AtoMig analyses
+// and transformations (internal/analysis, internal/alias,
+// internal/transform, internal/atomig), an operational weak-memory
+// machine and interpreter standing in for Armv8 hardware
+// (internal/memmodel, internal/vm), a bounded exhaustive model checker
+// standing in for GenMC (internal/mc), the evaluation corpus and
+// synthetic application generator (internal/corpus, internal/appgen),
+// and the experiment harness regenerating every table and figure of the
+// paper's evaluation (internal/bench).
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory
+// and substitutions, and EXPERIMENTS.md for paper-versus-measured
+// results. The benchmarks in bench_test.go regenerate each table:
+//
+//	go test -bench=. -benchtime=1x .
+package repro

@@ -1,0 +1,76 @@
+// mariadb-lfhash: reproduce the real WMM bug AtoMig found in MariaDB's
+// lock-free hash table (the paper's Figure 7, MDEV-27088).
+//
+// A finder validates a node's state around its key read; a deleter
+// invalidates the state with a compare-exchange and then clears the
+// key. On Armv8 the cmpxchg is an acquire-load/release-store pair, and
+// the release store does not order the *subsequent* key write — so the
+// finder can observe the cleared key together with a stale VALID state.
+//
+//	go run ./examples/mariadb-lfhash
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/mc"
+	"repro/internal/memmodel"
+)
+
+func main() {
+	prog := corpus.Get("lfhash-fig7")
+	mod, err := prog.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== 1. the bug is unobservable on TSO (why it shipped on x86)")
+	show(check(mod, prog, memmodel.ModelTSO))
+
+	fmt.Println("\n== 2. the same binary logic fails under WMM")
+	show(check(mod, prog, memmodel.ModelWMM))
+
+	fmt.Println("\n== 3. atomig detects the optimistic pattern and fixes it")
+	ported, rep, err := atomig.PortClone(mod, atomig.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spinloops=%d optimistic=%d implicit+%d explicit+%d\n",
+		rep.Spinloops, rep.Optiloops, rep.ImplicitAdded, rep.ExplicitAdded)
+
+	fmt.Println("\nthe deleter after porting (fence ordering the key clear):")
+	for _, b := range ported.Func("deleter").Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpCmpXchg, ir.OpFence, ir.OpStore:
+				fmt.Printf("  %s\n", in)
+			}
+		}
+	}
+
+	fmt.Println("\n== 4. the ported code verifies under WMM")
+	show(check(ported, prog, memmodel.ModelWMM))
+}
+
+func check(m *ir.Module, prog *corpus.Program, model memmodel.Model) *mc.Result {
+	res, err := mc.Check(m, mc.Options{
+		Model: model, Entries: prog.MCEntries,
+		TimeBudget: 5 * time.Second, StopAtFirst: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func show(res *mc.Result) {
+	fmt.Printf("verdict: %s (%d executions)\n", res.Verdict, res.Executions)
+	for _, v := range res.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+}

@@ -1,0 +1,117 @@
+// portapp: end-to-end porting of an application-scale code base.
+//
+// The example generates a synthetic application with the shape of
+// Memcached (Table 3 profile), ports it with atomig, reports the
+// statistics a release engineer would check, and then measures the
+// runtime cost of the port on the Memcached workload kernel against the
+// naïve all-SC strategy (Tables 4 and 5).
+//
+//	go run ./examples/portapp
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/appgen"
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+	"repro/internal/transform"
+	"repro/internal/vm"
+)
+
+func main() {
+	fmt.Println("== 1. generate + build an application with Memcached's shape")
+	profile := appgen.ProfileByName("memcached").Scaled(1)
+	src := appgen.Generate(profile, 7)
+	start := time.Now()
+	res, err := minic.Compile("memcached-gen", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	fmt.Printf("generated %d SLOC, compiled to %d IR instructions in %s\n",
+		res.Stats.SourceLines, res.Stats.Instrs, buildTime.Round(time.Millisecond))
+
+	fmt.Println("\n== 2. port it")
+	start = time.Now()
+	rep, err := atomig.Port(res.Module, atomig.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	portTime := time.Since(start)
+	fmt.Printf("spinloops=%d (profile plants %d), optimistic=%d (plants %d)\n",
+		rep.Spinloops, profile.Spinloops, rep.Optiloops, profile.Optiloops)
+	fmt.Printf("barriers: explicit %d -> %d, implicit %d -> %d\n",
+		rep.ExplicitBefore, rep.ExplicitAfter, rep.ImplicitBefore, rep.ImplicitAfter)
+	fmt.Printf("porting took %s (%.1fx of the build)\n",
+		portTime.Round(time.Millisecond),
+		float64(buildTime+portTime)/float64(buildTime))
+
+	fmt.Println("\n== 3. runtime cost on the Memcached workload kernel")
+	prog := corpus.Get("memcached")
+	kernel, err := prog.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := run(kernel, prog)
+	fmt.Printf("original: %12d cycles  (%d atomic loads)\n", base.MaxCycles, base.Counters.AtomicLoads)
+
+	naive := ir.CloneModule(kernel)
+	transform.Naive(naive)
+	n := run(naive, prog)
+	fmt.Printf("naive:    %12d cycles  (%.2fx, %d atomic loads)\n",
+		n.MaxCycles, float64(n.MaxCycles)/float64(base.MaxCycles), n.Counters.AtomicLoads)
+
+	ported, _, err := atomig.PortClone(kernel, atomig.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := run(ported, prog)
+	fmt.Printf("atomig:   %12d cycles  (%.2fx, %d atomic loads)\n",
+		a.MaxCycles, float64(a.MaxCycles)/float64(base.MaxCycles), a.Counters.AtomicLoads)
+
+	fmt.Println("\n== 4. where the ported kernel spends its cycles")
+	prof, err := vm.Run(ported, vm.Options{
+		Model: memmodel.ModelSC, Entries: prog.PerfEntries,
+		Seed: 1, MaxSteps: prog.PerfSteps, Profile: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	type fc struct {
+		name   string
+		cycles int64
+	}
+	var fns []fc
+	for name, cycles := range prof.FuncCycles {
+		fns = append(fns, fc{name, cycles})
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].cycles > fns[j].cycles })
+	for i, f := range fns {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-16s %10d cycles (%4.1f%%)\n",
+			f.name, f.cycles, 100*float64(f.cycles)/float64(prof.TotalCycles))
+	}
+}
+
+func run(m *ir.Module, prog *corpus.Program) *vm.Result {
+	r, err := vm.Run(m, vm.Options{
+		Model: memmodel.ModelSC, Entries: prog.PerfEntries,
+		Seed: 1, MaxSteps: prog.PerfSteps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r.Status != vm.StatusDone {
+		log.Fatalf("workload ended with %s: %s", r.Status, r.FailMsg)
+	}
+	return r
+}

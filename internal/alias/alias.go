@@ -1,0 +1,172 @@
+// Package alias implements AtoMig's scalable type-based alias
+// exploration (paper section 3.4). Rather than a precise
+// inter-procedural points-to analysis — which the paper rejects for
+// memory-exhaustion reasons — accesses are keyed by a location
+// descriptor: the global symbol for direct global accesses, or the
+// (named struct type, constant field-offset path) of the final
+// getelementptr for pointer-based accesses. All accesses sharing a
+// descriptor are "sticky buddies": once one is made atomic, all are.
+package alias
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// LocKind classifies a location descriptor.
+type LocKind int
+
+// Location kinds.
+const (
+	// LocUnknown marks dynamically computed addresses the type-based
+	// scheme cannot track (a known source of false negatives the paper
+	// compensates for with explicit barriers around optimistic loops).
+	LocUnknown LocKind = iota
+	// LocGlobal is a direct access to a named global.
+	LocGlobal
+	// LocField is a typed field access: struct type plus offset path.
+	LocField
+	// LocLocal is a non-escaping local slot; never shared, never explored.
+	LocLocal
+)
+
+// Loc is a comparable location descriptor.
+type Loc struct {
+	Kind LocKind
+	// Name is the global name (LocGlobal) or "type:path" (LocField).
+	Name string
+}
+
+func (l Loc) String() string {
+	switch l.Kind {
+	case LocGlobal:
+		return "@" + l.Name
+	case LocField:
+		return "%" + l.Name
+	case LocLocal:
+		return "<local>"
+	}
+	return "<unknown>"
+}
+
+// Shared reports whether the descriptor may denote shared memory worth
+// exploring (globals and typed fields).
+func (l Loc) Shared() bool { return l.Kind == LocGlobal || l.Kind == LocField }
+
+// LocOf computes the location descriptor of an address value.
+func LocOf(addr ir.Value) Loc {
+	switch x := addr.(type) {
+	case *ir.Global:
+		return Loc{Kind: LocGlobal, Name: x.GName}
+	case *ir.Instr:
+		switch x.Op {
+		case ir.OpAlloca:
+			return Loc{Kind: LocLocal}
+		case ir.OpGEP:
+			return locOfGEP(x)
+		}
+	}
+	return Loc{Kind: LocUnknown}
+}
+
+func locOfGEP(g *ir.Instr) Loc {
+	if st, ok := g.GEPBase.(*ir.StructType); ok {
+		if hasFieldStep(g.Path) {
+			return Loc{Kind: LocField, Name: st.TypeName + ":" + pathString(g.Path)}
+		}
+	}
+	// Array indexing or a pointer cast: the descriptor is inherited from
+	// the base address (arr[i] aliases with every access to @arr; a cast
+	// keeps the underlying location). A base descriptor of LocLocal stays
+	// local only if the site did not escape, which LocOf's caller checks
+	// separately via the locality analysis.
+	return LocOf(g.Args[0])
+}
+
+func hasFieldStep(path []ir.GEPStep) bool {
+	for _, st := range path {
+		if st.Field >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func pathString(path []ir.GEPStep) string {
+	parts := make([]string, len(path))
+	for i, st := range path {
+		if st.Field >= 0 {
+			parts[i] = fmt.Sprintf("%d", st.Field)
+		} else {
+			parts[i] = "[]"
+		}
+	}
+	return strings.Join(parts, ".")
+}
+
+// Map is the module-wide index from location descriptor to all memory
+// accesses of that location. It is built once (paper section 3.5: "we
+// only have to populate this map once during initialization") and makes
+// buddy lookup a constant-time map access.
+type Map struct {
+	accesses map[Loc][]*ir.Instr
+	locs     map[*ir.Instr]Loc
+}
+
+// BuildMap scans the module and indexes every memory access.
+func BuildMap(m *ir.Module) *Map {
+	am := &Map{
+		accesses: make(map[Loc][]*ir.Instr),
+		locs:     make(map[*ir.Instr]Loc),
+	}
+	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+		if !in.IsMemAccess() {
+			return
+		}
+		loc := LocOf(in.Addr())
+		am.locs[in] = loc
+		if loc.Shared() {
+			am.accesses[loc] = append(am.accesses[loc], in)
+		}
+	})
+	return am
+}
+
+// Loc returns the cached descriptor of a memory access.
+func (am *Map) Loc(in *ir.Instr) Loc { return am.locs[in] }
+
+// Buddies returns every access in the module sharing the descriptor.
+func (am *Map) Buddies(loc Loc) []*ir.Instr {
+	if !loc.Shared() {
+		return nil
+	}
+	return am.accesses[loc]
+}
+
+// SharedLocs returns all shared descriptors present in the module.
+func (am *Map) SharedLocs() []Loc {
+	out := make([]Loc, 0, len(am.accesses))
+	for l := range am.accesses {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Explore returns all sticky buddies of the seed accesses: every access
+// in the module whose descriptor matches the descriptor of any seed.
+// Seeds with unknown or local descriptors contribute nothing.
+func (am *Map) Explore(seeds []*ir.Instr) []*ir.Instr {
+	seen := make(map[Loc]bool)
+	var out []*ir.Instr
+	for _, s := range seeds {
+		loc := am.locs[s]
+		if !loc.Shared() || seen[loc] {
+			continue
+		}
+		seen[loc] = true
+		out = append(out, am.accesses[loc]...)
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package alias
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestLocOfGlobal(t *testing.T) {
+	g := &ir.Global{GName: "flag", Elem: ir.I64}
+	loc := LocOf(g)
+	if loc.Kind != LocGlobal || loc.Name != "flag" {
+		t.Fatalf("loc = %v", loc)
+	}
+	if !loc.Shared() {
+		t.Fatal("global loc not shared")
+	}
+	if loc.String() != "@flag" {
+		t.Fatalf("String = %q", loc.String())
+	}
+}
+
+func buildGEPModule(t *testing.T) (*ir.Module, *ir.Func) {
+	t.Helper()
+	m := ir.NewModule("t")
+	node := &ir.StructType{TypeName: "node", Fields: []ir.Field{
+		{Name: "state", Type: ir.I64},
+		{Name: "key", Type: ir.PointerTo(ir.I64)},
+	}}
+	if err := m.AddStruct(node); err != nil {
+		t.Fatal(err)
+	}
+	arr := &ir.ArrayType{Elem: node, Len: 4}
+	pool := &ir.Global{GName: "pool", Elem: arr}
+	if err := m.AddGlobal(pool); err != nil {
+		t.Fatal(err)
+	}
+	f := &ir.Func{Name: "f", RetTy: ir.Void, Params: []*ir.Param{
+		{PName: "p", Ty: ir.PointerTo(node), Index: 0},
+	}}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	return m, f
+}
+
+func TestLocOfFieldGEP(t *testing.T) {
+	m, f := buildGEPModule(t)
+	b := ir.NewBuilder(f)
+	node := m.Structs["node"]
+	// Field access through a parameter pointer.
+	fp := b.FieldPtr(f.Params[0], node, "state")
+	ld := b.Load(fp)
+	// Array-of-struct access through the global.
+	pool := m.Global("pool")
+	ep := b.IndexPtr(pool, pool.Elem.(*ir.ArrayType), ir.Const(2))
+	fp2 := b.FieldPtr(ep, node, "state")
+	st := b.Store(fp2, ir.Const(1))
+	b.Ret(nil)
+
+	locLd := LocOf(ld.Args[0])
+	locSt := LocOf(st.Args[0])
+	if locLd.Kind != LocField || locLd.Name != "node:0" {
+		t.Fatalf("pointer-based loc = %v", locLd)
+	}
+	if locSt != locLd {
+		t.Fatalf("array-based access loc %v != pointer-based %v", locSt, locLd)
+	}
+}
+
+func TestLocOfArrayIndexInheritsBase(t *testing.T) {
+	m := ir.NewModule("t")
+	arr := &ir.ArrayType{Elem: ir.I64, Len: 8}
+	g := &ir.Global{GName: "ring", Elem: arr}
+	if err := m.AddGlobal(g); err != nil {
+		t.Fatal(err)
+	}
+	f := &ir.Func{Name: "f", RetTy: ir.Void}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewBuilder(f)
+	ep := b.IndexPtr(g, arr, ir.Const(3))
+	ld := b.Load(ep)
+	b.Ret(nil)
+	loc := LocOf(ld.Args[0])
+	if loc.Kind != LocGlobal || loc.Name != "ring" {
+		t.Fatalf("loc = %v, want @ring", loc)
+	}
+}
+
+func TestLocOfLocalAndUnknown(t *testing.T) {
+	m := ir.NewModule("t")
+	f := &ir.Func{Name: "f", RetTy: ir.Void, Params: []*ir.Param{
+		{PName: "p", Ty: ir.PointerTo(ir.I64), Index: 0},
+	}}
+	if err := m.AddFunc(f); err != nil {
+		t.Fatal(err)
+	}
+	b := ir.NewBuilder(f)
+	slot := b.Alloca(ir.I64)
+	b.Store(slot, ir.Const(0))
+	ld := b.Load(f.Params[0])
+	b.Ret(nil)
+	if loc := LocOf(slot); loc.Kind != LocLocal || loc.Shared() {
+		t.Fatalf("alloca loc = %v", loc)
+	}
+	if loc := LocOf(ld.Args[0]); loc.Kind != LocUnknown || loc.Shared() {
+		t.Fatalf("param-deref loc = %v", loc)
+	}
+	if s := (Loc{Kind: LocUnknown}).String(); s != "<unknown>" {
+		t.Fatalf("unknown String = %q", s)
+	}
+}
+
+func TestMapBuddiesAndExplore(t *testing.T) {
+	m, f := buildGEPModule(t)
+	node := m.Structs["node"]
+	b := ir.NewBuilder(f)
+	fp := b.FieldPtr(f.Params[0], node, "state")
+	ld := b.Load(fp)
+	kp := b.FieldPtr(f.Params[0], node, "key")
+	ld2 := b.Load(kp)
+	st := b.Store(fp, ir.Const(2))
+	b.Ret(nil)
+
+	am := BuildMap(m)
+	if am.Loc(ld).Name != "node:0" || am.Loc(ld2).Name != "node:1" {
+		t.Fatal("cached locs wrong")
+	}
+	buddies := am.Buddies(Loc{Kind: LocField, Name: "node:0"})
+	if len(buddies) != 2 {
+		t.Fatalf("node:0 buddies = %d, want 2", len(buddies))
+	}
+	// Exploration from the load finds the store, not the key access.
+	found := am.Explore([]*ir.Instr{ld})
+	if len(found) != 2 {
+		t.Fatalf("explore = %d accesses", len(found))
+	}
+	for _, in := range found {
+		if in != ld && in != st {
+			t.Fatalf("explore returned foreign access %s", in)
+		}
+	}
+	// Exploring the same seed twice does not duplicate.
+	found = am.Explore([]*ir.Instr{ld, st})
+	if len(found) != 2 {
+		t.Fatalf("duplicate-seed explore = %d", len(found))
+	}
+	if locs := am.SharedLocs(); len(locs) != 2 {
+		t.Fatalf("shared locs = %v", locs)
+	}
+}

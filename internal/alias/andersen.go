@@ -1,0 +1,279 @@
+package alias
+
+import "repro/internal/ir"
+
+// This file implements the alternative the paper considers and rejects
+// for scalability (section 3.4): a real pointer alias analysis for
+// sticky-buddy detection, instead of the type-based scheme. It is an
+// inclusion-based (Andersen-style) inter-procedural, flow- and
+// field-insensitive points-to analysis. Two accesses are buddies when
+// their address expressions may point to a common abstract object.
+//
+// The ablation harness uses it to measure the trade-off the paper
+// asserts: precision that type-based matching lacks (distinct objects
+// of one type stay distinct) at a cost that grows much faster with
+// module size.
+
+// PointsTo is the result of the Andersen analysis.
+type PointsTo struct {
+	mod *ir.Module
+	// pts maps each pointer-valued node to its abstract objects.
+	pts map[node]objset
+	// objAccesses indexes, for each abstract object, the accesses whose
+	// address may point to it.
+	objAccesses map[int][]*ir.Instr
+	locs        map[*ir.Instr]objset
+}
+
+// node identifies a points-to graph node: an ir.Value or the contents
+// cell of an abstract object.
+type node struct {
+	v   ir.Value // non-nil for value nodes
+	obj int      // >= 0 for contents nodes (v == nil)
+}
+
+type objset map[int]struct{}
+
+func (s objset) add(o int) bool {
+	if _, ok := s[o]; ok {
+		return false
+	}
+	s[o] = struct{}{}
+	return true
+}
+
+// andersen is the constraint solver state.
+type andersen struct {
+	mod *ir.Module
+	pts map[node]objset
+	// copy edges: subset constraints dst ⊇ src.
+	succ map[node][]node
+	// loadInto[p] = q means q ⊇ *p (for each o in pts(p): q ⊇ contents(o)).
+	loadInto map[node][]node
+	// storeFrom[p] = v means *p ⊇ v.
+	storeFrom map[node][]node
+	// objects
+	objOf    map[ir.Value]int
+	nextObj  int
+	worklist []node
+	inWork   map[node]bool
+	// returns collects each function's returned values.
+	returns map[*ir.Func][]ir.Value
+}
+
+// AnalyzePointsTo runs the Andersen analysis over the module.
+func AnalyzePointsTo(m *ir.Module) *PointsTo {
+	a := &andersen{
+		mod:       m,
+		pts:       make(map[node]objset),
+		succ:      make(map[node][]node),
+		loadInto:  make(map[node][]node),
+		storeFrom: make(map[node][]node),
+		objOf:     make(map[ir.Value]int),
+		inWork:    make(map[node]bool),
+		returns:   make(map[*ir.Func][]ir.Value),
+	}
+	a.collect()
+	a.solve()
+	res := &PointsTo{
+		mod:         m,
+		pts:         a.pts,
+		objAccesses: make(map[int][]*ir.Instr),
+		locs:        make(map[*ir.Instr]objset),
+	}
+	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+		if !in.IsMemAccess() {
+			return
+		}
+		set := a.pts[valNode(in.Args[0])]
+		res.locs[in] = set
+		for o := range set {
+			res.objAccesses[o] = append(res.objAccesses[o], in)
+		}
+	})
+	return res
+}
+
+func valNode(v ir.Value) node { return node{v: v} }
+
+func contentsNode(obj int) node { return node{obj: obj + 1} }
+
+func (a *andersen) object(v ir.Value) int {
+	if o, ok := a.objOf[v]; ok {
+		return o
+	}
+	a.nextObj++
+	a.objOf[v] = a.nextObj
+	return a.nextObj
+}
+
+func (a *andersen) addPts(n node, obj int) {
+	s, ok := a.pts[n]
+	if !ok {
+		s = make(objset)
+		a.pts[n] = s
+	}
+	if s.add(obj) {
+		a.push(n)
+	}
+}
+
+func (a *andersen) push(n node) {
+	if !a.inWork[n] {
+		a.inWork[n] = true
+		a.worklist = append(a.worklist, n)
+	}
+}
+
+// edge adds dst ⊇ src.
+func (a *andersen) edge(src, dst node) {
+	a.succ[src] = append(a.succ[src], dst)
+	if len(a.pts[src]) > 0 {
+		a.push(src)
+	}
+}
+
+// collect builds the constraint graph.
+func (a *andersen) collect() {
+	for _, g := range a.mod.Globals {
+		a.addPts(valNode(g), a.object(g))
+	}
+	for _, f := range a.mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.OpAlloca:
+				a.addPts(valNode(in), a.object(in))
+			case ir.OpCall:
+				if in.Callee == "malloc" {
+					a.addPts(valNode(in), a.object(in))
+					return
+				}
+				if callee := a.mod.Func(in.Callee); callee != nil {
+					for i, arg := range in.Args {
+						if i < len(callee.Params) {
+							a.edge(valNode(arg), valNode(callee.Params[i]))
+						}
+					}
+					for _, rv := range a.returns[callee] {
+						a.edge(valNode(rv), valNode(in))
+					}
+				}
+			case ir.OpGEP:
+				a.edge(valNode(in.Args[0]), valNode(in))
+			case ir.OpBin:
+				a.edge(valNode(in.Args[0]), valNode(in))
+				a.edge(valNode(in.Args[1]), valNode(in))
+			case ir.OpLoad:
+				a.loadInto[valNode(in.Args[0])] = append(a.loadInto[valNode(in.Args[0])], valNode(in))
+				a.push(valNode(in.Args[0]))
+			case ir.OpStore:
+				a.storeFrom[valNode(in.Args[0])] = append(a.storeFrom[valNode(in.Args[0])], valNode(in.Args[1]))
+				a.push(valNode(in.Args[0]))
+			case ir.OpCmpXchg:
+				a.storeFrom[valNode(in.Args[0])] = append(a.storeFrom[valNode(in.Args[0])], valNode(in.Args[2]))
+				a.loadInto[valNode(in.Args[0])] = append(a.loadInto[valNode(in.Args[0])], valNode(in))
+				a.push(valNode(in.Args[0]))
+			case ir.OpRMW:
+				if in.RMW == ir.RMWXchg {
+					a.storeFrom[valNode(in.Args[0])] = append(a.storeFrom[valNode(in.Args[0])], valNode(in.Args[1]))
+				}
+				a.loadInto[valNode(in.Args[0])] = append(a.loadInto[valNode(in.Args[0])], valNode(in))
+				a.push(valNode(in.Args[0]))
+			case ir.OpRet:
+				if len(in.Args) == 1 {
+					a.returns[f] = append(a.returns[f], in.Args[0])
+				}
+			}
+		})
+	}
+	// Return-value edges for calls processed before their callee's rets
+	// were collected: do a second pass.
+	for _, f := range a.mod.Funcs {
+		f.Instrs(func(in *ir.Instr) {
+			if in.Op != ir.OpCall {
+				return
+			}
+			if callee := a.mod.Func(in.Callee); callee != nil {
+				for _, rv := range a.returns[callee] {
+					a.edge(valNode(rv), valNode(in))
+				}
+			}
+		})
+	}
+}
+
+// solve runs the inclusion worklist to a fixpoint.
+func (a *andersen) solve() {
+	for len(a.worklist) > 0 {
+		n := a.worklist[len(a.worklist)-1]
+		a.worklist = a.worklist[:len(a.worklist)-1]
+		a.inWork[n] = false
+		set := a.pts[n]
+		// Copy edges.
+		for _, dst := range a.succ[n] {
+			for o := range set {
+				a.addPts(dst, o)
+			}
+		}
+		// Load constraints: dst ⊇ contents(o) for o ∈ pts(n); realized by
+		// a copy edge from each contents node.
+		for _, dst := range a.loadInto[n] {
+			for o := range set {
+				c := contentsNode(o)
+				a.edge(c, dst)
+				for oo := range a.pts[c] {
+					a.addPts(dst, oo)
+				}
+			}
+		}
+		// Store constraints: contents(o) ⊇ src for o ∈ pts(n).
+		for _, src := range a.storeFrom[n] {
+			for o := range set {
+				c := contentsNode(o)
+				a.edge(src, c)
+				for oo := range a.pts[src] {
+					a.addPts(c, oo)
+				}
+			}
+		}
+	}
+}
+
+// MayAlias reports whether two memory accesses may touch the same
+// object.
+func (p *PointsTo) MayAlias(a, b *ir.Instr) bool {
+	sa, sb := p.locs[a], p.locs[b]
+	if len(sa) > len(sb) {
+		sa, sb = sb, sa
+	}
+	for o := range sa {
+		if _, ok := sb[o]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Explore returns the sticky buddies of the seed accesses under the
+// points-to relation: every access sharing an abstract object with any
+// seed.
+func (p *PointsTo) Explore(seeds []*ir.Instr) []*ir.Instr {
+	seenObj := make(map[int]bool)
+	seenAcc := make(map[*ir.Instr]bool)
+	var out []*ir.Instr
+	for _, s := range seeds {
+		for o := range p.locs[s] {
+			if seenObj[o] {
+				continue
+			}
+			seenObj[o] = true
+			for _, in := range p.objAccesses[o] {
+				if !seenAcc[in] {
+					seenAcc[in] = true
+					out = append(out, in)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import "repro/internal/ir"
+
+// Slice is the result of a backward instruction-influence query: the set
+// of instructions that may influence a value, whether any non-local
+// memory feeds it, and the specific non-local reads encountered.
+// This implements the paper's "instruction influence analysis" (section
+// 3.5): a fine-grained intra-procedural dataflow over loads and stores,
+// with results cached for reuse across queries.
+type Slice struct {
+	Instrs map[*ir.Instr]bool
+	// NonLocalReads are the reading accesses (loads, cmpxchg, rmw) of
+	// non-local memory in the slice; these become spin controls when the
+	// slice feeds a spinloop exit condition.
+	NonLocalReads map[*ir.Instr]bool
+	HasNonLocal   bool
+}
+
+// Influence computes and caches backward slices within one function.
+type Influence struct {
+	fn    *ir.Func
+	loc   *Locality
+	cache map[*ir.Instr]*Slice
+}
+
+// NewInfluence returns an influence analyzer for f using the locality
+// results loc.
+func NewInfluence(f *ir.Func, loc *Locality) *Influence {
+	return &Influence{fn: f, loc: loc, cache: make(map[*ir.Instr]*Slice)}
+}
+
+// Locality exposes the underlying locality analysis.
+func (inf *Influence) Locality() *Locality { return inf.loc }
+
+// SliceOf computes the backward slice of value v. Slices are function
+// scoped: dataflow through non-escaping local slots is chased to the
+// stores that feed them anywhere in the function; reads of non-local
+// memory terminate a chain (their value is determined by other threads).
+func (inf *Influence) SliceOf(v ir.Value) *Slice {
+	root, ok := v.(*ir.Instr)
+	if !ok {
+		s := &Slice{Instrs: map[*ir.Instr]bool{}, NonLocalReads: map[*ir.Instr]bool{}}
+		if _, isParam := v.(*ir.Param); isParam {
+			// A raw parameter value is caller-provided, not shared memory;
+			// it does not constitute a non-local memory dependency.
+			return s
+		}
+		return s
+	}
+	if s, ok := inf.cache[root]; ok {
+		return s
+	}
+	s := &Slice{Instrs: map[*ir.Instr]bool{}, NonLocalReads: map[*ir.Instr]bool{}}
+	// Insert in cache before computing so cyclic dataflow (loop-carried
+	// dependencies through local slots) terminates; the shared maps are
+	// filled in place.
+	inf.cache[root] = s
+	work := []*ir.Instr{root}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		if s.Instrs[in] {
+			continue
+		}
+		s.Instrs[in] = true
+		switch in.Op {
+		case ir.OpLoad, ir.OpCmpXchg, ir.OpRMW:
+			addr := in.Args[0]
+			if inf.loc.NonLocal(addr) {
+				s.HasNonLocal = true
+				s.NonLocalReads[in] = true
+				// Do not chase through shared memory: its content is
+				// governed by other threads, which is exactly the
+				// dependency we wanted to find. Do follow the address
+				// computation and the other operands.
+				for _, a := range in.Args {
+					if ai, ok := a.(*ir.Instr); ok {
+						work = append(work, ai)
+					}
+				}
+				continue
+			}
+			// Local slot: chase the stores that may feed this read.
+			for _, st := range inf.loc.LocalStoresTo(addr) {
+				work = append(work, st)
+			}
+			for _, a := range in.Args {
+				if ai, ok := a.(*ir.Instr); ok {
+					work = append(work, ai)
+				}
+			}
+		case ir.OpCall:
+			// The result of a call may depend on anything; treat calls to
+			// non-pure builtins and functions as non-local influences so a
+			// loop spinning on f() is (conservatively) recognized as
+			// externally controlled only through actual memory reads
+			// inside f after inlining. Before inlining, a call result is
+			// an unknown: record no non-local read but follow arguments.
+			for _, a := range in.Args {
+				if ai, ok := a.(*ir.Instr); ok {
+					work = append(work, ai)
+				}
+			}
+			if in.Callee == "nondet" || in.Callee == "tid" {
+				continue
+			}
+		default:
+			for _, a := range in.Args {
+				if ai, ok := a.(*ir.Instr); ok {
+					work = append(work, ai)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// ConstantValue reports whether v is a compile-time constant expression
+// (a literal, or arithmetic over literals). A store of such a value
+// writes the same value on every loop iteration and therefore cannot
+// influence an exit condition across iterations (paper's Spinloop 2
+// example: do { l_flag = DONE; } while (l_flag != flag)).
+func ConstantValue(v ir.Value) bool {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return true
+	case *ir.Instr:
+		switch x.Op {
+		case ir.OpBin, ir.OpICmp:
+			return ConstantValue(x.Args[0]) && ConstantValue(x.Args[1])
+		}
+		return false
+	}
+	return false
+}

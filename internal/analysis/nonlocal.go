@@ -1,0 +1,304 @@
+package analysis
+
+import "repro/internal/ir"
+
+// prov describes where a pointer value may point: a set of local
+// allocation sites (allocas and mallocs in this function) and/or
+// external memory (globals, caller memory reached through parameters,
+// memory returned by unknown calls).
+type prov struct {
+	sites    map[*ir.Instr]bool
+	external bool
+}
+
+func (p *prov) clone() *prov {
+	np := &prov{external: p.external}
+	if len(p.sites) > 0 {
+		np.sites = make(map[*ir.Instr]bool, len(p.sites))
+		for s := range p.sites {
+			np.sites[s] = true
+		}
+	}
+	return np
+}
+
+// merge unions o into p, reporting whether p changed.
+func (p *prov) merge(o *prov) bool {
+	changed := false
+	if o.external && !p.external {
+		p.external = true
+		changed = true
+	}
+	for s := range o.sites {
+		if !p.sites[s] {
+			if p.sites == nil {
+				p.sites = make(map[*ir.Instr]bool)
+			}
+			p.sites[s] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+var externalProv = &prov{external: true}
+var emptyProv = &prov{}
+
+// Locality classifies memory addresses in a function as local (a
+// non-escaping stack or heap allocation of this function) or non-local
+// (may be accessed from outside the function). This implements the
+// paper's notion of non-local accesses: globals, memory reached through
+// pointer arguments, and stack variables whose address escapes.
+type Locality struct {
+	fn      *ir.Func
+	provs   map[*ir.Instr]*prov
+	escaped map[*ir.Instr]bool
+	// stores lists all instructions that write memory, used to resolve
+	// loads from local sites during slicing.
+	stores []*ir.Instr
+}
+
+// AnalyzeLocality computes locality information for f.
+func AnalyzeLocality(f *ir.Func) *Locality {
+	l := &Locality{
+		fn:      f,
+		provs:   make(map[*ir.Instr]*prov),
+		escaped: make(map[*ir.Instr]bool),
+	}
+	var instrs []*ir.Instr
+	f.Instrs(func(in *ir.Instr) {
+		instrs = append(instrs, in)
+		if in.Writes() {
+			l.stores = append(l.stores, in)
+		}
+	})
+	// Fixpoint over provenance; loads through local slots need stores
+	// that may appear later in layout order, so iterate until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, in := range instrs {
+			if l.update(in) {
+				changed = true
+			}
+		}
+	}
+	// Escape fixpoint: a site escapes if its address is stored into
+	// external or escaped memory, passed to a call, or returned.
+	for changed := true; changed; {
+		changed = false
+		for _, in := range instrs {
+			if l.updateEscape(in) {
+				changed = true
+			}
+		}
+	}
+	return l
+}
+
+// valueProv returns the provenance of any value operand.
+func (l *Locality) valueProv(v ir.Value) *prov {
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return emptyProv
+	case *ir.Global:
+		return externalProv
+	case *ir.Param:
+		return externalProv
+	case *ir.FuncRef:
+		return emptyProv
+	case *ir.Instr:
+		if p, ok := l.provs[x]; ok {
+			return p
+		}
+		return emptyProv
+	}
+	return externalProv
+}
+
+func (l *Locality) update(in *ir.Instr) bool {
+	p := l.provs[in]
+	if p == nil {
+		p = &prov{}
+		l.provs[in] = p
+	}
+	switch in.Op {
+	case ir.OpAlloca:
+		np := &prov{sites: map[*ir.Instr]bool{in: true}}
+		return p.merge(np)
+	case ir.OpCall:
+		if in.Callee == "malloc" {
+			np := &prov{sites: map[*ir.Instr]bool{in: true}}
+			return p.merge(np)
+		}
+		if ir.IsPtr(in.Type()) {
+			return p.merge(externalProv)
+		}
+		return false
+	case ir.OpGEP:
+		return p.merge(l.valueProv(in.Args[0]))
+	case ir.OpBin:
+		changed := p.merge(l.valueProv(in.Args[0]))
+		if p.merge(l.valueProv(in.Args[1])) {
+			changed = true
+		}
+		return changed
+	case ir.OpLoad, ir.OpCmpXchg, ir.OpRMW:
+		// The loaded value may point wherever values stored to the loaded
+		// location point.
+		addrProv := l.valueProv(in.Args[0])
+		changed := false
+		if addrProv.external {
+			changed = p.merge(externalProv)
+		}
+		if len(addrProv.sites) == 0 {
+			return changed
+		}
+		for _, st := range l.stores {
+			sp := l.valueProv(st.Args[0])
+			if !provsIntersect(addrProv, sp) {
+				continue
+			}
+			if v := storedValue(st); v != nil {
+				if p.merge(l.valueProv(v)) {
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	return false
+}
+
+// storedValue returns the value a writing instruction stores, or nil if
+// it stores a derived value with no pointer provenance of its own (RMW
+// arithmetic results).
+func storedValue(st *ir.Instr) ir.Value {
+	switch st.Op {
+	case ir.OpStore:
+		return st.Args[1]
+	case ir.OpCmpXchg:
+		return st.Args[2]
+	case ir.OpRMW:
+		if st.RMW == ir.RMWXchg {
+			return st.Args[1]
+		}
+		return nil
+	}
+	return nil
+}
+
+// provsIntersect reports whether two address provenances may refer to
+// the same local site (external-external intersection does not matter
+// for load resolution, which only chases local slots).
+func provsIntersect(a, b *prov) bool {
+	if len(a.sites) > len(b.sites) {
+		a, b = b, a
+	}
+	for s := range a.sites {
+		if b.sites[s] {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Locality) escapeSites(p *prov) bool {
+	changed := false
+	for s := range p.sites {
+		if !l.escaped[s] {
+			l.escaped[s] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (l *Locality) updateEscape(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpStore, ir.OpCmpXchg:
+		v := storedValue(in)
+		vp := l.valueProv(v)
+		if len(vp.sites) == 0 {
+			return false
+		}
+		ap := l.valueProv(in.Args[0])
+		// Storing a local address into external or escaped memory makes
+		// it reachable from outside the function.
+		target := ap.external
+		for s := range ap.sites {
+			if l.escaped[s] {
+				target = true
+			}
+		}
+		if target {
+			return l.escapeSites(vp)
+		}
+		return false
+	case ir.OpRMW:
+		if in.RMW == ir.RMWXchg {
+			vp := l.valueProv(in.Args[1])
+			if len(vp.sites) > 0 {
+				ap := l.valueProv(in.Args[0])
+				if ap.external {
+					return l.escapeSites(vp)
+				}
+			}
+		}
+		return false
+	case ir.OpCall:
+		changed := false
+		for _, a := range in.Args {
+			if l.escapeSites(l.valueProv(a)) {
+				changed = true
+			}
+		}
+		return changed
+	case ir.OpRet:
+		if len(in.Args) == 1 {
+			return l.escapeSites(l.valueProv(in.Args[0]))
+		}
+	}
+	return false
+}
+
+// NonLocal reports whether the given address value may denote memory
+// accessible from outside the function.
+func (l *Locality) NonLocal(addr ir.Value) bool {
+	p := l.valueProv(addr)
+	if p.external {
+		return true
+	}
+	if len(p.sites) == 0 {
+		// No known provenance at all (e.g. a raw integer used as an
+		// address): be conservative.
+		_, isConst := addr.(*ir.ConstInt)
+		return !isConst
+	}
+	for s := range p.sites {
+		if l.escaped[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// LocalStoresTo returns the writing instructions that may write the
+// local memory designated by addr. Used by the influence analysis to
+// chase dataflow through stack slots.
+func (l *Locality) LocalStoresTo(addr ir.Value) []*ir.Instr {
+	ap := l.valueProv(addr)
+	if len(ap.sites) == 0 {
+		return nil
+	}
+	var out []*ir.Instr
+	for _, st := range l.stores {
+		if provsIntersect(ap, l.valueProv(st.Args[0])) {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Escaped reports whether the allocation site (an alloca or malloc
+// instruction) escapes the function.
+func (l *Locality) Escaped(site *ir.Instr) bool { return l.escaped[site] }

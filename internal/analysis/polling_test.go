@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+)
+
+func TestDetectPollingLoops(t *testing.T) {
+	m := compile(t, `
+int flag;
+int unrelated;
+
+// Bounded retry with a wait hint: the extension flags it.
+int poll_with_hint(void) {
+  for (int i = 0; i < 1000; i = i + 1) {
+    if (flag == 1) { return 1; }
+    pause();
+  }
+  return 0;
+}
+
+// Bounded retry without a hint: a plain search loop, not flagged.
+int poll_without_hint(void) {
+  for (int i = 0; i < 1000; i = i + 1) {
+    if (flag == 1) { return 1; }
+  }
+  return 0;
+}
+
+// A strict spinloop with a pause: stays a spinloop, not double-reported.
+void strict_spin(void) {
+  while (flag != 1) { pause(); }
+}
+
+// A hinted loop with purely local exits: nothing to mark.
+void local_only(void) {
+  for (int i = 0; i < 10; i = i + 1) { pause(); }
+}
+`)
+	cases := []struct {
+		fn   string
+		want int
+	}{
+		{"poll_with_hint", 1},
+		{"poll_without_hint", 0},
+		{"strict_spin", 0}, // covered by the strict detector instead
+		{"local_only", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.fn, func(t *testing.T) {
+			got := DetectPollingLoops(m.Func(c.fn))
+			if len(got) != c.want {
+				t.Fatalf("polling loops = %d, want %d", len(got), c.want)
+			}
+			if c.want == 1 {
+				info := got[0]
+				if len(info.Controls) == 0 {
+					t.Fatal("no controls recorded")
+				}
+				for _, ctl := range info.Controls {
+					if loc := alias.LocOf(ctl.Addr()); loc.Name != "flag" {
+						t.Errorf("control loc = %v", loc)
+					}
+				}
+			}
+		})
+	}
+	// The strict detector still owns strict_spin.
+	if got := DetectSpinloops(m.Func("strict_spin")); len(got) != 1 {
+		t.Fatalf("strict spin detection = %d", len(got))
+	}
+}
+
+func TestCompilerBarrierSeeds(t *testing.T) {
+	m := compile(t, `
+int a;
+int b;
+int c;
+
+void with_barrier(void) {
+  a = 1;
+  __asm__(":::memory");
+  b = 2;
+}
+
+void without_barrier(void) {
+  c = 3;
+}
+`)
+	seeds := CompilerBarrierSeeds(m.Func("with_barrier"))
+	if len(seeds) != 2 {
+		t.Fatalf("seeds = %d, want 2 (stores to a and b)", len(seeds))
+	}
+	names := map[string]bool{}
+	for _, s := range seeds {
+		names[alias.LocOf(s.Addr()).Name] = true
+	}
+	if !names["a"] || !names["b"] {
+		t.Fatalf("seed locations = %v", names)
+	}
+	if seeds := CompilerBarrierSeeds(m.Func("without_barrier")); len(seeds) != 0 {
+		t.Fatalf("barrier-free function produced %d seeds", len(seeds))
+	}
+}

@@ -1,0 +1,82 @@
+package appgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atomig"
+	"repro/internal/minic"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := ProfileByName("memcached").Scaled(1)
+	a := Generate(p, 42)
+	b := Generate(p, 42)
+	if a != b {
+		t.Fatal("generation is not deterministic")
+	}
+	c := Generate(p, 43)
+	if a == c {
+		t.Fatal("different seeds produced identical source")
+	}
+}
+
+func TestGenerateCompilesAndMeetsShape(t *testing.T) {
+	for _, prof := range Profiles() {
+		p := prof.Scaled(100)
+		t.Run(p.Name, func(t *testing.T) {
+			src := Generate(p, 7)
+			if got := strings.Count(src, "\n"); got < p.SLOC {
+				t.Fatalf("generated %d lines, want >= %d", got, p.SLOC)
+			}
+			res, err := minic.Compile(p.Name, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := atomig.Port(res.Module, atomig.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every planted pattern must be detected; filler must not be.
+			if rep.Spinloops < p.Spinloops {
+				t.Errorf("detected %d spinloops, planted %d", rep.Spinloops, p.Spinloops)
+			}
+			if rep.Optiloops < p.Optiloops {
+				t.Errorf("detected %d optiloops, planted %d", rep.Optiloops, p.Optiloops)
+			}
+			// Tolerate a small factor of extra detections (aliasing of the
+			// shared pool can merge/extend sites) but not runaway false
+			// positives from filler loops.
+			if rep.Spinloops > p.Spinloops*3+8 {
+				t.Errorf("detected %d spinloops for %d planted: filler leaked",
+					rep.Spinloops, p.Spinloops)
+			}
+		})
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := ProfileByName("mariadb").Scaled(10)
+	if p.SLOC != 312_426 {
+		t.Errorf("SLOC = %d", p.SLOC)
+	}
+	if p.Spinloops != 1_288 {
+		t.Errorf("Spinloops = %d", p.Spinloops)
+	}
+	// Nonzero counts never scale to zero.
+	q := ProfileByName("memcached").Scaled(1000)
+	if q.AsmBarriers != 1 {
+		t.Errorf("AsmBarriers = %d, want 1", q.AsmBarriers)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if ProfileByName("nope") != nil {
+		t.Error("unknown profile resolved")
+	}
+	for _, want := range []string{"mariadb", "postgresql", "leveldb", "memcached", "sqlite"} {
+		if ProfileByName(want) == nil {
+			t.Errorf("profile %s missing", want)
+		}
+	}
+}

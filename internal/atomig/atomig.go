@@ -1,0 +1,317 @@
+// Package atomig orchestrates the porting pipeline reproduced from the
+// paper (Figure 2): explicit-annotation analysis, implicit
+// synchronization-pattern detection (spinloops and optimistic loops),
+// type-based alias exploration, and the final program transformations
+// that make the detected accesses sequentially consistent and insert
+// explicit barriers around optimistic accesses.
+package atomig
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/transform"
+)
+
+// Level selects how much of the detection pipeline runs, matching the
+// ablation columns of the paper's Table 2.
+type Level int
+
+// Pipeline levels.
+const (
+	// LevelExplicit only analyzes explicit annotations (volatile,
+	// existing atomics, inline assembly) — Table 2's "Expl." column.
+	LevelExplicit Level = iota
+	// LevelSpin adds spinloop detection — Table 2's "Spin" column.
+	LevelSpin
+	// LevelFull adds optimistic-loop detection — the full AtoMig.
+	LevelFull
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelExplicit:
+		return "explicit"
+	case LevelSpin:
+		return "spin"
+	case LevelFull:
+		return "atomig"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Options configures a Port run.
+type Options struct {
+	Level Level
+	// Inline enables the pre-analysis inliner (on by default via
+	// DefaultOptions) so loops spanning several functions are detected.
+	Inline        bool
+	InlineOptions analysis.InlineOptions
+
+	// DetectPolling enables the discussion-section extension that treats
+	// bounded retry loops containing wait hints (pause/yield) as
+	// synchronization (paper section 6).
+	DetectPolling bool
+	// BarrierSeeds enables the discussion-section extension that seeds
+	// alias exploration from accesses around compiler barriers.
+	BarrierSeeds bool
+	// SkipAlias disables the sticky-buddy exploration. Only for the
+	// ablation study: the result is an unsound port ("once atomic,
+	// always atomic" is violated).
+	SkipAlias bool
+	// AliasStrategy selects how sticky buddies are found: the paper's
+	// type-based scheme (default) or the Andersen-style points-to
+	// analysis the paper rejects for scalability (section 3.4). The
+	// latter exists to measure that trade-off.
+	AliasStrategy AliasStrategy
+	// Optimize runs the post-transformation optimizer (Figure 2's
+	// "apply any outstanding optimizations" stage). The inserted atomics
+	// are optimization barriers, so porting first keeps -O2 sound.
+	Optimize bool
+}
+
+// AliasStrategy selects the sticky-buddy mechanism.
+type AliasStrategy int
+
+// Alias strategies.
+const (
+	// AliasTypeBased matches accesses by global symbol or
+	// (struct type, field offset) — constant-time, scalable.
+	AliasTypeBased AliasStrategy = iota
+	// AliasPointsTo uses an inclusion-based points-to analysis —
+	// more precise per object, much more expensive.
+	AliasPointsTo
+)
+
+// DefaultOptions returns the full pipeline configuration.
+func DefaultOptions() Options {
+	return Options{Level: LevelFull, Inline: true, InlineOptions: analysis.DefaultInlineOptions()}
+}
+
+// Report summarizes a porting run; its counters correspond to the
+// columns of the paper's Table 3.
+type Report struct {
+	Module string
+	Level  Level
+
+	// Detection counts.
+	Spinloops        int
+	Optiloops        int
+	PollingLoops     int // extension: wait-hint retry loops
+	BarrierSeeded    int // extension: accesses seeded via compiler barriers
+	FunctionsInlined int
+
+	// Explicit-annotation results.
+	VolatileConverted int
+	AtomicUpgraded    int
+
+	// Transformation results.
+	SpinControlsMarked int
+	StickyMarked       int
+	ImplicitAdded      int // accesses newly made SC-atomic
+	ExplicitAdded      int // fences inserted
+
+	// Barrier inventory before and after (Table 3's B_Expl / B_Impl).
+	ExplicitBefore, ImplicitBefore int
+	ExplicitAfter, ImplicitAfter   int
+
+	// Optimizer statistics (when Options.Optimize is set).
+	OptFolded  int
+	OptHoisted int
+	OptRemoved int
+
+	// Duration is the wall-clock time of the port (Table 3's build-time
+	// comparison measures this against plain compilation).
+	Duration time.Duration
+}
+
+// Port runs the atomig pipeline on m in place and returns the report.
+// Callers that need to keep the original should clone the module first
+// (ir.CloneModule).
+func Port(m *ir.Module, opts Options) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Module: m.Name, Level: opts.Level}
+	rep.ExplicitBefore, rep.ImplicitBefore = transform.CountBarriers(m)
+
+	if opts.Inline {
+		rep.FunctionsInlined = analysis.Inline(m, opts.InlineOptions)
+	}
+
+	// Phase 1: explicit annotations (paper section 3.2).
+	implicitAdded := 0
+	est := transform.UpgradeExplicitAnnotations(m)
+	rep.VolatileConverted = est.VolatileConverted
+	rep.AtomicUpgraded = est.AtomicUpgraded
+	implicitAdded += est.VolatileConverted // upgrades were already atomic
+
+	// Phase 2: implicit synchronization patterns (paper section 3.3).
+	var seeds []*ir.Instr
+	optLocs := make(map[alias.Loc]bool)
+	var optLoops []*analysis.SpinloopInfo
+	if opts.Level >= LevelSpin {
+		for _, f := range m.Funcs {
+			infos := analysis.DetectSpinloops(f)
+			for _, info := range infos {
+				rep.Spinloops++
+				for _, ctl := range info.Controls {
+					ctl.SetMark(ir.MarkSpinControl)
+					if transform.MakeAccessSC(ctl, ir.MarkSpinControl) {
+						implicitAdded++
+					}
+					rep.SpinControlsMarked++
+					seeds = append(seeds, ctl)
+				}
+				if opts.Level >= LevelFull && info.Optimistic {
+					rep.Optiloops++
+					optLoops = append(optLoops, info)
+					for _, loc := range info.ControlLocs {
+						optLocs[loc] = true
+					}
+					for _, ctl := range info.Controls {
+						ctl.SetMark(ir.MarkOptControl)
+					}
+				}
+			}
+		}
+	}
+
+	// Extension: polling loops with wait hints (paper section 6).
+	if opts.DetectPolling && opts.Level >= LevelSpin {
+		for _, f := range m.Funcs {
+			for _, info := range analysis.DetectPollingLoops(f) {
+				rep.PollingLoops++
+				for _, ctl := range info.Controls {
+					ctl.SetMark(ir.MarkSpinControl)
+					if transform.MakeAccessSC(ctl, ir.MarkSpinControl) {
+						implicitAdded++
+					}
+					seeds = append(seeds, ctl)
+				}
+			}
+		}
+	}
+
+	// Extension: compiler-barrier-adjacent accesses as seeds.
+	if opts.BarrierSeeds {
+		for _, f := range m.Funcs {
+			for _, in := range analysis.CompilerBarrierSeeds(f) {
+				rep.BarrierSeeded++
+				in.SetMark(ir.MarkFromAsm)
+				if transform.MakeAccessSC(in, ir.MarkFromAsm) {
+					implicitAdded++
+				}
+				seeds = append(seeds, in)
+			}
+		}
+	}
+
+	// Every access that is already atomic (pre-existing or upgraded) is
+	// also a seed: "any atomic operations already found in the program
+	// invariably indicate the presence of concurrent accesses".
+	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+		if in.IsMemAccess() && in.Ord.Atomic() {
+			seeds = append(seeds, in)
+		}
+	})
+
+	// Phase 3: alias exploration (paper section 3.4) — sticky buddies.
+	am := alias.BuildMap(m)
+	if !opts.SkipAlias {
+		var buddies []*ir.Instr
+		if opts.AliasStrategy == AliasPointsTo {
+			buddies = alias.AnalyzePointsTo(m).Explore(seeds)
+		} else {
+			buddies = am.Explore(seeds)
+		}
+		for _, buddy := range buddies {
+			if buddy.Ord == ir.SeqCst {
+				continue
+			}
+			buddy.SetMark(ir.MarkSticky)
+			if transform.MakeAccessSC(buddy, ir.MarkSticky) {
+				implicitAdded++
+				rep.StickyMarked++
+			}
+		}
+	}
+
+	// Phase 4: explicit barriers for optimistic controls. Reads of an
+	// optimistic-control location inside its optimistic loop get a fence
+	// before them; stores to optimistic-control locations get a fence
+	// after them module-wide (the store side of the seqlock protocol can
+	// be anywhere).
+	fences := 0
+	if opts.Level >= LevelFull && len(optLocs) > 0 {
+		// Collect anchors first: inserting fences mutates the block
+		// instruction lists being traversed.
+		fenced := make(map[*ir.Instr]bool)
+		var fenceBefore, fenceAfter []*ir.Instr
+		for _, info := range optLoops {
+			ctlLocs := make(map[alias.Loc]bool, len(info.ControlLocs))
+			for _, loc := range info.ControlLocs {
+				ctlLocs[loc] = true
+			}
+			for b := range info.Loop.Blocks {
+				for _, in := range b.Instrs {
+					if !in.Reads() || fenced[in] {
+						continue
+					}
+					if ctlLocs[am.Loc(in)] {
+						fenced[in] = true
+						fenceBefore = append(fenceBefore, in)
+					}
+				}
+			}
+		}
+		m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+			if !in.Writes() || fenced[in] {
+				return
+			}
+			if optLocs[am.Loc(in)] {
+				fenced[in] = true
+				fenceAfter = append(fenceAfter, in)
+			}
+		})
+		for _, in := range fenceBefore {
+			transform.InsertFenceBefore(in)
+			fences++
+		}
+		for _, in := range fenceAfter {
+			transform.InsertFenceAfter(in)
+			fences++
+		}
+	}
+
+	rep.ImplicitAdded = implicitAdded
+	rep.ExplicitAdded = fences
+	rep.ExplicitAfter, rep.ImplicitAfter = transform.CountBarriers(m)
+
+	// Phase 5: outstanding optimizations (Figure 2), now that every
+	// synchronization access is atomic and thus barrier to the passes.
+	if opts.Optimize {
+		ost := opt.Optimize(m)
+		rep.OptFolded = ost.Folded
+		rep.OptHoisted = ost.Hoisted
+		rep.OptRemoved = ost.DeadRemoved + ost.BlocksRemoved
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("atomig: transformed module invalid: %w", err)
+	}
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// PortClone clones m, ports the clone, and returns it with the report,
+// leaving m untouched.
+func PortClone(m *ir.Module, opts Options) (*ir.Module, *Report, error) {
+	c := ir.CloneModule(m)
+	rep, err := Port(c, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, rep, nil
+}

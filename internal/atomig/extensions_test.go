@@ -1,0 +1,163 @@
+package atomig
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// pollingSrc uses a bounded retry loop with a wait hint instead of a
+// strict spinloop — the message-passing flavor the paper's discussion
+// section says the shipped pipeline misses.
+const pollingSrc = `
+int flag;
+int msg;
+int out;
+
+int wait_published(void) {
+  for (int i = 0; i < 100000; i = i + 1) {
+    if (flag == 1) { return 1; }
+    pause();
+  }
+  return 0;
+}
+
+void reader(void) {
+  if (wait_published() == 1) {
+    out = msg;
+  }
+}
+
+void writer(void) {
+  msg = 1;
+  flag = 1;
+}
+`
+
+func TestPollingExtension(t *testing.T) {
+	// Without the extension: no pattern is detected and flag stays plain.
+	m1 := compile(t, pollingSrc)
+	rep := port(t, m1, DefaultOptions())
+	if rep.Spinloops != 0 || rep.PollingLoops != 0 {
+		t.Fatalf("unexpected detections without extension: %+v", rep)
+	}
+	for _, ord := range accessOrds(m1, "flag") {
+		if ord != ir.NotAtomic {
+			t.Fatal("flag transformed without polling detection")
+		}
+	}
+	// With the extension: the retry loop's flag reads become controls,
+	// and alias exploration converts the writer's flag store.
+	m2 := compile(t, pollingSrc)
+	opts := DefaultOptions()
+	opts.DetectPolling = true
+	rep = port(t, m2, opts)
+	// Two static sites: the helper itself and its inlined copy in the
+	// reader.
+	if rep.PollingLoops < 1 {
+		t.Fatalf("polling loops = %d, want >= 1", rep.PollingLoops)
+	}
+	for i, ord := range accessOrds(m2, "flag") {
+		if ord != ir.SeqCst {
+			t.Errorf("flag access %d order = %s after polling detection", i, ord)
+		}
+	}
+}
+
+func TestBarrierSeedExtension(t *testing.T) {
+	src := `
+int a;
+int b;
+void publish(void) {
+  a = 1;
+  __asm__(":::memory");
+  b = 1;
+}
+int observe(void) {
+  return a + b;
+}
+`
+	m1 := compile(t, src)
+	rep := port(t, m1, DefaultOptions())
+	if rep.BarrierSeeded != 0 {
+		t.Fatal("barrier seeding ran without the flag")
+	}
+	m2 := compile(t, src)
+	opts := DefaultOptions()
+	opts.BarrierSeeds = true
+	rep = port(t, m2, opts)
+	if rep.BarrierSeeded != 2 {
+		t.Fatalf("BarrierSeeded = %d, want 2", rep.BarrierSeeded)
+	}
+	// Both globals become atomic everywhere (including in observe, via
+	// alias exploration).
+	for _, g := range []string{"a", "b"} {
+		for i, ord := range accessOrds(m2, g) {
+			if ord != ir.SeqCst {
+				t.Errorf("%s access %d order = %s", g, i, ord)
+			}
+		}
+	}
+}
+
+func TestSkipAliasAblation(t *testing.T) {
+	src := `
+int flag;
+void w(void) { flag = 1; }
+void r(void) { while (flag == 0) { } }
+`
+	m := compile(t, src)
+	opts := DefaultOptions()
+	opts.SkipAlias = true
+	rep := port(t, m, opts)
+	if rep.StickyMarked != 0 {
+		t.Fatal("alias exploration ran despite SkipAlias")
+	}
+	// The spin control itself is converted, but the writer's store is
+	// not — demonstrating why "once atomic, always atomic" matters.
+	var writerStore *ir.Instr
+	m.Func("w").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			writerStore = in
+		}
+	})
+	if writerStore.Ord.Atomic() {
+		t.Fatal("writer store converted without alias exploration")
+	}
+	if rep.Spinloops != 1 {
+		t.Fatalf("spinloops = %d", rep.Spinloops)
+	}
+}
+
+func TestOptimizeStage(t *testing.T) {
+	src := `
+int flag;
+int msg;
+void writer(void) {
+  int k = 2 * 3;   // foldable
+  msg = k;
+  flag = 1;
+}
+void reader(void) {
+  while (flag == 0) { }
+  assert(msg == 6);
+}
+`
+	m := compile(t, src)
+	opts := DefaultOptions()
+	opts.Optimize = true
+	rep := port(t, m, opts)
+	if rep.OptFolded == 0 && rep.OptRemoved == 0 {
+		t.Errorf("optimizer did nothing: %+v", rep)
+	}
+	// The spin load must have survived -O2 (it is seq_cst).
+	var spinLoads int
+	m.Func("reader").Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpLoad && in.Ord == ir.SeqCst {
+			spinLoads++
+		}
+	})
+	if spinLoads == 0 {
+		t.Fatal("optimizer removed the spin-control load")
+	}
+}

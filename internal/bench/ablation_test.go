@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblations verifies each design-choice ablation shows the expected
+// effect.
+func TestAblations(t *testing.T) {
+	rows, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byChoice := map[string]AblationRow{}
+	for _, r := range rows {
+		byChoice[r.Choice] = r
+	}
+	if r := byChoice["inlining"]; r.Without >= r.With {
+		t.Errorf("inlining ablation: with=%s without=%s", r.With, r.Without)
+	}
+	if r := byChoice["alias exploration"]; r.Without != "fail" || r.With == "fail" {
+		t.Errorf("alias ablation: with=%s without=%s", r.With, r.Without)
+	}
+	if r := byChoice["optimistic loops"]; r.Without != "fail" || r.With == "fail" {
+		t.Errorf("optimistic ablation: with=%s without=%s", r.With, r.Without)
+	}
+	if r := byChoice["polling extension"]; r.Without >= r.With {
+		t.Errorf("polling ablation: with=%s without=%s", r.With, r.Without)
+	}
+	out := FormatAblations(rows)
+	if len(out) == 0 {
+		t.Fatal("empty format")
+	}
+}
+
+// TestScalingSeries: porting time must scale near-linearly with code
+// size (the Table 3 scalability claim). Quadratic blow-up would show as
+// the time ratio far exceeding the size ratio.
+func TestScalingSeries(t *testing.T) {
+	points, err := ScalingSeries([]int{200, 100, 50}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	small, large := points[0], points[2]
+	sizeRatio := float64(large.Instrs) / float64(small.Instrs)
+	timeRatio := float64(large.PortTime) / float64(small.PortTime)
+	if sizeRatio < 2 {
+		t.Fatalf("series did not grow: %v", points)
+	}
+	// Allow generous constant-factor noise, but catch quadratic growth:
+	// at 4x size, quadratic would be ~16x time.
+	if timeRatio > sizeRatio*3 {
+		t.Errorf("port time grew %.1fx for a %.1fx size increase:\n%s",
+			timeRatio, sizeRatio, FormatScaling(points))
+	}
+	out := FormatScaling(points)
+	if !strings.Contains(out, "port/build") {
+		t.Error("format lost header")
+	}
+}
+
+// TestTable5Extended: the extra CK structures. The ticket lock patterns
+// with the other locks (naive >= atomig). The stack and queue are
+// *false-positive optimistic loops*: their value reads are already
+// protected by the acquire on the node pointer, so atomig's extra
+// fences cost more than the naive all-SC port — the paper's section
+// 3.5 caveat that false positives "can only affect the performance of
+// the application, not its correctness", made measurable.
+func TestTable5Extended(t *testing.T) {
+	rows, err := Table5Extended()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AtoMig < 0.9 || r.AtoMig > 2.0 {
+			t.Errorf("%s: atomig ratio %.2f outside sanity band", r.Benchmark, r.AtoMig)
+		}
+		switch r.Benchmark {
+		case "ck_spinlock_ticket":
+			if r.Naive < r.AtoMig {
+				t.Errorf("%s: naive (%.2f) faster than atomig (%.2f)", r.Benchmark, r.Naive, r.AtoMig)
+			}
+		default:
+			// stack/fifo: atomig pays for the false-positive optimistic
+			// fences; it must still be correct (checked in t2x) and within
+			// a bounded factor of naive.
+			if r.AtoMig > r.Naive*1.6 {
+				t.Errorf("%s: atomig (%.2f) far above naive (%.2f)", r.Benchmark, r.AtoMig, r.Naive)
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mc"
+)
+
+// TestTable2MatchesPaper verifies the exact ✗/✓ matrix of the paper's
+// Table 2: explicit annotations fix ck_ring and ck_spinlock_cas,
+// spinloop detection additionally fixes ck_spinlock_mcs, and only the
+// full pipeline (optimistic loops) fixes ck_sequence and lf-hash.
+func TestTable2MatchesPaper(t *testing.T) {
+	opts := DefaultTable2Options()
+	if testing.Short() {
+		opts.TimeBudget = 2 * time.Second
+	}
+	rows, err := Table2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]map[Variant]bool{ // true = verified (no violation)
+		"ck_ring":         {VariantOriginal: false, VariantExpl: true, VariantSpin: true, VariantAtoMig: true},
+		"ck_spinlock_cas": {VariantOriginal: false, VariantExpl: true, VariantSpin: true, VariantAtoMig: true},
+		"ck_spinlock_mcs": {VariantOriginal: false, VariantExpl: false, VariantSpin: true, VariantAtoMig: true},
+		"ck_sequence":     {VariantOriginal: false, VariantExpl: false, VariantSpin: false, VariantAtoMig: true},
+		"lf_hash":         {VariantOriginal: false, VariantExpl: false, VariantSpin: false, VariantAtoMig: true},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		for variant, wantPass := range want[row.Benchmark] {
+			gotPass := row.Verdicts[variant] != mc.VerdictFail
+			if gotPass != wantPass {
+				t.Errorf("%s/%s: verified=%v, paper says %v (verdict %s, violation %q)",
+					row.Benchmark, variant, gotPass, wantPass,
+					row.Verdicts[variant], row.Violations[variant])
+			}
+		}
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "ck_sequence") {
+		t.Error("formatting lost a row")
+	}
+}
+
+// TestTable3Shape verifies the scalability claims on small-scale
+// synthetic applications: every planted pattern is found, porting time
+// stays within a small factor of build time, and the naïve strategy
+// inserts far more implicit barriers than atomig.
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Spinloops == 0 {
+			t.Errorf("%s: no spinloops detected", r.App)
+		}
+		if r.Optiloops == 0 {
+			t.Errorf("%s: no optimistic loops detected", r.App)
+		}
+		if r.PortTime < r.BuildTime {
+			t.Errorf("%s: port time below build time", r.App)
+		}
+		if r.PortTime > 25*r.BuildTime {
+			t.Errorf("%s: port time %v exceeds 25x build %v", r.App, r.PortTime, r.BuildTime)
+		}
+		if r.AtoBImpl <= r.OrigBImpl {
+			t.Errorf("%s: atomig added no implicit barriers", r.App)
+		}
+		if r.NaiveBImpl < r.AtoBImpl {
+			t.Errorf("%s: naive (%d) added fewer implicit barriers than atomig (%d)",
+				r.App, r.NaiveBImpl, r.AtoBImpl)
+		}
+	}
+	// MariaDB is the largest application in every dimension.
+	if rows[0].App != "mariadb" || rows[0].SLOC < rows[3].SLOC {
+		t.Error("application ordering or sizes wrong")
+	}
+}
+
+// TestTable4Shape: the original Memcached kernel executes no atomic
+// loads or stores; the ported one executes some, but they remain a
+// small minority of all accesses.
+func TestTable4Shape(t *testing.T) {
+	res, err := Table4(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Original.AtomicLoads != 0 || res.Original.AtomicStores != 0 {
+		t.Errorf("original executed atomics: %+v", res.Original)
+	}
+	if res.AtoMig.AtomicLoads == 0 || res.AtoMig.AtomicStores == 0 {
+		t.Errorf("ported executed no atomics: %+v", res.AtoMig)
+	}
+	frac := float64(res.AtoMig.AtomicLoads) /
+		float64(res.AtoMig.AtomicLoads+res.AtoMig.NonAtomicLoads)
+	if frac > 0.25 {
+		t.Errorf("atomic load fraction %.2f too high", frac)
+	}
+}
+
+// TestTable5Shape verifies the performance claims: atomig stays within
+// a few percent on the applications while naïve does not; atomig beats
+// the expert port on the CK lock benchmarks; naïve is never faster than
+// atomig.
+func TestTable5Shape(t *testing.T) {
+	rows, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table5Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+	}
+	// Application rows: atomig overhead at most ~5%, naïve worse than
+	// atomig.
+	for _, app := range []string{"mariadb", "postgresql", "leveldb", "memcached", "sqlite"} {
+		r := byName[app]
+		if r.AtoMig > 1.06 {
+			t.Errorf("%s: atomig overhead %.2f exceeds 1.06", app, r.AtoMig)
+		}
+		if r.Naive < r.AtoMig {
+			t.Errorf("%s: naive (%.2f) faster than atomig (%.2f)", app, r.Naive, r.AtoMig)
+		}
+	}
+	// SQLite is the naive-heaviest application; memcached the lightest.
+	if byName["sqlite"].Naive < byName["memcached"].Naive {
+		t.Error("sqlite should suffer more from naive than memcached")
+	}
+	// CK lock benchmarks: the atomig port of the TSO source beats the
+	// expert WMM port with explicit fences.
+	for _, ck := range []string{"ck_spinlock_cas", "ck_spinlock_mcs"} {
+		r := byName[ck]
+		if r.AtoMig >= 1.0 {
+			t.Errorf("%s: atomig (%.2f) does not beat the expert port", ck, r.AtoMig)
+		}
+		if r.Naive < r.AtoMig {
+			t.Errorf("%s: naive (%.2f) faster than atomig (%.2f)", ck, r.Naive, r.AtoMig)
+		}
+	}
+	// CLHT rows exist and atomig overhead is visible but bounded.
+	for _, c := range []string{"clht_lb", "clht_lf"} {
+		r := byName[c]
+		if r.AtoMig < 1.0 || r.AtoMig > 1.6 {
+			t.Errorf("%s: atomig ratio %.2f outside expected band", c, r.AtoMig)
+		}
+	}
+}
+
+// TestTable6Shape verifies the Phoenix claims: atomig is essentially
+// free, Lasagne's explicit fences cost more than the naïve implicit
+// strategy, and the geomean ordering matches the paper.
+func TestTable6Shape(t *testing.T) {
+	rows, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || rows[5].Benchmark != "geomean" {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.AtoMig > 1.03 {
+			t.Errorf("%s: atomig %.2f should be ~1.0", r.Benchmark, r.AtoMig)
+		}
+		if r.Naive < r.AtoMig {
+			t.Errorf("%s: naive (%.2f) beats atomig (%.2f)", r.Benchmark, r.Naive, r.AtoMig)
+		}
+	}
+	g := rows[5]
+	if !(g.Lasagne > g.Naive && g.Naive > g.AtoMig) {
+		t.Errorf("geomean ordering violated: naive %.2f lasagne %.2f atomig %.2f",
+			g.Naive, g.Lasagne, g.AtoMig)
+	}
+	// Histogram is the most shared-access-heavy benchmark.
+	if rows[0].Benchmark != "histogram" || rows[0].Naive < rows[3].Naive {
+		t.Error("histogram should pay the highest naive cost")
+	}
+}
+
+// TestFigures runs every figure demonstration.
+func TestFigures(t *testing.T) {
+	figs, err := AllFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	for _, f := range figs {
+		if !f.OK {
+			t.Errorf("figure %s not reproduced:\n%s", f.Figure, f)
+		}
+	}
+}
+
+// TestVariantErrors covers the error paths.
+func TestVariantErrors(t *testing.T) {
+	if _, _, err := portVariant(nil, Variant("bogus")); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+// TestTable2Extended: the additional CK structures fail in original
+// form and verify at every pipeline level from Expl upward (their hot
+// pointers are RMW-updated, seeding alias exploration — the paper's
+// section 3.5 false-negative argument).
+func TestTable2Extended(t *testing.T) {
+	opts := DefaultTable2Options()
+	opts.TimeBudget = 3 * time.Second
+	rows, err := Table2Extended(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Verdicts[VariantOriginal] != mc.VerdictFail {
+			t.Errorf("%s original did not fail", row.Benchmark)
+		}
+		// The ticket lock spins on a plain counter: explicit annotations
+		// alone leave now_serving plain and the port still fails — it
+		// needs spinloop detection, like ck_spinlock_mcs.
+		fixedFrom := VariantExpl
+		if row.Benchmark == "ck_spinlock_ticket" {
+			if row.Verdicts[VariantExpl] != mc.VerdictFail {
+				t.Errorf("%s/expl unexpectedly verified", row.Benchmark)
+			}
+			fixedFrom = VariantSpin
+		}
+		for _, v := range []Variant{VariantExpl, VariantSpin, VariantAtoMig} {
+			if v == VariantExpl && fixedFrom == VariantSpin {
+				continue
+			}
+			if row.Verdicts[v] == mc.VerdictFail {
+				t.Errorf("%s/%s failed: %s", row.Benchmark, v, row.Violations[v])
+			}
+		}
+	}
+}

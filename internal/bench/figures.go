@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/mc"
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+)
+
+// FigureResult is the executable form of one of the paper's figures: a
+// short demonstration with a pass/fail verdict per configuration.
+type FigureResult struct {
+	Figure string
+	Title  string
+	// Lines are the human-readable findings.
+	Lines []string
+	// OK reports whether the demonstration reproduced the paper's claim.
+	OK bool
+}
+
+func (f *FigureResult) addf(format string, args ...any) {
+	f.Lines = append(f.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the result.
+func (f *FigureResult) String() string {
+	status := "REPRODUCED"
+	if !f.OK {
+		status = "NOT REPRODUCED"
+	}
+	return fmt.Sprintf("Figure %s (%s): %s\n  %s\n",
+		f.Figure, f.Title, status, strings.Join(f.Lines, "\n  "))
+}
+
+// checkWMM model-checks a program variant under WMM with a short budget.
+func checkWMM(m *ir.Module, entries []string) (mc.Verdict, error) {
+	res, err := mc.Check(m, mc.Options{
+		Model: memmodel.ModelWMM, Entries: entries,
+		MaxExecutions: 200_000, TimeBudget: 5 * time.Second, StopAtFirst: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Verdict, nil
+}
+
+// figureBugAndFix runs the standard figure scheme: the program violates
+// its assertion under WMM (but not under TSO), and the atomig port
+// repairs it.
+func figureBugAndFix(fig, title, prog string) (*FigureResult, error) {
+	p := corpus.Get(prog)
+	f := &FigureResult{Figure: fig, Title: title}
+	m, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	tsoRes, err := mc.Check(m, mc.Options{
+		Model: memmodel.ModelTSO, Entries: p.MCEntries,
+		MaxExecutions: 200_000, TimeBudget: 5 * time.Second, StopAtFirst: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wmmOrig, err := checkWMM(m, p.MCEntries)
+	if err != nil {
+		return nil, err
+	}
+	ported, rep, err := atomig.PortClone(m, atomig.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	wmmPorted, err := checkWMM(ported, p.MCEntries)
+	if err != nil {
+		return nil, err
+	}
+	f.addf("TSO, original: %s (legacy code is TSO-correct)", tsoRes.Verdict)
+	f.addf("WMM, original: %s", wmmOrig)
+	f.addf("WMM, atomig:   %s (%d spinloops, %d optimistic, %d fences added)",
+		wmmPorted, rep.Spinloops, rep.Optiloops, rep.ExplicitAdded)
+	f.OK = tsoRes.Verdict != mc.VerdictFail &&
+		wmmOrig == mc.VerdictFail && wmmPorted != mc.VerdictFail
+	return f, nil
+}
+
+// Figure1 demonstrates the message-passing bug of Figure 1 and its fix.
+func Figure1() (*FigureResult, error) {
+	return figureBugAndFix("1", "message passing breaks under WMM", "mp")
+}
+
+// Figure3 runs the spinloop detector on the paper's five example loops.
+func Figure3() (*FigureResult, error) {
+	src := `
+int flag = 0;
+int turns = 7;
+void spinloop1(void) { while (flag != 1) { } }
+void spinloop2(void) {
+  int l;
+  do { l = 1; } while (l != flag);
+}
+void spinloop3(void) {
+  int l;
+  do { l = flag & 255; } while (l != 2);
+}
+void nonspin1(void) {
+  for (int i = 0; i < 100; i = i + 1) {
+    if (flag == 1) { break; }
+  }
+}
+void nonspin2(void) {
+  for (int i = 0; i < turns; i = i + 1) { }
+}
+`
+	res, err := minic.Compile("figure3", src)
+	if err != nil {
+		return nil, err
+	}
+	f := &FigureResult{Figure: "3", Title: "spinloop and non-spinloop classification"}
+	f.OK = true
+	expect := map[string]bool{
+		"spinloop1": true, "spinloop2": true, "spinloop3": true,
+		"nonspin1": false, "nonspin2": false,
+	}
+	for _, fn := range res.Module.Funcs {
+		want := expect[fn.Name]
+		got := len(analysis.DetectSpinloops(fn)) > 0
+		verdict := "ok"
+		if got != want {
+			verdict = "MISCLASSIFIED"
+			f.OK = false
+		}
+		f.addf("%-10s spinloop=%-5v expected=%-5v %s", fn.Name, got, want, verdict)
+	}
+	return f, nil
+}
+
+// Figure4 demonstrates the test-and-set lock transformation.
+func Figure4() (*FigureResult, error) {
+	return figureBugAndFix("4", "test-and-set lock loses critical-section writes", "tas")
+}
+
+// Figure5 demonstrates message passing via spinloop (reader/writer).
+func Figure5() (*FigureResult, error) {
+	return figureBugAndFix("5", "spinloop message passing", "mp")
+}
+
+// Figure6 demonstrates the sequence-lock transformation.
+func Figure6() (*FigureResult, error) {
+	return figureBugAndFix("6", "sequence counter needs explicit fences", "seqlock")
+}
+
+// Figure7 demonstrates the MariaDB lf-hash bug and its automatic fix.
+func Figure7() (*FigureResult, error) {
+	return figureBugAndFix("7", "MariaDB lf-hash state/key reorder", "lfhash-fig7")
+}
+
+// AllFigures runs every figure demonstration.
+func AllFigures() ([]*FigureResult, error) {
+	var out []*FigureResult
+	for _, fn := range []func() (*FigureResult, error){
+		Figure1, Figure3, Figure4, Figure5, Figure6, Figure7,
+	} {
+		r, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

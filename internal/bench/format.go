@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mc"
+)
+
+func mark(v mc.Verdict) string {
+	switch v {
+	case mc.VerdictFail:
+		return "✗"
+	case mc.VerdictPass:
+		return "✓"
+	default:
+		return "✓b" // no violation within bounds
+	}
+}
+
+// FormatTable2 renders Table 2 in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Verification results on ck and lf-hash (WMM)\n")
+	fmt.Fprintf(&b, "%-18s %-9s %-6s %-6s %-6s\n", "", "Original", "Expl.", "Spin", "AtoMig")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-9s %-6s %-6s %-6s\n", r.Benchmark,
+			mark(r.Verdicts[VariantOriginal]), mark(r.Verdicts[VariantExpl]),
+			mark(r.Verdicts[VariantSpin]), mark(r.Verdicts[VariantAtoMig]))
+	}
+	b.WriteString("(✓b = no violation found within exploration bounds)\n")
+	return b.String()
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row, scale int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: AtoMig statistics for large applications (scale 1/%d)\n", scale)
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s %10s %10s | %7s %7s | %7s %7s | %9s\n",
+		"App", "SLOC", "#Spin", "#Opti", "Build", "AtoMig",
+		"oBExpl", "oBImpl", "aBExpl", "aBImpl", "naiveImpl")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9d %9d %9d %10s %10s | %7d %7d | %7d %7d | %9d\n",
+			r.App, r.SLOC, r.Spinloops, r.Optiloops,
+			r.BuildTime.Round(1e6), r.PortTime.Round(1e6),
+			r.OrigBExpl, r.OrigBImpl, r.AtoBExpl, r.AtoBImpl, r.NaiveBImpl)
+	}
+	return b.String()
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(t *Table4Result) string {
+	var b strings.Builder
+	b.WriteString("Table 4: dynamically executed operations, Memcached workload\n")
+	fmt.Fprintf(&b, "%-18s %14s %14s\n", "Memcached", "Original", "AtoMig")
+	fmt.Fprintf(&b, "%-18s %14d %14d\n", "non-atomic loads", t.Original.NonAtomicLoads, t.AtoMig.NonAtomicLoads)
+	fmt.Fprintf(&b, "%-18s %14d %14d\n", "non-atomic stores", t.Original.NonAtomicStores, t.AtoMig.NonAtomicStores)
+	fmt.Fprintf(&b, "%-18s %14d %14d\n", "atomic loads", t.Original.AtomicLoads, t.AtoMig.AtomicLoads)
+	fmt.Fprintf(&b, "%-18s %14d %14d\n", "atomic stores", t.Original.AtomicStores, t.AtoMig.AtomicStores)
+	fmt.Fprintf(&b, "%-18s %14d %14d\n", "rmw/cmpxchg", t.Original.RMWs, t.AtoMig.RMWs)
+	fmt.Fprintf(&b, "%-18s %14d %14d\n", "fences", t.Original.Fences, t.AtoMig.Fences)
+	return b.String()
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: performance impact vs original (slowdown factors)\n")
+	fmt.Fprintf(&b, "%-18s %-9s %7s %7s\n", "", "baseline", "Naive", "AtoMig")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-9s %7.2f %7.2f\n", r.Benchmark, r.Baseline, r.Naive, r.AtoMig)
+	}
+	return b.String()
+}
+
+// FormatTable6 renders Table 6.
+func FormatTable6(rows []Table6Row) string {
+	var b strings.Builder
+	b.WriteString("Table 6: Phoenix suite (slowdown factors)\n")
+	fmt.Fprintf(&b, "%-20s %7s %9s %7s\n", "", "Naive", "Lasagne", "AtoMig")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %7.2f %9.2f %7.2f\n", r.Benchmark, r.Naive, r.Lasagne, r.AtoMig)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/appgen"
+	"repro/internal/atomig"
+	"repro/internal/minic"
+)
+
+// ScalingPoint is one measurement of the analysis-scalability curve.
+type ScalingPoint struct {
+	Scale     int // divisor applied to the MariaDB profile
+	SLOC      int
+	Instrs    int
+	BuildTime time.Duration
+	PortTime  time.Duration // the atomig passes alone, excluding the build
+}
+
+// ScalingSeries measures build and porting time for the MariaDB profile
+// at decreasing scale divisors (increasing code size). Table 3's
+// central scalability claim — porting time stays a small constant
+// factor of build time — requires the analyses to scale near-linearly
+// in code size; this series makes the curve visible.
+func ScalingSeries(scales []int, seed int64) ([]ScalingPoint, error) {
+	prof := appgen.ProfileByName("mariadb")
+	var out []ScalingPoint
+	for _, scale := range scales {
+		p := prof.Scaled(scale)
+		src := appgen.Generate(p, seed)
+		buildStart := time.Now()
+		res, err := minic.Compile(p.Name, src)
+		if err != nil {
+			return nil, err
+		}
+		buildTime := time.Since(buildStart)
+		portStart := time.Now()
+		if _, err := atomig.Port(res.Module, atomig.DefaultOptions()); err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingPoint{
+			Scale:     scale,
+			SLOC:      res.Stats.SourceLines,
+			Instrs:    res.Stats.Instrs,
+			BuildTime: buildTime,
+			PortTime:  time.Since(portStart),
+		})
+	}
+	return out, nil
+}
+
+// FormatScaling renders the series.
+func FormatScaling(points []ScalingPoint) string {
+	var b strings.Builder
+	b.WriteString("Analysis scaling (MariaDB profile at increasing sizes)\n")
+	fmt.Fprintf(&b, "%8s %10s %10s %12s %12s %10s\n",
+		"scale", "SLOC", "instrs", "build", "port", "port/build")
+	for _, p := range points {
+		ratio := float64(p.PortTime) / float64(p.BuildTime)
+		fmt.Fprintf(&b, "%8d %10d %10d %12s %12s %9.2fx\n",
+			p.Scale, p.SLOC, p.Instrs,
+			p.BuildTime.Round(time.Millisecond), p.PortTime.Round(time.Millisecond), ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,409 @@
+package corpus
+
+// Concurrency Kit benchmarks (Table 2 correctness, Table 5 performance).
+// The TSO sources mirror how CK code looks on x86: relaxed atomics or
+// plain accesses wherever TSO makes stronger orders unobservable. The
+// expert variants mirror CK's native aarch64 ports, which use explicit
+// fences — the paper's Table 5 observes that AtoMig's implicit barriers
+// beat them.
+//
+// The performance harnesses replicate CK's benchmark framework shape:
+// per-thread sample arrays, operation counters, and a configuration
+// table, all global (as in ck's regressions/). These bookkeeping
+// accesses are exactly what the Naïve strategy converts and AtoMig
+// leaves alone.
+
+// ckBench is the benchmark-framework bookkeeping shared by all CK
+// harnesses.
+const ckBench = `
+int bench_samples[4096];
+int bench_ops[2];
+int bench_cfg[4] = {3, 5, 7, 9};
+
+void bench_record(int t, int i) {
+  bench_samples[t * 2048 + i % 2048] = i + bench_cfg[i % 4];
+  bench_ops[t] = bench_ops[t] + 1;
+}
+`
+
+const ckRingAlgo = `
+int ring[4];
+int head;
+int tail;
+
+int enqueue(int v) {
+  int t = __load_rlx(&tail);
+  int h = __load_rlx(&head);
+  if (t - h == 4) { return 0; }
+  ring[t % 4] = v;
+  __store_rlx(&tail, t + 1);
+  return 1;
+}
+
+int dequeue(void) {
+  int h = __load_rlx(&head);
+  int t = __load_rlx(&tail);
+  if (h == t) { return -1; }
+  int v = ring[h % 4];
+  __store_rlx(&head, h + 1);
+  return v;
+}
+`
+
+const ckRingAlgoExpert = `
+int ring[4];
+int head;
+int tail;
+
+int enqueue(int v) {
+  int t = tail;
+  int h = head;
+  if (t - h == 4) { return 0; }
+  ring[t % 4] = v;
+  __fence();
+  tail = t + 1;
+  return 1;
+}
+
+int dequeue(void) {
+  int h = head;
+  int t = tail;
+  __fence();
+  if (h == t) { return -1; }
+  int v = ring[h % 4];
+  __fence();
+  head = h + 1;
+  return v;
+}
+`
+
+const ckRingHarness = `
+void producer(void) {
+  enqueue(7);
+}
+
+void consumer(void) {
+  int v = -1;
+  while (v == -1) { v = dequeue(); }
+  assert(v == 7);
+}
+
+void perf_producer(void) {
+  int t = tid();
+  for (int i = 0; i < 3000; i = i + 1) {
+    while (enqueue(i + 1) == 0) { }
+    bench_record(t, i);
+  }
+}
+
+void perf_consumer(void) {
+  int t = tid();
+  int sum = 0;
+  for (int i = 0; i < 3000; i = i + 1) {
+    int v = -1;
+    while (v == -1) { v = dequeue(); }
+    sum = sum + v;
+    bench_record(t, i);
+  }
+  assert(sum == 3000 * 3001 / 2);
+}
+`
+
+// CkRing is an SPSC ring buffer: the producer publishes slots via the
+// tail index using relaxed atomics (sufficient on TSO, broken on WMM).
+var CkRing = register(&Program{
+	Name:         "ck_ring",
+	Desc:         "SPSC ring buffer with relaxed index atomics (ck_ring)",
+	Source:       ckBench + ckRingAlgo + ckRingHarness,
+	ExpertSource: ckBench + ckRingAlgoExpert + ckRingHarness,
+	MCEntries:    []string{"consumer", "producer"},
+	PerfEntries:  []string{"perf_consumer", "perf_producer"},
+	PerfSteps:    80_000_000,
+})
+
+const ckCASAlgo = `
+int locked;
+int data;
+
+void lock(void) {
+  while (__cas(&locked, 0, 1) != 0) { }
+}
+
+void unlock(void) {
+  locked = 0;
+}
+`
+
+const ckCASAlgoExpert = `
+int locked;
+int data;
+
+void lock(void) {
+  while (__cas(&locked, 0, 1) != 0) { }
+  __fence();
+}
+
+void unlock(void) {
+  __fence();
+  locked = 0;
+}
+`
+
+const ckCASHarness = `
+void t0(void) { lock(); data = data + 1; unlock(); }
+void t1(void) { lock(); data = data + 1; unlock(); }
+
+void main_thread(void) {
+  spawn(t0);
+  spawn(t1);
+  join();
+  assert(data == 2);
+}
+
+void perf_worker(void) {
+  int t = tid() - 1;
+  for (int i = 0; i < 4000; i = i + 1) {
+    lock();
+    data = data + 1;
+    unlock();
+    bench_record(t, i);
+  }
+}
+
+void perf_main(void) {
+  spawn(perf_worker);
+  spawn(perf_worker);
+  join();
+  assert(data == 8000);
+}
+`
+
+// CkSpinlockCAS is CK's compare-and-swap spinlock. The cmpxchg carries
+// acquire/release semantics already (as any straightforward Arm port
+// would), but the unlock store is plain — which TSO forgives and WMM
+// does not.
+var CkSpinlockCAS = register(&Program{
+	Name:         "ck_spinlock_cas",
+	Desc:         "compare-and-swap spinlock with plain unlock (ck_spinlock_cas)",
+	Source:       ckBench + ckCASAlgo + ckCASHarness,
+	ExpertSource: ckBench + ckCASAlgoExpert + ckCASHarness,
+	MCEntries:    []string{"main_thread"},
+	PerfEntries:  []string{"perf_main"},
+	PerfSteps:    80_000_000,
+})
+
+const ckMCSAlgo = `
+struct mcsnode { int locked; struct mcsnode *next; };
+struct mcsnode nodes[2];
+struct mcsnode *tail;
+int data;
+
+void mcs_lock(struct mcsnode *me) {
+  me->locked = 1;
+  me->next = 0;
+  struct mcsnode *prev = __xchg(&tail, me);
+  if (prev != 0) {
+    prev->next = me;
+    while (me->locked == 1) { }
+  }
+}
+
+void mcs_unlock(struct mcsnode *me) {
+  if (me->next == 0) {
+    if (__cas(&tail, me, 0) == me) { return; }
+    while (me->next == 0) { }
+  }
+  me->next->locked = 0;
+}
+`
+
+const ckMCSAlgoExpert = `
+struct mcsnode { int locked; struct mcsnode *next; };
+struct mcsnode nodes[2];
+struct mcsnode *tail;
+int data;
+
+void mcs_lock(struct mcsnode *me) {
+  me->locked = 1;
+  me->next = 0;
+  struct mcsnode *prev = __xchg(&tail, me);
+  if (prev != 0) {
+    __fence();
+    prev->next = me;
+    while (me->locked == 1) { }
+  }
+  __fence();
+}
+
+void mcs_unlock(struct mcsnode *me) {
+  __fence();
+  if (me->next == 0) {
+    if (__cas(&tail, me, 0) == me) { return; }
+    while (me->next == 0) { }
+  }
+  me->next->locked = 0;
+}
+`
+
+const ckMCSHarness = `
+void t0(void) {
+  mcs_lock(&nodes[0]);
+  data = data + 1;
+  mcs_unlock(&nodes[0]);
+}
+
+void t1(void) {
+  mcs_lock(&nodes[1]);
+  data = data + 1;
+  mcs_unlock(&nodes[1]);
+}
+
+void main_thread(void) {
+  spawn(t0);
+  spawn(t1);
+  join();
+  assert(data == 2);
+}
+
+void perf_worker0(void) {
+  for (int i = 0; i < 4000; i = i + 1) {
+    mcs_lock(&nodes[0]);
+    data = data + 1;
+    mcs_unlock(&nodes[0]);
+    bench_record(0, i);
+  }
+}
+
+void perf_worker1(void) {
+  for (int i = 0; i < 4000; i = i + 1) {
+    mcs_lock(&nodes[1]);
+    data = data + 1;
+    mcs_unlock(&nodes[1]);
+    bench_record(1, i);
+  }
+}
+
+void perf_main(void) {
+  spawn(perf_worker0);
+  spawn(perf_worker1);
+  join();
+  assert(data == 8000);
+}
+`
+
+// CkSpinlockMCS is the MCS queue lock: waiters spin on their own node's
+// locked flag; the lock holder hands off by writing the successor's
+// flag — a plain store in the TSO version.
+var CkSpinlockMCS = register(&Program{
+	Name:         "ck_spinlock_mcs",
+	Desc:         "MCS queue lock with plain handoff stores (ck_spinlock_mcs)",
+	Source:       ckBench + ckMCSAlgo + ckMCSHarness,
+	ExpertSource: ckBench + ckMCSAlgoExpert + ckMCSHarness,
+	MCEntries:    []string{"main_thread"},
+	PerfEntries:  []string{"perf_main"},
+	PerfSteps:    80_000_000,
+})
+
+const ckSeqAlgo = `
+volatile int seq;
+int d0;
+int d1;
+
+void seq_write(int v) {
+  seq++;
+  d0 += v;
+  d1 += v;
+  seq++;
+}
+
+int seq_read(void) {
+  int s;
+  int a;
+  int b;
+  do {
+    s = seq;
+    a = d0;
+    b = d1;
+  } while (s % 2 != 0 || s != seq);
+  if (a != b) { return 1; }
+  return 0;
+}
+`
+
+const ckSeqAlgoExpert = `
+volatile int seq;
+int d0;
+int d1;
+
+void seq_write(int v) {
+  seq++;
+  __fence();
+  d0 += v;
+  d1 += v;
+  __fence();
+  seq++;
+}
+
+int seq_read(void) {
+  int s;
+  int a;
+  int b;
+  do {
+    __fence();
+    s = seq;
+    a = d0;
+    b = d1;
+    __fence();
+  } while (s % 2 != 0 || s != seq);
+  if (a != b) { return 1; }
+  return 0;
+}
+`
+
+const ckSeqHarness = `
+void writer(void) {
+  seq_write(1);
+}
+
+void reader(void) {
+  int s;
+  int a;
+  int b;
+  do {
+    s = seq;
+    a = d0;
+    b = d1;
+  } while (s % 2 != 0 || s != seq);
+  assert(a == b);
+}
+
+void perf_writer(void) {
+  for (int i = 0; i < 4000; i = i + 1) {
+    seq_write(1);
+    bench_record(0, i);
+  }
+}
+
+void perf_reader(void) {
+  int bad = 0;
+  for (int i = 0; i < 4000; i = i + 1) {
+    bad = bad + seq_read();
+    bench_record(1, i);
+  }
+  assert(bad == 0);
+}
+`
+
+// CkSequence is CK's sequence counter protecting a two-word record: the
+// reader validates with the counter and asserts the words belong to one
+// generation. Spinloop detection alone is insufficient — the optimistic
+// reads need explicit fences (Table 2's Spin ✗ / AtoMig ✓ row).
+var CkSequence = register(&Program{
+	Name:         "ck_sequence",
+	Desc:         "sequence counter over a two-word record (ck_sequence)",
+	Source:       ckBench + ckSeqAlgo + ckSeqHarness,
+	ExpertSource: ckBench + ckSeqAlgoExpert + ckSeqHarness,
+	MCEntries:    []string{"reader", "writer"},
+	PerfEntries:  []string{"perf_reader", "perf_writer"},
+	PerfSteps:    80_000_000,
+})

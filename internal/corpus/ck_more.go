@@ -1,0 +1,244 @@
+package corpus
+
+// Additional Concurrency Kit data structures: the Treiber stack
+// (ck_stack) and the Michael-Scott queue (ck_fifo). Both break under
+// WMM when compiled from their TSO form (the element value travels
+// through plain loads), and both are already repaired at the
+// explicit-annotation level: their hot pointers are manipulated with
+// read-modify-writes, and any RMW seeds alias exploration — the
+// paper's section 3.5 argument for why false negatives are rare ("more
+// than 80% of the algorithms [in CK] use read-modify-write
+// operations").
+
+// CkStack is the Treiber stack.
+var CkStack = register(&Program{
+	Name: "ck_stack",
+	Desc: "Treiber stack (ck_stack): CAS push/pop, optimistic value read",
+	Source: ckBench + `
+struct snode { int val; struct snode *next; };
+struct snode spool[4096];
+int spool_next;
+struct snode *top;
+
+void push(int v) {
+  struct snode *n = &spool[__faa(&spool_next, 1)];
+  n->val = v;
+  struct snode *t = top;
+  n->next = t;
+  while (__cas(&top, t, n) != t) {
+    t = top;
+    n->next = t;
+  }
+}
+
+int pop(void) {
+  struct snode *t = top;
+  while (t != 0) {
+    struct snode *nx = t->next;
+    int v = t->val;
+    if (__cas(&top, t, nx) == t) {
+      return v;
+    }
+    t = top;
+  }
+  return -1;
+}
+
+void pusher(void) {
+  push(42);
+}
+
+void popper(void) {
+  int r = pop();
+  assert(r == -1 || r == 42);
+}
+
+void mc_main(void) {
+  spawn(pusher);
+  spawn(popper);
+  join();
+}
+
+void perf_worker0(void) {
+  for (int i = 0; i < 1500; i = i + 1) {
+    if (i % 2 == 0) {
+      push(i + 1);
+    } else {
+      pop();
+    }
+    bench_record(0, i);
+  }
+}
+
+void perf_worker1(void) {
+  for (int i = 0; i < 1500; i = i + 1) {
+    if (i % 3 == 0) {
+      push(i + 1);
+    } else {
+      pop();
+    }
+    bench_record(1, i);
+  }
+}
+
+void perf_main(void) {
+  spawn(perf_worker0);
+  spawn(perf_worker1);
+  join();
+}
+`,
+	MCEntries:   []string{"mc_main"},
+	PerfEntries: []string{"perf_main"},
+	PerfSteps:   80_000_000,
+})
+
+// CkFifo is the Michael-Scott queue.
+var CkFifo = register(&Program{
+	Name: "ck_fifo",
+	Desc: "Michael-Scott queue (ck_fifo): two-CAS enqueue, optimistic dequeue",
+	Source: ckBench + `
+struct qnode { int val; struct qnode *next; };
+struct qnode qpool[4096];
+int qpool_next;
+struct qnode *qhead;
+struct qnode *qtail;
+
+void qinit(void) {
+  struct qnode *d = &qpool[__faa(&qpool_next, 1)];
+  d->next = 0;
+  qhead = d;
+  qtail = d;
+}
+
+void enqueue(int v) {
+  struct qnode *n = &qpool[__faa(&qpool_next, 1)];
+  n->val = v;
+  n->next = 0;
+  for (;;) {
+    struct qnode *t = qtail;
+    struct qnode *nx = t->next;
+    if (nx == 0) {
+      if (__cas(&t->next, 0, n) == 0) {
+        __cas(&qtail, t, n);
+        return;
+      }
+    } else {
+      __cas(&qtail, t, nx);
+    }
+  }
+}
+
+int dequeue(void) {
+  for (;;) {
+    struct qnode *h = qhead;
+    struct qnode *t = qtail;
+    struct qnode *nx = h->next;
+    if (nx == 0) { return -1; }
+    int v = nx->val;
+    if (h == t) {
+      __cas(&qtail, t, nx);
+    }
+    if (__cas(&qhead, h, nx) == h) {
+      return v;
+    }
+  }
+}
+
+void enqueuer(void) {
+  enqueue(42);
+}
+
+void dequeuer(void) {
+  int r = -1;
+  while (r == -1) { r = dequeue(); }
+  assert(r == 42);
+}
+
+void mc_main(void) {
+  qinit();
+  spawn(enqueuer);
+  spawn(dequeuer);
+  join();
+}
+
+void perf_worker0(void) {
+  for (int i = 0; i < 1200; i = i + 1) {
+    enqueue(i + 1);
+    bench_record(0, i);
+  }
+}
+
+void perf_worker1(void) {
+  int got = 0;
+  for (int i = 0; i < 1200; i = i + 1) {
+    int r = -1;
+    while (r == -1) { r = dequeue(); }
+    got = got + 1;
+    bench_record(1, i);
+  }
+  assert(got == 1200);
+}
+
+void perf_main(void) {
+  qinit();
+  spawn(perf_worker0);
+  spawn(perf_worker1);
+  join();
+}
+`,
+	MCEntries:   []string{"mc_main"},
+	PerfEntries: []string{"perf_main"},
+	PerfSteps:   80_000_000,
+})
+
+// CkSpinlockTicket is CK's ticket lock: tickets are taken with
+// fetch-and-add; the owner spins on the now-serving counter. The TSO
+// version's unlock (now_serving++) is a plain increment.
+var CkSpinlockTicket = register(&Program{
+	Name: "ck_spinlock_ticket",
+	Desc: "ticket lock (ck_spinlock_ticket): FAA tickets, plain unlock increment",
+	Source: ckBench + `
+int next_ticket;
+int now_serving;
+int data;
+
+void ticket_lock(void) {
+  int me = __faa(&next_ticket, 1);
+  while (now_serving != me) { }
+}
+
+void ticket_unlock(void) {
+  now_serving++;
+}
+
+void t0(void) { ticket_lock(); data++; ticket_unlock(); }
+void t1(void) { ticket_lock(); data++; ticket_unlock(); }
+
+void main_thread(void) {
+  spawn(t0);
+  spawn(t1);
+  join();
+  assert(data == 2);
+}
+
+void perf_worker(void) {
+  int t = tid() - 1;
+  for (int i = 0; i < 4000; i++) {
+    ticket_lock();
+    data++;
+    ticket_unlock();
+    bench_record(t, i);
+  }
+}
+
+void perf_main(void) {
+  spawn(perf_worker);
+  spawn(perf_worker);
+  join();
+  assert(data == 8000);
+}
+`,
+	MCEntries:   []string{"main_thread"},
+	PerfEntries: []string{"perf_main"},
+	PerfSteps:   80_000_000,
+})

@@ -1,0 +1,188 @@
+package corpus
+
+// CLHT, the cache-line hash table, developed solely for x86 (Table 5's
+// clht_lb and clht_lf rows). The paper uses it to demonstrate
+// end-to-end porting of code with no WMM version at all: the baseline
+// is the x86 source recompiled for aarch64 unchanged (incorrect under
+// WMM), which is why AtoMig shows a visible overhead on these rows
+// (1.10 and 1.40 in the paper).
+
+// ClhtLB is the lock-based variant: per-bucket test-and-set locks guard
+// writers; readers are lock-free and validate with the bucket lock word.
+var ClhtLB = register(&Program{
+	Name: "clht_lb",
+	Desc: "CLHT lock-based hash table: bucket locks, lock-free readers",
+	Source: `
+struct bucket {
+  int lock;
+  int keys[3];
+  int vals[3];
+};
+
+struct bucket table[8];
+
+int put(int k, int v) {
+  struct bucket *b = &table[k % 8];
+  while (__cas(&b->lock, 0, 1) != 0) { }
+  int slot = -1;
+  for (int i = 0; i < 3; i = i + 1) {
+    if (b->keys[i] == k) { slot = i; }
+    if (slot == -1 && b->keys[i] == 0) { slot = i; }
+  }
+  if (slot == -1) {
+    b->lock = 0;
+    return 0;
+  }
+  b->vals[slot] = v;
+  b->keys[slot] = k;
+  b->lock = 0;
+  return 1;
+}
+
+int get(int k) {
+  struct bucket *b = &table[k % 8];
+  for (int i = 0; i < 3; i = i + 1) {
+    if (b->keys[i] == k) {
+      return b->vals[i];
+    }
+  }
+  return -1;
+}
+
+int rem(int k) {
+  struct bucket *b = &table[k % 8];
+  while (__cas(&b->lock, 0, 1) != 0) { }
+  int found = 0;
+  for (int i = 0; i < 3; i = i + 1) {
+    if (b->keys[i] == k) {
+      b->keys[i] = 0;
+      b->vals[i] = 0;
+      found = 1;
+    }
+  }
+  b->lock = 0;
+  return found;
+}
+
+void perf_client0(void) {
+  for (int i = 0; i < 1200; i = i + 1) {
+    int k = i % 24 + 1;
+    if (i % 4 == 0) {
+      put(k, k * 2);
+    } else {
+      int r = get(k);
+      assert(r == -1 || r == 0 || r == k * 2);
+    }
+  }
+}
+
+void perf_client1(void) {
+  for (int i = 0; i < 1200; i = i + 1) {
+    int k = (i + 12) % 24 + 1;
+    if (i % 6 == 0) {
+      rem(k);
+    } else {
+      int r = get(k);
+      assert(r == -1 || r == 0 || r == k * 2);
+    }
+  }
+}
+
+void perf_main(void) {
+  spawn(perf_client0);
+  spawn(perf_client1);
+  join();
+}
+`,
+	PerfEntries: []string{"perf_main"},
+	PerfSteps:   80_000_000,
+})
+
+// ClhtLF is the lock-free variant: slots are published by writing the
+// key after the value with a CAS claiming the slot.
+var ClhtLF = register(&Program{
+	Name: "clht_lf",
+	Desc: "CLHT lock-free hash table: CAS slot claims",
+	Source: `
+struct lfbucket {
+  int keys[4];
+  int vals[4];
+};
+
+struct lfbucket table[8];
+
+int put(int k, int v) {
+  struct lfbucket *b = &table[k % 8];
+  for (int i = 0; i < 4; i = i + 1) {
+    if (b->keys[i] == k) {
+      b->vals[i] = v;
+      return 1;
+    }
+  }
+  for (int i = 0; i < 4; i = i + 1) {
+    if (b->keys[i] == 0) {
+      b->vals[i] = v;
+      if (__cas(&b->keys[i], 0, k) == 0) {
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+int get(int k) {
+  struct lfbucket *b = &table[k % 8];
+  for (int i = 0; i < 4; i = i + 1) {
+    if (b->keys[i] == k) {
+      return b->vals[i];
+    }
+  }
+  return -1;
+}
+
+int rem(int k) {
+  struct lfbucket *b = &table[k % 8];
+  for (int i = 0; i < 4; i = i + 1) {
+    if (b->keys[i] == k) {
+      if (__cas(&b->keys[i], k, 0) == k) {
+        b->vals[i] = 0;
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+void perf_client0(void) {
+  for (int i = 0; i < 1200; i = i + 1) {
+    int k = i % 24 + 1;
+    if (i % 4 == 0) {
+      put(k, k * 2);
+    } else {
+      int r = get(k);
+      assert(r == -1 || r == 0 || r == k * 2);
+    }
+  }
+}
+
+void perf_client1(void) {
+  for (int i = 0; i < 1200; i = i + 1) {
+    int k = (i + 12) % 24 + 1;
+    if (i % 6 == 0) {
+      rem(k);
+    } else {
+      int r = get(k);
+      assert(r == -1 || r == 0 || r == k * 2);
+    }
+  }
+}
+
+void perf_main(void) {
+  spawn(perf_client0);
+  spawn(perf_client1);
+  join();
+}
+`,
+	PerfEntries: []string{"perf_main"},
+	PerfSteps:   80_000_000,
+})

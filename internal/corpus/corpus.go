@@ -1,0 +1,96 @@
+// Package corpus holds the MiniC benchmark programs of the evaluation:
+// the paper's figure examples (message passing, test-and-set lock,
+// sequence lock, the MariaDB lf-hash bug), the Concurrency Kit data
+// structures of Table 2/5, the lock-free hash table, the CLHT hash
+// tables, the Phoenix map-reduce suite of Table 6, and the
+// application kernels standing in for the large code bases of
+// Tables 3–5.
+//
+// Every program is legacy TSO code: correct when executed under SC or
+// x86-TSO, and (for the concurrency benchmarks) buggy under WMM until
+// ported. CK programs additionally carry an expert WMM port using
+// explicit fences, mirroring the native aarch64 versions the paper
+// compares against.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// Program is one benchmark program.
+type Program struct {
+	Name string
+	// Desc is a one-line description for tooling output.
+	Desc string
+	// Source is the legacy TSO MiniC source.
+	Source string
+	// ExpertSource is the hand-ported WMM variant with explicit fences
+	// (empty when the paper has no native WMM version to compare with).
+	ExpertSource string
+	// MCEntries are the thread entry functions of the model-checking
+	// harness (empty when the program is performance-only).
+	MCEntries []string
+	// PerfEntries are the thread entry functions of the performance
+	// harness.
+	PerfEntries []string
+	// PerfSteps bounds performance runs (0 = VM default).
+	PerfSteps int64
+}
+
+// Compile compiles the program's TSO source.
+func (p *Program) Compile() (*ir.Module, error) {
+	res, err := minic.Compile(p.Name, p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", p.Name, err)
+	}
+	return res.Module, nil
+}
+
+// CompileExpert compiles the expert WMM variant.
+func (p *Program) CompileExpert() (*ir.Module, error) {
+	if p.ExpertSource == "" {
+		return nil, fmt.Errorf("corpus %s: no expert variant", p.Name)
+	}
+	res, err := minic.Compile(p.Name+"-expert", p.ExpertSource)
+	if err != nil {
+		return nil, fmt.Errorf("corpus %s (expert): %w", p.Name, err)
+	}
+	return res.Module, nil
+}
+
+var registry = map[string]*Program{}
+
+func register(p *Program) *Program {
+	if _, dup := registry[p.Name]; dup {
+		panic("corpus: duplicate program " + p.Name)
+	}
+	registry[p.Name] = p
+	return p
+}
+
+// Get returns the named program, or nil.
+func Get(name string) *Program { return registry[name] }
+
+// Names returns all program names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all programs sorted by name.
+func All() []*Program {
+	names := Names()
+	out := make([]*Program, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}

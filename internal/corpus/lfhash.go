@@ -1,0 +1,149 @@
+package corpus
+
+// The lock-free hash table extracted from MariaDB (Table 2's lf-hash
+// row, Table 5's lf-hash row, and the bug of Figure 7). Buckets hold
+// singly linked lists; insertion pushes with CAS; search validates a
+// node's state optimistically; deletion invalidates with CAS and then
+// clears the value — the plain clear is the store that escapes the
+// cmpxchg's release ordering on WMM.
+
+// LfHash is the table benchmark.
+var LfHash = register(&Program{
+	Name: "lf_hash",
+	Desc: "lock-free hash table (MariaDB lf-hash): CAS insert, optimistic search",
+	Source: `
+struct lfnode { int key; int val; int state; struct lfnode *next; };
+
+struct lfnode pool[1024];
+int pool_next;
+struct lfnode *buckets[8];
+
+struct lfnode *alloc_node(void) {
+  int i = __faa(&pool_next, 1);
+  return &pool[i];
+}
+
+void insert(int k, int v) {
+  struct lfnode *n = alloc_node();
+  n->key = k;
+  n->val = v;
+  n->state = 1;
+  struct lfnode *h = buckets[k % 8];
+  n->next = h;
+  while (__cas(&buckets[k % 8], h, n) != h) {
+    h = buckets[k % 8];
+    n->next = h;
+  }
+}
+
+int search(int k) {
+  struct lfnode *n = buckets[k % 8];
+  while (n != 0) {
+    if (n->key == k) {
+      // Validated read, as in MariaDB's l_find (Figure 7): retry until
+      // the state is stable around the value read.
+      int state;
+      int val;
+      do {
+        state = n->state;
+        val = n->val;
+      } while (state != n->state);
+      if (state == 1) { return val; }
+      return -1;
+    }
+    n = n->next;
+  }
+  return -1;
+}
+
+int delete(int k) {
+  struct lfnode *n = buckets[k % 8];
+  while (n != 0) {
+    if (n->key == k) {
+      if (__cas(&n->state, 1, 2) == 1) {
+        n->val = 0;
+        return 1;
+      }
+      return 0;
+    }
+    n = n->next;
+  }
+  return 0;
+}
+
+// Model-checking harness: a found key must never expose the cleared
+// value of a deleted node while its state still reads valid.
+void searcher(void) {
+  int r = search(5);
+  assert(r == 42 || r == -1);
+}
+
+void deleter(void) {
+  delete(5);
+}
+
+void mc_main(void) {
+  insert(5, 42);
+  spawn(searcher);
+  spawn(deleter);
+  join();
+}
+
+// Performance harness: two clients run mixed operations, maintaining
+// the shared statistics counters the surrounding application keeps (a
+// naïve port makes these sequentially consistent; atomig leaves them
+// alone because no synchronization pattern touches them).
+int total_ops;
+int op_histogram[4];
+
+int prepare_key(int seed) {
+  int k = seed;
+  for (int j = 0; j < 4; j = j + 1) {
+    k = (k * 31 + 17) % 4096;
+  }
+  return k % 16;
+}
+
+void account(int kind) {
+  total_ops = total_ops + 1;
+  op_histogram[kind] = op_histogram[kind] + 1;
+}
+
+void perf_client0(void) {
+  for (int i = 0; i < 1500; i = i + 1) {
+    int k = prepare_key(i);
+    if (i % 3 == 0) {
+      insert(k, k + 100);
+      account(0);
+    } else {
+      int r = search(k);
+      assert(r == -1 || r == 0 || r == k + 100);
+      account(1);
+    }
+  }
+}
+
+void perf_client1(void) {
+  for (int i = 0; i < 1500; i = i + 1) {
+    int k = prepare_key(i + 8);
+    if (i % 5 == 0) {
+      delete(k);
+      account(0);
+    } else {
+      int r = search(k);
+      assert(r == -1 || r == 0 || r == k + 100);
+      account(1);
+    }
+  }
+}
+
+void perf_main(void) {
+  spawn(perf_client0);
+  spawn(perf_client1);
+  join();
+}
+`,
+	MCEntries:   []string{"mc_main"},
+	PerfEntries: []string{"perf_main"},
+	PerfSteps:   80_000_000,
+})

@@ -1,0 +1,85 @@
+package corpus
+
+// Known-limitation programs. The paper is explicit that AtoMig "does
+// not currently find other synchronization points that cannot be traced
+// back to a variable used in a spinloop" (section 6). These programs
+// pin that boundary down so regressions in either direction — silently
+// starting to miss detectable patterns, or silently claiming patterns
+// the heuristic cannot see — show up in tests.
+
+// DCL is double-checked locking with a straight-line fast path: the
+// reader checks the init flag once (no loop) and then uses the object.
+// There is no spinloop anywhere, so the pattern is invisible to the
+// pipeline — a documented false negative.
+var DCL = register(&Program{
+	Name: "dcl",
+	Desc: "double-checked locking: straight-line sync, a documented false negative",
+	Source: `
+int init_done;
+int object;
+int lock;
+
+int get_object(void) {
+  if (init_done == 0) {
+    while (__cas(&lock, 0, 1) != 0) { }
+    if (init_done == 0) {
+      object = 42;
+      init_done = 1;
+    }
+    lock = 0;
+  }
+  return object;
+}
+
+void user(void) {
+  int v = get_object();
+  assert(v == 42);
+}
+
+void mc_main(void) {
+  spawn(user);
+  spawn(user);
+  join();
+}
+`,
+	MCEntries: []string{"mc_main"},
+})
+
+// DCLSpin is the same program with the fast-path check written as the
+// retry loop real systems often use. Now init_done feeds a spinloop,
+// and the pipeline repairs the whole pattern — the boundary is exactly
+// whether the synchronization variable ever appears in a loop.
+var DCLSpin = register(&Program{
+	Name: "dcl-spin",
+	Desc: "double-checked locking with a waiting fast path: detected and fixed",
+	Source: `
+int init_done;
+int object;
+int lock;
+
+int get_object(void) {
+  if (__cas(&lock, 0, 1) == 0) {
+    if (init_done == 0) {
+      object = 42;
+      init_done = 1;
+    }
+    lock = 0;
+  } else {
+    while (init_done == 0) { }
+  }
+  return object;
+}
+
+void user(void) {
+  int v = get_object();
+  assert(v == 42);
+}
+
+void mc_main(void) {
+  spawn(user);
+  spawn(user);
+  join();
+}
+`,
+	MCEntries: []string{"mc_main"},
+})

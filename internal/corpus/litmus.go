@@ -1,0 +1,166 @@
+package corpus
+
+// Litmus tests and the paper's figure examples.
+
+// MP is Figure 1: message passing through a spinloop on flag.
+var MP = register(&Program{
+	Name: "mp",
+	Desc: "message passing (Figure 1/5): writer publishes msg via flag",
+	Source: `
+int flag;
+int msg;
+
+void writer(void) {
+  msg = 1;
+  flag = 1;
+}
+
+void reader(void) {
+  while (flag == 0) { }
+  assert(msg == 1);
+}
+`,
+	MCEntries:   []string{"reader", "writer"},
+	PerfEntries: []string{"reader", "writer"},
+})
+
+// SB is the store-buffering litmus test: distinguishes SC from TSO.
+var SB = register(&Program{
+	Name: "sb",
+	Desc: "store buffering litmus: r0==r1==0 reachable under TSO/WMM",
+	Source: `
+int x;
+int y;
+int r0 = -1;
+int r1 = -1;
+
+void t0(void) { x = 1; r0 = y; }
+void t1(void) { y = 1; r1 = x; }
+
+void main_thread(void) {
+  spawn(t0);
+  spawn(t1);
+  join();
+  assert(r0 + r1 != 0);
+}
+`,
+	MCEntries: []string{"main_thread"},
+})
+
+// CoRR checks per-location coherence: two reads of the same location by
+// one thread never go backwards.
+var CoRR = register(&Program{
+	Name: "corr",
+	Desc: "coherence litmus: same-location reads never go backwards",
+	Source: `
+int x;
+
+void writer(void) { x = 1; x = 2; }
+
+void reader(void) {
+  int a = x;
+  int b = x;
+  assert(b >= a);
+}
+
+void main_thread(void) {
+  spawn(writer);
+  spawn(reader);
+  join();
+}
+`,
+	MCEntries: []string{"main_thread"},
+})
+
+// Seqlock is Figure 6: an optimistic reader validated by a sequence
+// counter. The assertion encodes the seqlock protocol invariant: a
+// stable even counter means the data matches that generation.
+var Seqlock = register(&Program{
+	Name: "seqlock",
+	Desc: "sequence lock (Figure 6): optimistic read validated by counter",
+	Source: `
+int seq;
+int msg;
+
+void writer(void) {
+  seq++;
+  msg = 7;
+  seq++;
+}
+
+void reader(void) {
+  int s;
+  int data;
+  do {
+    s = seq;
+    data = msg;
+  } while (s % 2 != 0 || s != seq);
+  if (s == 0) { assert(data == 0); }
+  if (s == 2) { assert(data == 7); }
+}
+`,
+	MCEntries:   []string{"reader", "writer"},
+	PerfEntries: []string{"reader", "writer"},
+})
+
+// TASLock is Figure 4: a test-and-set spinlock protecting a counter.
+var TASLock = register(&Program{
+	Name: "tas",
+	Desc: "test-and-set lock (Figure 4) protecting a shared counter",
+	Source: `
+int locked;
+int data;
+
+void locker(void) {
+  while (__cas(&locked, 0, 1) != 0) { }
+  data = data + 1;
+  locked = 0;
+}
+
+void t0(void) { locker(); }
+void t1(void) { locker(); }
+
+void main_thread(void) {
+  spawn(t0);
+  spawn(t1);
+  join();
+  assert(data == 2);
+}
+`,
+	MCEntries: []string{"main_thread"},
+})
+
+// LfHashFig7 abstracts the MariaDB lock-free hash bug of Figure 7: a
+// finder validating a node's state races with a deleter whose cmpxchg
+// release does not order the subsequent key overwrite.
+var LfHashFig7 = register(&Program{
+	Name: "lfhash-fig7",
+	Desc: "MariaDB lf-hash WMM bug (Figure 7): stale VALID state with deleted key",
+	Source: `
+struct node { int state; int key; };
+struct node n;
+
+void finder(void) {
+  n.state = 1;
+  n.key = 42;
+  spawn(deleter);
+  int state;
+  int key;
+  do {
+    state = n.state;
+    key = n.key;
+  } while (state != n.state);
+  if (state == 1) {
+    assert(key == 42);
+  }
+  join();
+}
+
+void deleter(void) {
+  if (__cas(&n.state, 1, 2) == 1) {
+    n.key = 0;
+  }
+}
+`,
+	MCEntries: []string{"finder"},
+})

@@ -1,0 +1,347 @@
+package corpus
+
+// The Phoenix 2.0 map-reduce benchmarks of Table 6. The workers only
+// synchronize through library barriers between trivially parallel
+// phases, so a pattern-based porter should add (almost) nothing — the
+// table's point. Workloads follow optimized map-reduce practice: input
+// chunks are staged into locals where the kernel is compute-bound
+// (kmeans, matrix_multiply, linear_regression), while histogram and
+// string_match stream global data per element.
+
+// PhoenixHistogram counts pixel values into per-worker bins.
+var PhoenixHistogram = register(&Program{
+	Name: "histogram",
+	Desc: "Phoenix histogram: per-element global reads and bin updates",
+	Source: `
+int image[2048];
+int bins0[16];
+int bins1[16];
+int total[16];
+
+void fill(void) {
+  int x = 5;
+  for (int i = 0; i < 2048; i = i + 1) {
+    x = (x * 7 + 3) % 16;
+    image[i] = x;
+  }
+}
+
+void worker0(void) {
+  for (int pass = 0; pass < 4; pass = pass + 1) {
+    for (int i = 0; i < 1024; i = i + 1) {
+      int v = image[i];
+      bins0[v] = bins0[v] + 1;
+    }
+  }
+  barrier(3);
+}
+
+void worker1(void) {
+  for (int pass = 0; pass < 4; pass = pass + 1) {
+    for (int i = 1024; i < 2048; i = i + 1) {
+      int v = image[i];
+      bins1[v] = bins1[v] + 1;
+    }
+  }
+  barrier(3);
+}
+
+void main_thread(void) {
+  fill();
+  spawn(worker0);
+  spawn(worker1);
+  barrier(3);
+  join();
+  int sum = 0;
+  for (int b = 0; b < 16; b = b + 1) {
+    total[b] = bins0[b] + bins1[b];
+    sum = sum + total[b];
+  }
+  assert(sum == 4 * 2048);
+}
+`,
+	PerfEntries: []string{"main_thread"},
+	PerfSteps:   80_000_000,
+})
+
+// PhoenixKMeans assigns points to the nearest of four centroids,
+// staging each point into locals before the distance computation.
+var PhoenixKMeans = register(&Program{
+	Name: "kmeans",
+	Desc: "Phoenix kmeans: staged points, local distance computation",
+	Source: `
+int px[512];
+int py[512];
+int cx[4] = {10, 90, 10, 90};
+int cy[4] = {10, 10, 90, 90};
+int assign0[512];
+int count0;
+int count1;
+
+void fill(void) {
+  int x = 7;
+  for (int i = 0; i < 512; i = i + 1) {
+    x = (x * 1103515245 + 12345) % 100;
+    if (x < 0) { x = -x; }
+    px[i] = x;
+    x = (x * 16807 + 7) % 100;
+    if (x < 0) { x = -x; }
+    py[i] = x;
+  }
+}
+
+int nearest(int x, int y, int c0x, int c0y, int c1x, int c1y, int c2x, int c2y, int c3x, int c3y) {
+  int best = 0;
+  int bd = (x - c0x) * (x - c0x) + (y - c0y) * (y - c0y);
+  int d = (x - c1x) * (x - c1x) + (y - c1y) * (y - c1y);
+  if (d < bd) { bd = d; best = 1; }
+  d = (x - c2x) * (x - c2x) + (y - c2y) * (y - c2y);
+  if (d < bd) { bd = d; best = 2; }
+  d = (x - c3x) * (x - c3x) + (y - c3y) * (y - c3y);
+  if (d < bd) { bd = d; best = 3; }
+  return best;
+}
+
+void assign_range(int lo, int hi, int *counter) {
+  // Stage the centroids once; they are read-only during a pass.
+  int c0x = cx[0]; int c0y = cy[0];
+  int c1x = cx[1]; int c1y = cy[1];
+  int c2x = cx[2]; int c2y = cy[2];
+  int c3x = cx[3]; int c3y = cy[3];
+  int done = 0;
+  for (int i = lo; i < hi; i = i + 1) {
+    int x = px[i];
+    int y = py[i];
+    assign0[i] = nearest(x, y, c0x, c0y, c1x, c1y, c2x, c2y, c3x, c3y);
+    done = done + 1;
+  }
+  *counter = done;
+}
+
+void worker0(void) {
+  assign_range(0, 256, &count0);
+  barrier(3);
+}
+
+void worker1(void) {
+  assign_range(256, 512, &count1);
+  barrier(3);
+}
+
+void main_thread(void) {
+  fill();
+  spawn(worker0);
+  spawn(worker1);
+  barrier(3);
+  join();
+  assert(count0 + count1 == 512);
+}
+`,
+	PerfEntries: []string{"main_thread"},
+	PerfSteps:   80_000_000,
+})
+
+// PhoenixLinearRegression accumulates regression sums over a staged
+// input stream.
+var PhoenixLinearRegression = register(&Program{
+	Name: "linear_regression",
+	Desc: "Phoenix linear_regression: staged chunks, local accumulation",
+	Source: `
+int xs[2048];
+int ys[2048];
+int sx0; int sy0; int sxx0; int sxy0;
+int sx1; int sy1; int sxx1; int sxy1;
+
+void fill(void) {
+  for (int i = 0; i < 2048; i = i + 1) {
+    xs[i] = i % 97;
+    ys[i] = (3 * (i % 97) + 7) % 128;
+  }
+}
+
+void range_sums(int lo, int hi, int *osx, int *osy, int *osxx, int *osxy) {
+  int sx = 0; int sy = 0; int sxx = 0; int sxy = 0;
+  int bufx[16];
+  int bufy[16];
+  for (int c = lo; c < hi; c = c + 16) {
+    for (int j = 0; j < 16; j = j + 1) {
+      bufx[j] = xs[c + j];
+      bufy[j] = ys[c + j];
+    }
+    for (int j = 0; j < 16; j = j + 1) {
+      int x = bufx[j];
+      int y = bufy[j];
+      sx = sx + x;
+      sy = sy + y;
+      sxx = sxx + x * x;
+      sxy = sxy + x * y;
+    }
+  }
+  *osx = sx;
+  *osy = sy;
+  *osxx = sxx;
+  *osxy = sxy;
+}
+
+void worker0(void) {
+  range_sums(0, 1024, &sx0, &sy0, &sxx0, &sxy0);
+  barrier(3);
+}
+
+void worker1(void) {
+  range_sums(1024, 2048, &sx1, &sy1, &sxx1, &sxy1);
+  barrier(3);
+}
+
+void main_thread(void) {
+  fill();
+  spawn(worker0);
+  spawn(worker1);
+  barrier(3);
+  join();
+  assert(sxx0 + sxx1 > 0);
+  assert(sx0 + sx1 > 0);
+}
+`,
+	PerfEntries: []string{"main_thread"},
+	PerfSteps:   80_000_000,
+})
+
+// PhoenixMatrixMultiply multiplies staged rows against a staged column
+// block — the inner loop touches locals only.
+var PhoenixMatrixMultiply = register(&Program{
+	Name: "matrix_multiply",
+	Desc: "Phoenix matrix_multiply: row/column staging, local inner loop",
+	Source: `
+int A[1024];
+int B[1024];
+int C[1024];
+int done0;
+int done1;
+
+void fill(void) {
+  for (int i = 0; i < 1024; i = i + 1) {
+    A[i] = i % 7 + 1;
+    B[i] = i % 5 + 1;
+  }
+}
+
+void mult_rows(int lo, int hi, int *done) {
+  int arow[32];
+  int bcol[32];
+  int n = 0;
+  for (int r = lo; r < hi; r = r + 1) {
+    for (int j = 0; j < 32; j = j + 1) {
+      arow[j] = A[r * 32 + j];
+    }
+    for (int col = 0; col < 32; col = col + 1) {
+      for (int j = 0; j < 32; j = j + 1) {
+        bcol[j] = B[j * 32 + col];
+      }
+      int acc = 0;
+      for (int j = 0; j < 32; j = j + 1) {
+        acc = acc + arow[j] * bcol[j];
+      }
+      C[r * 32 + col] = acc;
+      n = n + 1;
+    }
+  }
+  *done = n;
+}
+
+void worker0(void) {
+  mult_rows(0, 16, &done0);
+  barrier(3);
+}
+
+void worker1(void) {
+  mult_rows(16, 32, &done1);
+  barrier(3);
+}
+
+void main_thread(void) {
+  fill();
+  spawn(worker0);
+  spawn(worker1);
+  barrier(3);
+  join();
+  assert(done0 + done1 == 1024);
+  assert(C[0] > 0);
+}
+`,
+	PerfEntries: []string{"main_thread"},
+	PerfSteps:   200_000_000,
+})
+
+// PhoenixStringMatch streams the global text, comparing a staged
+// needle at every offset.
+var PhoenixStringMatch = register(&Program{
+	Name: "string_match",
+	Desc: "Phoenix string_match: streaming global text scan",
+	Source: `
+int text[4096];
+int needle[4] = {3, 1, 4, 1};
+int found0;
+int found1;
+
+void fill(void) {
+  int x = 9;
+  for (int i = 0; i < 4096; i = i + 1) {
+    x = (x * 7 + 3) % 10;
+    text[i] = x;
+  }
+  // Plant a handful of guaranteed matches.
+  for (int m = 0; m < 8; m = m + 1) {
+    int base = m * 512;
+    text[base] = 3;
+    text[base + 1] = 1;
+    text[base + 2] = 4;
+    text[base + 3] = 1;
+  }
+}
+
+int scan(int lo, int hi) {
+  int n0 = needle[0];
+  int n1 = needle[1];
+  int n2 = needle[2];
+  int n3 = needle[3];
+  int hits = 0;
+  for (int pass = 0; pass < 3; pass = pass + 1) {
+    for (int i = lo; i < hi; i = i + 1) {
+      if (text[i] == n0) {
+        if (text[i + 1] == n1 && text[i + 2] == n2 && text[i + 3] == n3) {
+          hits = hits + 1;
+        }
+      }
+    }
+  }
+  return hits / 3;
+}
+
+void worker0(void) {
+  found0 = scan(0, 2048);
+  barrier(3);
+}
+
+void worker1(void) {
+  found1 = scan(2048, 4092);
+  barrier(3);
+}
+
+void main_thread(void) {
+  fill();
+  spawn(worker0);
+  spawn(worker1);
+  barrier(3);
+  join();
+  assert(found0 + found1 >= 8);
+}
+`,
+	PerfEntries: []string{"main_thread"},
+	PerfSteps:   80_000_000,
+})
+
+// PhoenixNames lists the Table 6 rows in paper order.
+var PhoenixNames = []string{
+	"histogram", "kmeans", "linear_regression", "matrix_multiply", "string_match",
+}

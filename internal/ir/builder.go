@@ -1,0 +1,169 @@
+package ir
+
+import "fmt"
+
+// Builder emits instructions into a function, maintaining a current
+// insertion block. It is the construction API used by the MiniC frontend
+// lowering and by tests that build IR directly.
+type Builder struct {
+	Fn  *Func
+	Cur *Block
+}
+
+// NewBuilder returns a builder positioned at the function's entry block
+// (creating one if the function has no blocks yet).
+func NewBuilder(f *Func) *Builder {
+	b := &Builder{Fn: f}
+	if len(f.Blocks) == 0 {
+		b.Cur = f.NewBlock("entry")
+	} else {
+		b.Cur = f.Blocks[0]
+	}
+	return b
+}
+
+// SetBlock moves the insertion point to blk.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// NewBlock creates a new block in the function without moving the
+// insertion point.
+func (b *Builder) NewBlock(name string) *Block { return b.Fn.NewBlock(name) }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	in.ID = b.Fn.NextID()
+	in.Blk = b.Cur
+	b.Cur.Instrs = append(b.Cur.Instrs, in)
+	return in
+}
+
+// Terminated reports whether the current block already ends in a
+// terminator, in which case no further instructions may be emitted into
+// it.
+func (b *Builder) Terminated() bool { return b.Cur.Terminator() != nil }
+
+// Alloca allocates a stack slot for a value of type elem.
+func (b *Builder) Alloca(elem Type) *Instr {
+	return b.emit(&Instr{Op: OpAlloca, Ty: PointerTo(elem), AllocElem: elem})
+}
+
+// Load emits a plain load from addr.
+func (b *Builder) Load(addr Value) *Instr {
+	elem := Pointee(addr.Type())
+	if elem == nil {
+		panic(fmt.Sprintf("ir: load from non-pointer %s", addr.Type()))
+	}
+	return b.emit(&Instr{Op: OpLoad, Ty: elem, Args: []Value{addr}})
+}
+
+// LoadOrd emits a load with an explicit memory ordering.
+func (b *Builder) LoadOrd(addr Value, ord MemOrder) *Instr {
+	in := b.Load(addr)
+	in.Ord = ord
+	return in
+}
+
+// Store emits a plain store of val to addr.
+func (b *Builder) Store(addr, val Value) *Instr {
+	return b.emit(&Instr{Op: OpStore, Ty: Void, Args: []Value{addr, val}})
+}
+
+// StoreOrd emits a store with an explicit memory ordering.
+func (b *Builder) StoreOrd(addr, val Value, ord MemOrder) *Instr {
+	in := b.Store(addr, val)
+	in.Ord = ord
+	return in
+}
+
+// CmpXchg emits a compare-exchange: if *addr == expected then *addr = nv.
+// The result is the old value of *addr (success iff old == expected).
+func (b *Builder) CmpXchg(addr, expected, nv Value, ord MemOrder) *Instr {
+	elem := Pointee(addr.Type())
+	return b.emit(&Instr{Op: OpCmpXchg, Ty: elem, Args: []Value{addr, expected, nv}, Ord: ord})
+}
+
+// RMW emits an atomic read-modify-write; the result is the old value.
+func (b *Builder) RMW(kind RMWKind, addr, operand Value, ord MemOrder) *Instr {
+	elem := Pointee(addr.Type())
+	return b.emit(&Instr{Op: OpRMW, Ty: elem, Args: []Value{addr, operand}, RMW: kind, Ord: ord})
+}
+
+// Fence emits an explicit memory fence.
+func (b *Builder) Fence(ord MemOrder) *Instr {
+	return b.emit(&Instr{Op: OpFence, Ty: Void, Ord: ord})
+}
+
+// Bin emits a binary arithmetic/logic operation.
+func (b *Builder) Bin(kind BinKind, x, y Value) *Instr {
+	return b.emit(&Instr{Op: OpBin, Ty: x.Type(), Args: []Value{x, y}, BinKind: kind})
+}
+
+// ICmp emits an integer comparison producing an i64 holding 0 or 1
+// (C-style boolean, so comparison results compose with arithmetic).
+func (b *Builder) ICmp(pred Pred, x, y Value) *Instr {
+	return b.emit(&Instr{Op: OpICmp, Ty: I64, Args: []Value{x, y}, Pred: pred})
+}
+
+// GEP emits address arithmetic over base (a pointer to baseTy) following
+// the given path. Dynamic indices must be passed in dyn, in path order.
+func (b *Builder) GEP(base Value, baseTy Type, path []GEPStep, dyn ...Value) *Instr {
+	args := append([]Value{base}, dyn...)
+	ty := baseTy
+	for _, st := range path {
+		switch t := ty.(type) {
+		case *StructType:
+			if st.Field < 0 || st.Field >= len(t.Fields) {
+				panic(fmt.Sprintf("ir: gep field %d out of range for %%%s", st.Field, t.TypeName))
+			}
+			ty = t.Fields[st.Field].Type
+		case *ArrayType:
+			ty = t.Elem
+		default:
+			// Dynamic index over a non-aggregate models C pointer
+			// arithmetic (p[i] over ptr T): the element type is unchanged.
+			if st.Field >= 0 {
+				panic(fmt.Sprintf("ir: gep field step into non-aggregate %s", ty))
+			}
+		}
+	}
+	return b.emit(&Instr{Op: OpGEP, Ty: PointerTo(ty), Args: args, GEPBase: baseTy, Path: path})
+}
+
+// FieldPtr emits a GEP selecting a named field of a struct pointed to by
+// base.
+func (b *Builder) FieldPtr(base Value, st *StructType, field string) *Instr {
+	idx := st.FieldIndex(field)
+	if idx < 0 {
+		panic(fmt.Sprintf("ir: struct %%%s has no field %q", st.TypeName, field))
+	}
+	return b.GEP(base, st, []GEPStep{{Field: idx}})
+}
+
+// IndexPtr emits a GEP selecting element idx of an array pointed to by
+// base.
+func (b *Builder) IndexPtr(base Value, at *ArrayType, idx Value) *Instr {
+	return b.GEP(base, at, []GEPStep{{Field: -1}}, idx)
+}
+
+// Call emits a call to the named function or builtin with a known result
+// type.
+func (b *Builder) Call(retTy Type, callee string, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, Ty: retTy, Args: args, Callee: callee})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(target *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Ty: Void, Then: target})
+}
+
+// CondBr emits a conditional branch on cond.
+func (b *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Ty: Void, Args: []Value{cond}, Then: then, Else: els})
+}
+
+// Ret emits a return. val may be nil for void returns.
+func (b *Builder) Ret(val Value) *Instr {
+	if val == nil {
+		return b.emit(&Instr{Op: OpRet, Ty: Void})
+	}
+	return b.emit(&Instr{Op: OpRet, Ty: Void, Args: []Value{val}})
+}

@@ -1,0 +1,102 @@
+package ir
+
+// CloneModule deep-copies a module. Transformation pipelines run on a
+// clone so that the original, Naïve, and AtoMig variants of a program can
+// all be produced from a single compile, exactly as the paper's
+// evaluation compares variants of one build.
+func CloneModule(m *Module) *Module {
+	out := NewModule(m.Name)
+	for name, st := range m.Structs {
+		out.Structs[name] = st // struct types are immutable, share them
+	}
+	for _, g := range m.Globals {
+		ng := &Global{GName: g.GName, Elem: g.Elem, Volatile: g.Volatile, Atomic: g.Atomic}
+		if g.Init != nil {
+			ng.Init = append([]int64(nil), g.Init...)
+		}
+		if err := out.AddGlobal(ng); err != nil {
+			panic(err) // source module was well-formed
+		}
+	}
+	// First create all function shells so calls and FuncRefs can resolve.
+	for _, f := range m.Funcs {
+		nf := &Func{Name: f.Name, RetTy: f.RetTy, NoInline: f.NoInline, nextID: f.nextID}
+		for _, p := range f.Params {
+			nf.Params = append(nf.Params, &Param{PName: p.PName, Ty: p.Ty, Index: p.Index})
+		}
+		if err := out.AddFunc(nf); err != nil {
+			panic(err)
+		}
+	}
+	for _, f := range m.Funcs {
+		cloneFuncBody(out, f, out.Func(f.Name))
+	}
+	return out
+}
+
+// CloneFuncInto clones the body of src into dst (which must already have
+// matching params registered in dst's module). Used by CloneModule and by
+// the inliner's work copies.
+func cloneFuncBody(outMod *Module, src, dst *Func) {
+	blockMap := make(map[*Block]*Block, len(src.Blocks))
+	for _, b := range src.Blocks {
+		blockMap[b] = dst.NewBlock(b.Name)
+	}
+	instrMap := make(map[*Instr]*Instr, src.NumInstrs())
+	paramMap := make(map[*Param]*Param, len(src.Params))
+	for i, p := range src.Params {
+		paramMap[p] = dst.Params[i]
+	}
+	mapVal := func(v Value) Value {
+		switch x := v.(type) {
+		case *ConstInt:
+			return x
+		case *Global:
+			return outMod.Global(x.GName)
+		case *Param:
+			return paramMap[x]
+		case *FuncRef:
+			return &FuncRef{Fn: outMod.Func(x.Fn.Name)}
+		case *Instr:
+			return instrMap[x]
+		}
+		return v
+	}
+	// Two passes: create instruction shells first so forward references
+	// (uses of results defined later in block order, which cannot happen,
+	// but branch targets can) resolve; operands are filled in pass two.
+	for _, b := range src.Blocks {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op: in.Op, ID: in.ID, Blk: nb, Ty: in.Ty,
+				AllocElem: in.AllocElem, Ord: in.Ord, Volatile: in.Volatile,
+				BinKind: in.BinKind, Pred: in.Pred, RMW: in.RMW,
+				GEPBase: in.GEPBase, Callee: in.Callee, Marks: in.Marks,
+			}
+			if in.Path != nil {
+				ni.Path = append([]GEPStep(nil), in.Path...)
+			}
+			if in.Then != nil {
+				ni.Then = blockMap[in.Then]
+			}
+			if in.Else != nil {
+				ni.Else = blockMap[in.Else]
+			}
+			instrMap[in] = ni
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+	}
+	for _, b := range src.Blocks {
+		nb := blockMap[b]
+		for i, in := range b.Instrs {
+			ni := nb.Instrs[i]
+			if len(in.Args) > 0 {
+				ni.Args = make([]Value, len(in.Args))
+				for j, a := range in.Args {
+					ni.Args[j] = mapVal(a)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Block is a basic block: a straight-line sequence of instructions ending
+// in a terminator (br or ret).
+type Block struct {
+	Name   string
+	Fn     *Func
+	Instrs []*Instr
+}
+
+// Terminator returns the block's final instruction if it is a terminator,
+// else nil.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the successor blocks of b.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil || t.Op != OpBr {
+		return nil
+	}
+	if t.Else == nil {
+		return []*Block{t.Then}
+	}
+	return []*Block{t.Then, t.Else}
+}
+
+// Func is a function: an ordered list of basic blocks whose first entry
+// is the entry block.
+type Func struct {
+	Name   string
+	Params []*Param
+	RetTy  Type
+	Blocks []*Block
+	Mod    *Module
+
+	// NoInline marks functions that the pre-analysis inliner must not
+	// inline (recursive functions, thread entry points).
+	NoInline bool
+
+	nextID int
+	// resolver is transient parser state (see parse.go).
+	resolver any
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock appends a new basic block with the given name to the function.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{Name: name, Fn: f}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NextID allocates the next unique instruction ID within the function.
+func (f *Func) NextID() int {
+	id := f.nextID
+	f.nextID++
+	return id
+}
+
+// NumIDs returns an exclusive upper bound on instruction IDs in the
+// function (used to size register files in the VM).
+func (f *Func) NumIDs() int { return f.nextID }
+
+// ReserveIDs raises the function's ID watermark so future NextID calls
+// do not collide with externally assigned IDs (used by the parser).
+func (f *Func) ReserveIDs(n int) {
+	if f.nextID < n {
+		f.nextID = n
+	}
+}
+
+// Preds returns a map from block to its predecessor blocks.
+func (f *Func) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// Instrs calls fn for every instruction in the function, in block order.
+func (f *Func) Instrs(fn func(*Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			fn(in)
+		}
+	}
+}
+
+// NumInstrs returns the total instruction count of the function.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Module is a whole-program unit: named struct types, globals, and
+// functions. AtoMig operates at link time on a complete module (paper
+// section 3.1), so a Module corresponds to one fully linked build target.
+type Module struct {
+	Name    string
+	Structs map[string]*StructType
+	Globals []*Global
+	Funcs   []*Func
+
+	globalIdx map[string]*Global
+	funcIdx   map[string]*Func
+}
+
+// NewModule returns an empty module with the given name.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:      name,
+		Structs:   make(map[string]*StructType),
+		globalIdx: make(map[string]*Global),
+		funcIdx:   make(map[string]*Func),
+	}
+}
+
+// AddStruct registers a named struct type. It returns an error if the
+// name is already taken by a different definition.
+func (m *Module) AddStruct(st *StructType) error {
+	if old, ok := m.Structs[st.TypeName]; ok && old != st {
+		return fmt.Errorf("ir: duplicate struct type %q", st.TypeName)
+	}
+	m.Structs[st.TypeName] = st
+	return nil
+}
+
+// AddGlobal registers a global variable.
+func (m *Module) AddGlobal(g *Global) error {
+	if _, ok := m.globalIdx[g.GName]; ok {
+		return fmt.Errorf("ir: duplicate global @%s", g.GName)
+	}
+	m.Globals = append(m.Globals, g)
+	m.globalIdx[g.GName] = g
+	return nil
+}
+
+// Global looks up a global by name.
+func (m *Module) Global(name string) *Global { return m.globalIdx[name] }
+
+// AddFunc registers a function.
+func (m *Module) AddFunc(f *Func) error {
+	if _, ok := m.funcIdx[f.Name]; ok {
+		return fmt.Errorf("ir: duplicate function @%s", f.Name)
+	}
+	f.Mod = m
+	m.Funcs = append(m.Funcs, f)
+	m.funcIdx[f.Name] = f
+	return nil
+}
+
+// Func looks up a function by name.
+func (m *Module) Func(name string) *Func { return m.funcIdx[name] }
+
+// EachInstr calls fn for every instruction in the module.
+func (m *Module) EachInstr(fn func(*Func, *Instr)) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				fn(f, in)
+			}
+		}
+	}
+}
+
+// NumInstrs returns the total instruction count of the module.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// String renders the whole module in AIR textual syntax.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; module %s\n", m.Name)
+	names := make([]string, 0, len(m.Structs))
+	for n := range m.Structs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b.WriteString(m.Structs[n].Layout())
+		b.WriteString("\n")
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "@%s = global %s", g.GName, g.Elem)
+		if g.Volatile {
+			b.WriteString(" volatile")
+		}
+		if g.Atomic {
+			b.WriteString(" atomic")
+		}
+		if len(g.Init) > 0 {
+			fmt.Fprintf(&b, " init %v", g.Init)
+		}
+		b.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		b.WriteString("\n")
+		writeFunc(&b, f)
+	}
+	return b.String()
+}
+
+func writeFunc(b *strings.Builder, f *Func) {
+	fmt.Fprintf(b, "define %s @%s(", f.RetTy, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %%%s", p.Ty, p.PName)
+	}
+	b.WriteString(") {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(b, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(b, "  %s\n", in)
+		}
+	}
+	b.WriteString("}\n")
+}
+
+// FuncString renders a single function in AIR textual syntax.
+func FuncString(f *Func) string {
+	var b strings.Builder
+	writeFunc(&b, f)
+	return b.String()
+}

@@ -1,0 +1,285 @@
+// Package mc is a bounded exhaustive model checker for AIR programs
+// under the SC, TSO and WMM memory models — the reproduction's
+// stand-in for GenMC in the paper's correctness evaluation (Table 2).
+//
+// Exploration is stateless in the GenMC sense: each execution replays
+// the program from scratch following a recorded choice trace (scheduler
+// decisions at visible operations, weak-read message choices, nondet
+// inputs), and depth-first backtracking enumerates the remaining
+// choices. A visited-state cache (full state hash after each visible
+// step) prunes re-converging interleavings — in particular spinloop
+// iterations that observed no change, which is what keeps spinloop
+// programs finite without unsound loop bounding.
+package mc
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+	"repro/internal/vm"
+)
+
+// Options configures a check.
+type Options struct {
+	Model   memmodel.Model
+	Entries []string
+	// MaxExecutions bounds the number of explored executions
+	// (0 = 1_000_000).
+	MaxExecutions int
+	// MaxStepsPerExec bounds each execution's instruction count
+	// (0 = 100_000).
+	MaxStepsPerExec int64
+	// TimeBudget bounds the wall-clock exploration time (0 = 10s). When
+	// exceeded without a violation, the verdict is VerdictPassBounded.
+	TimeBudget time.Duration
+	// StopAtFirst stops at the first violation (default: keep exploring
+	// and report up to 16 violations).
+	StopAtFirst bool
+	// Traces replays each violating execution with tracing enabled and
+	// attaches the visible-operation counterexample.
+	Traces bool
+}
+
+// Counterexample is a violating execution: the violation message plus
+// the sequence of visible operations that led to it.
+type Counterexample struct {
+	Msg    string
+	Events []vm.TraceEvent
+}
+
+// String renders the counterexample as an interleaving.
+func (c Counterexample) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "violation: %s\n", c.Msg)
+	for _, e := range c.Events {
+		fmt.Fprintf(&b, "  T%d @%s: %s\n", e.Thread, e.Fn, e.Instr)
+	}
+	return b.String()
+}
+
+// Verdict is the outcome of a check.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictPass: no violation; the state space was fully explored.
+	VerdictPass Verdict = iota
+	// VerdictPassBounded: no violation within the execution budget.
+	VerdictPassBounded
+	// VerdictFail: at least one execution violated an assertion or
+	// deadlocked.
+	VerdictFail
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictPassBounded:
+		return "pass(bounded)"
+	case VerdictFail:
+		return "fail"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Result reports a check's findings.
+type Result struct {
+	Verdict    Verdict
+	Violations []string
+	// Counterexamples carries violation traces when Options.Traces is
+	// set (parallel to Violations).
+	Counterexamples []Counterexample
+	Executions      int
+	// Pruned counts executions cut short by the visited-state cache.
+	Pruned int
+	// Truncated counts executions stopped by the per-execution step
+	// budget (possible livelocks).
+	Truncated int
+}
+
+// choice is one recorded nondeterministic decision.
+type choice struct {
+	options int
+	taken   int
+}
+
+// dfs is the replay controller driving the exploration.
+type dfs struct {
+	trace     []choice
+	pos       int
+	prefixLen int
+}
+
+// pick returns the decision for a choice point with n options.
+func (d *dfs) pick(n int) int {
+	if d.pos < len(d.trace) {
+		c := d.trace[d.pos]
+		d.pos++
+		return c.taken
+	}
+	d.trace = append(d.trace, choice{options: n})
+	d.pos++
+	return 0
+}
+
+// replaying reports whether the execution is still inside the prefix
+// replayed from the previous execution (visited-state pruning must be
+// suppressed there: those states were recorded by earlier executions).
+func (d *dfs) replaying() bool { return d.pos <= d.prefixLen }
+
+// backtrack prepares the next trace; it returns false when the tree is
+// exhausted.
+func (d *dfs) backtrack() bool {
+	for len(d.trace) > 0 {
+		last := &d.trace[len(d.trace)-1]
+		if last.taken+1 < last.options {
+			last.taken++
+			d.prefixLen = len(d.trace)
+			d.pos = 0
+			return true
+		}
+		d.trace = d.trace[:len(d.trace)-1]
+	}
+	return false
+}
+
+// PickThread implements vm.Controller.
+func (d *dfs) PickThread(runnable []int) int { return runnable[d.pick(len(runnable))] }
+
+// PickRead implements vm.Controller.
+func (d *dfs) PickRead(_ memmodel.Addr, eligible []int) int { return d.pick(len(eligible)) }
+
+// PickNondet implements vm.Controller.
+func (d *dfs) PickNondet(max int) int { return d.pick(max) }
+
+// Check explores the program's executions under the model and reports
+// whether any assertion can fail or any deadlock can occur.
+func Check(m *ir.Module, opts Options) (*Result, error) {
+	if opts.MaxExecutions == 0 {
+		opts.MaxExecutions = 1_000_000
+	}
+	if opts.MaxStepsPerExec == 0 {
+		opts.MaxStepsPerExec = 100_000
+	}
+	if opts.TimeBudget == 0 {
+		opts.TimeBudget = 10 * time.Second
+	}
+	deadline := time.Now().Add(opts.TimeBudget)
+	d := &dfs{}
+	res := &Result{}
+	visited := make(map[uint64]bool)
+	fullyExplored := false
+
+	for res.Executions < opts.MaxExecutions {
+		if res.Executions%64 == 0 && time.Now().After(deadline) {
+			break
+		}
+		v, err := vm.New(m, vm.Options{
+			Model:      opts.Model,
+			Entries:    opts.Entries,
+			Controller: d,
+			MaxSteps:   opts.MaxStepsPerExec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		violated, truncated, pruned := runOne(v, d, visited)
+		res.Executions++
+		if pruned {
+			res.Pruned++
+		}
+		if truncated {
+			res.Truncated++
+		}
+		if violated != "" {
+			res.Violations = append(res.Violations, violated)
+			if opts.Traces {
+				res.Counterexamples = append(res.Counterexamples, Counterexample{
+					Msg:    violated,
+					Events: replayTrace(m, opts, d),
+				})
+			}
+			if opts.StopAtFirst || len(res.Violations) >= 16 {
+				break
+			}
+		}
+		if !d.backtrack() {
+			fullyExplored = true
+			break
+		}
+	}
+
+	switch {
+	case len(res.Violations) > 0:
+		res.Verdict = VerdictFail
+	case fullyExplored && res.Truncated == 0:
+		res.Verdict = VerdictPass
+	default:
+		res.Verdict = VerdictPassBounded
+	}
+	return res, nil
+}
+
+// runOne drives a single execution to completion, pruning on visited
+// states. It returns a violation message (or ""), whether the step
+// budget truncated the run, and whether the visited cache pruned it.
+func runOne(v *vm.VM, d *dfs, visited map[uint64]bool) (violation string, truncated, pruned bool) {
+	for {
+		if v.Halted() {
+			break
+		}
+		run := v.Runnable()
+		if len(run) == 0 {
+			if v.Done() {
+				return "", false, false
+			}
+			return "deadlock: threads blocked with no runnable thread", false, false
+		}
+		ti := run[d.pick(len(run))]
+		if err := v.StepThread(ti); err != nil {
+			return fmt.Sprintf("runtime fault: %v", err), false, false
+		}
+		r := v.Result()
+		if r.Status == vm.StatusAssertFailed {
+			return r.FailMsg, false, false
+		}
+		if r.Status == vm.StatusStepLimit {
+			return "", true, false
+		}
+		if !d.replaying() {
+			h := v.StateHash()
+			if visited[h] {
+				return "", false, true
+			}
+			visited[h] = true
+		}
+	}
+	r := v.Result()
+	if r.Status == vm.StatusAssertFailed {
+		return r.FailMsg, false, false
+	}
+	return "", r.Status == vm.StatusStepLimit, false
+}
+
+// replayTrace re-executes the current (violating) choice trace with
+// tracing enabled and returns the visible-operation sequence.
+func replayTrace(m *ir.Module, opts Options, d *dfs) []vm.TraceEvent {
+	replay := &dfs{trace: d.trace, prefixLen: len(d.trace)}
+	v, err := vm.New(m, vm.Options{
+		Model:        opts.Model,
+		Entries:      opts.Entries,
+		Controller:   replay,
+		MaxSteps:     opts.MaxStepsPerExec,
+		TraceVisible: true,
+	})
+	if err != nil {
+		return nil
+	}
+	// No visited pruning: we want the full execution.
+	runOne(v, replay, map[uint64]bool{})
+	return v.Result().Trace
+}

@@ -1,0 +1,319 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/atomig"
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	res, err := minic.Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res.Module
+}
+
+func check(t *testing.T, m *ir.Module, model memmodel.Model, entries ...string) *Result {
+	t.Helper()
+	res, err := Check(m, Options{
+		Model: model, Entries: entries,
+		MaxExecutions: 300_000, TimeBudget: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
+}
+
+const mpSrc = `
+int flag;
+int msg;
+void writer(void) { msg = 1; flag = 1; }
+void reader(void) {
+  while (flag == 0) { }
+  assert(msg == 1);
+}
+`
+
+// TestMPAcrossModels is the executable Figure 1: MP holds under SC and
+// TSO, breaks under WMM, and the atomig port restores it.
+func TestMPAcrossModels(t *testing.T) {
+	m := compile(t, mpSrc)
+	if res := check(t, m, memmodel.ModelSC, "reader", "writer"); res.Verdict == VerdictFail {
+		t.Fatalf("MP failed under SC: %v", res.Violations)
+	}
+	if res := check(t, m, memmodel.ModelTSO, "reader", "writer"); res.Verdict == VerdictFail {
+		t.Fatalf("MP failed under TSO: %v", res.Violations)
+	}
+	res := check(t, m, memmodel.ModelWMM, "reader", "writer")
+	if res.Verdict != VerdictFail {
+		t.Fatalf("MP did not fail under WMM (verdict %s, %d execs)", res.Verdict, res.Executions)
+	}
+	ported, _, err := atomig.PortClone(m, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := check(t, ported, memmodel.ModelWMM, "reader", "writer"); res.Verdict == VerdictFail {
+		t.Fatalf("ported MP failed under WMM: %v", res.Violations)
+	}
+}
+
+// TestStoreBuffering: the SB litmus test distinguishes SC from TSO —
+// r0 == r1 == 0 is reachable under TSO (and WMM) but not under SC.
+func TestStoreBuffering(t *testing.T) {
+	src := `
+int x;
+int y;
+int r0 = -1;
+int r1 = -1;
+void t0(void) { x = 1; r0 = y; }
+void t1(void) { y = 1; r1 = x; }
+void main_thread(void) {
+  spawn(t0);
+  spawn(t1);
+  join();
+  assert(r0 + r1 != 0);  // fails exactly when both read 0
+}
+`
+	m := compile(t, src)
+	if res := check(t, m, memmodel.ModelSC, "main_thread"); res.Verdict == VerdictFail {
+		t.Fatalf("SB observed under SC: %v", res.Violations)
+	}
+	if res := check(t, m, memmodel.ModelTSO, "main_thread"); res.Verdict != VerdictFail {
+		t.Fatalf("SB not observed under TSO (verdict %s)", res.Verdict)
+	}
+	if res := check(t, m, memmodel.ModelWMM, "main_thread"); res.Verdict != VerdictFail {
+		t.Fatalf("SB not observed under WMM (verdict %s)", res.Verdict)
+	}
+}
+
+// TestSeqlock is Figure 6: the optimistic reader breaks under WMM and
+// the full atomig pipeline (optimistic-loop detection) repairs it.
+func TestSeqlock(t *testing.T) {
+	src := `
+int seq;
+int msg;
+void writer(void) {
+  seq = seq + 1;
+  msg = 7;
+  seq = seq + 1;
+}
+void reader(void) {
+  int s;
+  int data;
+  do {
+    s = seq;
+    data = msg;
+  } while (s % 2 != 0 || s != seq);
+  if (s == 2) {
+    assert(data == 7);
+  }
+}
+`
+	m := compile(t, src)
+	if res := check(t, m, memmodel.ModelTSO, "reader", "writer"); res.Verdict == VerdictFail {
+		t.Fatalf("seqlock failed under TSO: %v", res.Violations)
+	}
+	if res := check(t, m, memmodel.ModelWMM, "reader", "writer"); res.Verdict != VerdictFail {
+		t.Fatalf("seqlock did not fail under WMM (verdict %s, %d execs)", res.Verdict, res.Executions)
+	}
+	ported, rep, err := atomig.PortClone(m, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Optiloops != 1 {
+		t.Fatalf("optiloops = %d, want 1", rep.Optiloops)
+	}
+	if res := check(t, ported, memmodel.ModelWMM, "reader", "writer"); res.Verdict == VerdictFail {
+		t.Fatalf("ported seqlock failed under WMM: %v", res.Violations)
+	}
+}
+
+// TestTASLock is Figure 4: without porting, a critical section protected
+// by a test-and-set lock leaks under WMM because the plain unlock store
+// can be observed before the critical section's writes.
+func TestTASLock(t *testing.T) {
+	src := `
+int locked;
+int data;
+int observed = -1;
+void t0(void) {
+  while (__cas(&locked, 0, 1) != 0) { }
+  data = data + 1;
+  locked = 0;
+}
+void t1(void) {
+  while (__cas(&locked, 0, 1) != 0) { }
+  data = data + 1;
+  locked = 0;
+}
+void main_thread(void) {
+  spawn(t0);
+  spawn(t1);
+  join();
+  assert(data == 2);
+}
+`
+	m := compile(t, src)
+	if res := check(t, m, memmodel.ModelTSO, "main_thread"); res.Verdict == VerdictFail {
+		t.Fatalf("TAS lock failed under TSO: %v", res.Violations)
+	}
+	res := check(t, m, memmodel.ModelWMM, "main_thread")
+	if res.Verdict != VerdictFail {
+		t.Fatalf("TAS lock did not fail under WMM (verdict %s, %d execs)", res.Verdict, res.Executions)
+	}
+	ported, _, err := atomig.PortClone(m, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := check(t, ported, memmodel.ModelWMM, "main_thread"); res.Verdict == VerdictFail {
+		t.Fatalf("ported TAS lock failed under WMM: %v", res.Violations)
+	}
+}
+
+// TestLfHashFigure7 reproduces the MariaDB lock-free hash bug: the
+// finder can observe the deleted key with a stale VALID state under WMM.
+func TestLfHashFigure7(t *testing.T) {
+	src := `
+struct node { int state; int key; };
+struct node n;
+
+void init_and_find(void) {
+  n.state = 1;   // VALID
+  n.key = 42;
+  spawn(deleter);
+  int state;
+  int key;
+  do {
+    state = n.state;
+    key = n.key;
+  } while (state != n.state);
+  if (state == 1) {
+    assert(key == 42);
+  }
+  join();
+}
+
+void deleter(void) {
+  if (__cas(&n.state, 1, 2) == 1) {
+    n.key = 0;
+  }
+}
+`
+	m := compile(t, src)
+	if res := check(t, m, memmodel.ModelTSO, "init_and_find"); res.Verdict == VerdictFail {
+		t.Fatalf("lf-hash failed under TSO: %v", res.Violations)
+	}
+	res := check(t, m, memmodel.ModelWMM, "init_and_find")
+	if res.Verdict != VerdictFail {
+		t.Fatalf("lf-hash bug not found under WMM (verdict %s, %d execs)", res.Verdict, res.Executions)
+	}
+	ported, rep, err := atomig.PortClone(m, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spinloops == 0 {
+		t.Fatal("no spinloop detected in lf-hash finder")
+	}
+	if res := check(t, ported, memmodel.ModelWMM, "init_and_find"); res.Verdict == VerdictFail {
+		t.Fatalf("ported lf-hash failed under WMM: %v", res.Violations)
+	}
+}
+
+func TestDeadlockReported(t *testing.T) {
+	m := compile(t, `
+void stuck(void) { barrier(2); }
+`)
+	res := check(t, m, memmodel.ModelSC, "stuck")
+	if res.Verdict != VerdictFail {
+		t.Fatalf("deadlock not reported (verdict %s)", res.Verdict)
+	}
+	if !strings.Contains(res.Violations[0], "deadlock") {
+		t.Fatalf("violation = %q", res.Violations[0])
+	}
+}
+
+func TestNondetExplored(t *testing.T) {
+	// Both nondet branches must be explored: one violates.
+	m := compile(t, `
+void main_thread(void) {
+  int x = nondet();
+  assert(x == 0);
+}
+`)
+	res := check(t, m, memmodel.ModelSC, "main_thread")
+	if res.Verdict != VerdictFail {
+		t.Fatalf("nondet violation not found (verdict %s)", res.Verdict)
+	}
+}
+
+func TestFullExplorationVerdict(t *testing.T) {
+	m := compile(t, `
+int x;
+void a(void) { x = x + 1; }
+void main_thread(void) {
+  spawn(a);
+  join();
+  assert(x == 1);
+}
+`)
+	res := check(t, m, memmodel.ModelSC, "main_thread")
+	if res.Verdict != VerdictPass {
+		t.Fatalf("verdict = %s, want pass (execs=%d truncated=%d)",
+			res.Verdict, res.Executions, res.Truncated)
+	}
+}
+
+func TestSpinloopTerminatesViaPruning(t *testing.T) {
+	// The spinloop has unboundedly many stale-read iterations; the
+	// visited-state cache must collapse them to a finite exploration.
+	m := compile(t, mpSrc)
+	res := check(t, m, memmodel.ModelWMM, "reader", "writer")
+	if res.Executions > 100_000 {
+		t.Fatalf("exploration did not stay bounded: %d executions", res.Executions)
+	}
+	if res.Pruned == 0 {
+		t.Fatal("no executions pruned; the visited cache is inert")
+	}
+}
+
+// TestCounterexampleTraces: violating checks can attach the visible-op
+// interleaving that triggers the bug.
+func TestCounterexampleTraces(t *testing.T) {
+	m := compile(t, mpSrc)
+	res, err := Check(m, Options{
+		Model: memmodel.ModelWMM, Entries: []string{"reader", "writer"},
+		StopAtFirst: true, Traces: true, TimeBudget: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictFail {
+		t.Fatalf("verdict = %s", res.Verdict)
+	}
+	if len(res.Counterexamples) != 1 {
+		t.Fatalf("counterexamples = %d", len(res.Counterexamples))
+	}
+	ce := res.Counterexamples[0]
+	if len(ce.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	s := ce.String()
+	for _, want := range []string{"violation:", "@writer", "@reader", "load"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %q:\n%s", want, s)
+		}
+	}
+	// The trace must end at the failing assertion.
+	last := ce.Events[len(ce.Events)-1]
+	if !strings.Contains(last.Instr, "assert") {
+		t.Errorf("last event = %+v, want the assert call", last)
+	}
+}

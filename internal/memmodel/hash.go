@@ -1,0 +1,51 @@
+package memmodel
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// AppendState serializes the view canonically (sorted by address) for
+// state hashing in the model checker.
+func (v View) AppendState(buf []byte) []byte {
+	addrs := make([]Addr, 0, len(v))
+	for a, ts := range v {
+		if ts != 0 {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(addrs)))
+	for _, a := range addrs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v[a]))
+	}
+	return buf
+}
+
+// AppendState serializes the machine's memory state canonically for
+// state hashing: every touched location's message history (values and
+// released views) plus the global SC view.
+func (mc *Machine) AppendState(buf []byte) []byte {
+	addrs := make([]Addr, 0, len(mc.hist))
+	for a := range mc.hist {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(addrs)))
+	for _, a := range addrs {
+		h := mc.hist[a]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(h)))
+		for _, m := range h {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Val))
+			if m.Rel != nil {
+				buf = append(buf, 1)
+				buf = m.Rel.AppendState(buf)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return mc.scView.AppendState(buf)
+}

@@ -1,0 +1,212 @@
+package memmodel
+
+// ReadOracle resolves the nondeterministic choice of which eligible
+// message a weak load observes. The VM plugs in a seeded random oracle;
+// the model checker plugs in its DFS exploration.
+type ReadOracle interface {
+	// PickRead returns an index into the eligible slice (message
+	// timestamps, oldest first). The eligible slice always has at least
+	// one element (the newest message).
+	PickRead(addr Addr, eligible []int) int
+}
+
+// NewestOracle always reads the newest eligible message, yielding
+// SC-like executions even under weak models (useful for performance
+// runs where weak behaviors are not the point).
+type NewestOracle struct{}
+
+// PickRead returns the newest message index.
+func (NewestOracle) PickRead(_ Addr, eligible []int) int { return len(eligible) - 1 }
+
+// Machine is a view-based shared memory shared by all threads of an
+// execution.
+type Machine struct {
+	Model Model
+	hist  map[Addr][]Msg
+	// scView is the global view joined by SC accesses and fences,
+	// modelling the total order implicit barriers establish.
+	scView View
+	oracle ReadOracle
+	// initial values for lazily materialized locations.
+	init map[Addr]int64
+}
+
+// NewMachine returns an empty machine under the given model using the
+// supplied oracle for weak read choices.
+func NewMachine(model Model, oracle ReadOracle) *Machine {
+	return &Machine{
+		Model:  model,
+		hist:   make(map[Addr][]Msg),
+		scView: make(View),
+		oracle: oracle,
+		init:   make(map[Addr]int64),
+	}
+}
+
+// SetInit records the initial value of a location (default 0).
+func (mc *Machine) SetInit(a Addr, v int64) { mc.init[a] = v }
+
+// history returns the message list of a location, materializing the
+// initial message on first touch.
+func (mc *Machine) history(a Addr) []Msg {
+	h, ok := mc.hist[a]
+	if !ok {
+		h = []Msg{{Val: mc.init[a], TS: 0}}
+		mc.hist[a] = h
+	}
+	return h
+}
+
+// Thread is the per-thread memory state: its view.
+type Thread struct {
+	View View
+}
+
+// NewThread returns a fresh thread view.
+func NewThread() *Thread { return &Thread{View: make(View)} }
+
+// Fork returns a new thread inheriting the parent's view (a spawned
+// thread synchronizes with its creator).
+func (t *Thread) Fork() *Thread { return &Thread{View: t.View.Clone()} }
+
+// JoinThread absorbs a finished thread's view into t (a joining thread
+// synchronizes with the joined thread's final state).
+func (t *Thread) JoinThread(o *Thread) { t.View.Join(o.View) }
+
+// EligibleReads returns the timestamps a load with the given effective
+// ordering may read at a. On an SC machine every load sees only the
+// newest message. Under the weak models, loads — including SC-atomic
+// loads — may read any message at or above the thread's view floor:
+// C11/RC11 allows an SC load to read a stale write as long as the SC
+// total order stays consistent, and that staleness is precisely the
+// behavior that breaks sequence locks whose counters were made SC
+// without fences (the paper's Spin-level ablation of Table 2). SC
+// ordering between fenced accesses is restored by Fence's global-view
+// synchronization; atomic read-modify-writes always read the newest
+// message (hardware exclusives fail on stale lines).
+func (mc *Machine) EligibleReads(t *Thread, a Addr, ord AccessOrd) []int {
+	h := mc.history(a)
+	if mc.Model == ModelSC {
+		return []int{len(h) - 1}
+	}
+	floor := t.View[a]
+	out := make([]int, 0, len(h)-floor)
+	for ts := floor; ts < len(h); ts++ {
+		out = append(out, ts)
+	}
+	return out
+}
+
+// Load performs a load with the given effective ordering, consulting
+// the oracle for the read choice.
+func (mc *Machine) Load(t *Thread, a Addr, ord AccessOrd) int64 {
+	eligible := mc.EligibleReads(t, a, ord)
+	ts := eligible[mc.oracle.PickRead(a, eligible)]
+	return mc.finishLoad(t, a, ord, ts)
+}
+
+// finishLoad applies the view effects of reading message ts at a.
+func (mc *Machine) finishLoad(t *Thread, a Addr, ord AccessOrd, ts int) int64 {
+	h := mc.history(a)
+	m := h[ts]
+	if t.View[a] < ts {
+		t.View[a] = ts // per-location coherence for this thread
+	}
+	if ord.acquires() && m.Rel != nil {
+		t.View.Join(m.Rel)
+	}
+	return m.Val
+}
+
+// Store appends a new message at a.
+func (mc *Machine) Store(t *Thread, a Addr, v int64, ord AccessOrd) {
+	h := mc.history(a)
+	m := Msg{Val: v, TS: len(h)}
+	if ord.releases() {
+		m.Rel = t.View.Clone()
+		m.Rel[a] = m.TS
+	}
+	mc.hist[a] = append(h, m)
+	t.View[a] = m.TS
+}
+
+// RMWResult reports the outcome of a read-modify-write.
+type RMWResult struct {
+	Old     int64
+	Swapped bool
+}
+
+// CmpXchg atomically compares the newest message at a with expected and,
+// on match, appends nv. Atomic read-modify-writes always read the newest
+// message (exclusives fail otherwise on real hardware, retrying until
+// current).
+func (mc *Machine) CmpXchg(t *Thread, a Addr, expected, nv int64, ord AccessOrd) RMWResult {
+	h := mc.history(a)
+	newest := len(h) - 1
+	old := mc.finishLoad(t, a, ord.loadPart(), newest)
+	if old != expected {
+		return RMWResult{Old: old}
+	}
+	mc.Store(t, a, nv, ord.storePart())
+	return RMWResult{Old: old, Swapped: true}
+}
+
+// RMW atomically applies f to the newest value at a.
+func (mc *Machine) RMW(t *Thread, a Addr, f func(int64) int64, ord AccessOrd) int64 {
+	h := mc.history(a)
+	newest := len(h) - 1
+	old := mc.finishLoad(t, a, ord.loadPart(), newest)
+	mc.Store(t, a, f(old), ord.storePart())
+	return old
+}
+
+// loadPart returns the load half of an RMW ordering.
+func (o AccessOrd) loadPart() AccessOrd {
+	switch o {
+	case OrdAcqRel, OrdAcquire:
+		return OrdAcquire
+	case OrdSC:
+		return OrdSC
+	}
+	return OrdRelaxed
+}
+
+// storePart returns the store half of an RMW ordering.
+func (o AccessOrd) storePart() AccessOrd {
+	switch o {
+	case OrdAcqRel, OrdRelease:
+		return OrdRelease
+	case OrdSC:
+		return OrdSC
+	}
+	return OrdRelaxed
+}
+
+// Fence applies a fence: SC fences synchronize bidirectionally with the
+// global SC view (modelling DMB ISH cumulativity); acquire/release
+// fences join or publish accordingly.
+func (mc *Machine) Fence(t *Thread, staticOrd int) {
+	// Under TSO and SC the machine is already strong enough that fences
+	// only need the SC-view synchronization; under WMM the distinction
+	// matters for acquire/release fences.
+	switch staticOrd {
+	case 2: // acquire
+		t.View.Join(mc.scView)
+	case 3: // release
+		mc.scView.Join(t.View)
+	default: // seq_cst and acq_rel
+		t.View.Join(mc.scView)
+		mc.scView.Join(t.View)
+	}
+}
+
+// Newest returns the newest value at a (debugging and final-state
+// assertions).
+func (mc *Machine) Newest(a Addr) int64 {
+	h := mc.history(a)
+	return h[len(h)-1].Val
+}
+
+// HistoryLen returns the number of messages at a (including the initial
+// message), used by tests and state hashing.
+func (mc *Machine) HistoryLen(a Addr) int { return len(mc.history(a)) }

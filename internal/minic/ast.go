@@ -1,0 +1,232 @@
+package minic
+
+// TypeExpr is an unresolved type reference as written in source:
+// a base type ("int", "void", or a struct name) with pointer depth and
+// optional array lengths (outermost first).
+type TypeExpr struct {
+	Base       string // "int", "void", or "" when StructName is set
+	StructName string
+	Stars      int
+	ArrayLens  []int
+}
+
+// IsVoid reports whether the type is plain void (not a pointer).
+func (t TypeExpr) IsVoid() bool { return t.Base == "void" && t.Stars == 0 }
+
+// File is a parsed MiniC translation unit.
+type File struct {
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Name   string
+	Fields []FieldDecl
+	Line   int
+}
+
+// FieldDecl is a struct member.
+type FieldDecl struct {
+	Name     string
+	Type     TypeExpr
+	Volatile bool
+	Atomic   bool
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Name     string
+	Type     TypeExpr
+	Volatile bool
+	Atomic   bool
+	// Init is the scalar initializer expression (nil if absent).
+	Init Expr
+	// InitList is the aggregate initializer for arrays (nil if absent).
+	InitList []Expr
+	Line     int
+}
+
+// ParamDecl is a function parameter.
+type ParamDecl struct {
+	Name string
+	Type TypeExpr
+}
+
+// FuncDecl declares a function with a body.
+type FuncDecl struct {
+	Name   string
+	Ret    TypeExpr
+	Params []ParamDecl
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct{ Stmts []Stmt }
+
+// IfStmt is an if/else statement.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while or do-while loop.
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+	Line    int
+}
+
+// ForStmt is a C-style for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init Stmt // ExprStmt or DeclStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Line int
+}
+
+// SwitchStmt is a C switch over constant cases. Fallthrough is
+// supported; a break leaves the switch.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []SwitchCase
+	Line  int
+}
+
+// SwitchCase is one arm: Default distinguishes the default arm.
+type SwitchCase struct {
+	Value   Expr // constant expression; nil for default
+	Default bool
+	Body    []Stmt
+}
+
+// ExprStmt evaluates an expression for its effects.
+type ExprStmt struct{ X Expr }
+
+// DeclStmt declares a local variable.
+type DeclStmt struct{ Decl *VarDecl }
+
+// ReturnStmt returns from the function; Val may be nil.
+type ReturnStmt struct{ Val Expr }
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (*BlockStmt) stmt()    {}
+func (*SwitchStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ExprStmt) stmt()     {}
+func (*DeclStmt) stmt()     {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ expr() }
+
+// NumLit is an integer literal.
+type NumLit struct{ Val int64 }
+
+// Ident is a variable or function reference.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Unary is a prefix operation: one of ! - * & ~.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is an infix operation (arithmetic, comparison, logical).
+type Binary struct {
+	Op   string
+	X, Y Expr
+}
+
+// Assign is an assignment expression (value is the stored value).
+type Assign struct {
+	LHS Expr
+	RHS Expr
+}
+
+// CompoundAssign is "lhs op= rhs" (op one of + - * / %% & | ^ << >>).
+// The lvalue is evaluated once, as in C.
+type CompoundAssign struct {
+	Op  string // the arithmetic operator, without '='
+	LHS Expr
+	RHS Expr
+}
+
+// IncDec is ++x / --x / x++ / x--. Post selects the postfix form
+// (the expression's value is the old value).
+type IncDec struct {
+	Op   string // "++" or "--"
+	X    Expr
+	Post bool
+}
+
+// Call invokes a named function or builtin.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Index subscripts an array or pointer.
+type Index struct {
+	X   Expr
+	Idx Expr
+}
+
+// Member selects a struct field; Arrow distinguishes p->f from s.f.
+type Member struct {
+	X     Expr
+	Name  string
+	Arrow bool
+	Line  int
+}
+
+// Cast converts a pointer-typed expression, e.g. (struct node *)malloc(...).
+type Cast struct {
+	Type TypeExpr
+	X    Expr
+}
+
+// SizeOf yields the storage size in cells of a type.
+type SizeOf struct{ Type TypeExpr }
+
+// AsmExpr is a literal __asm__("...") fragment; the frontend maps known
+// x86 synchronization idioms to builtins during lowering.
+type AsmExpr struct {
+	Text string
+	Line int
+}
+
+func (*NumLit) expr()         {}
+func (*Ident) expr()          {}
+func (*Unary) expr()          {}
+func (*Binary) expr()         {}
+func (*Assign) expr()         {}
+func (*CompoundAssign) expr() {}
+func (*IncDec) expr()         {}
+func (*Call) expr()           {}
+func (*Index) expr()          {}
+func (*Member) expr()         {}
+func (*Cast) expr()           {}
+func (*SizeOf) expr()         {}
+func (*AsmExpr) expr()        {}

@@ -1,0 +1,51 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkCompile measures frontend throughput (lex, parse, lower,
+// verify) in source lines per second — the "Build Time" column of
+// Table 3 is dominated by this path.
+func BenchmarkCompile(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("int g0;\nint g1;\n")
+	for f := 0; f < 400; f++ {
+		sb.WriteString("int fn")
+		sb.WriteString(strings.Repeat("x", f%3+1))
+		sb.WriteString(string(rune('a' + f%26)))
+		sb.WriteString(itoa(f))
+		sb.WriteString(`(int a, int b) {
+  int acc = a;
+  for (int i = 0; i < 10; i = i + 1) {
+    acc = acc + b * i;
+    if (acc > 1000) { acc = acc - b; }
+  }
+  g0 = g0 + 1;
+  return acc + g1;
+}
+`)
+	}
+	src := sb.String()
+	lines := strings.Count(src, "\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile("bench", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(lines), "lines/op")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,206 @@
+// Package minic implements the frontend that stands in for clang in the
+// atomig pipeline: a lexer, parser, and lowering pass that compile a
+// C-like language (MiniC) to AIR modules.
+//
+// MiniC covers the C subset that the AtoMig analyses are designed for:
+// global variables (with volatile and _Atomic qualifiers), structs,
+// pointers, arrays, functions, the usual control flow, C11-style atomic
+// builtins with explicit memory orders, x86 inline-assembly
+// synchronization idioms (mapped to builtins by the frontend, as in paper
+// section 3.2), and thread primitives for test harnesses.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies a token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokPunct
+	TokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "struct": true, "volatile": true,
+	"_Atomic": true, "while": true, "do": true, "for": true, "if": true,
+	"else": true, "break": true, "continue": true, "return": true,
+	"sizeof": true, "__asm__": true,
+	"switch": true, "case": true, "default": true,
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// Lexer scans MiniC source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine := l.line
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return fmt.Errorf("line %d: unterminated block comment", startLine)
+				}
+				if l.peekByte() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// multi-byte punctuators, longest first.
+var puncts = []string{
+	"<<=", ">>=",
+	"++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+	"+", "-", "*", "/", "%", "&", "|", "^", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "~", ":",
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isDigit(l.peekByte()) || l.peekByte() == 'x' ||
+			(l.peekByte() >= 'a' && l.peekByte() <= 'f') || (l.peekByte() >= 'A' && l.peekByte() <= 'F')) {
+			l.advance()
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("line %d: unterminated string", line)
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' && l.pos < len(l.src) {
+				b.WriteByte(l.advance())
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Text: b.String(), Line: line, Col: col}, nil
+	}
+	for _, p := range puncts {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			for range p {
+				l.advance()
+			}
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+	return Token{}, fmt.Errorf("line %d:%d: unexpected character %q", line, col, string(c))
+}
+
+// Tokenize scans the entire source, returning all tokens (excluding EOF).
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

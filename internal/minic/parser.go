@@ -1,0 +1,788 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser builds a File AST from MiniC tokens.
+type Parser struct {
+	toks []Token
+	i    int
+}
+
+// Parse parses a MiniC translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseFile()
+}
+
+func (p *Parser) cur() Token {
+	if p.i >= len(p.toks) {
+		return Token{Kind: TokEOF, Line: p.lastLine()}
+	}
+	return p.toks[p.i]
+}
+
+func (p *Parser) peekN(n int) Token {
+	if p.i+n >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *Parser) lastLine() int {
+	if len(p.toks) == 0 {
+		return 1
+	}
+	return p.toks[len(p.toks)-1].Line
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.i++
+	return t
+}
+
+func (p *Parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && t.Text == text
+}
+
+func (p *Parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind || t.Text != text {
+		return t, fmt.Errorf("line %d: expected %q, found %q", t.Line, text, t.Text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, fmt.Errorf("line %d: expected identifier, found %q", t.Line, t.Text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		// "struct Name { ... };" is a struct declaration; "struct Name x"
+		// begins a variable or function declaration.
+		if p.at(TokKeyword, "struct") && p.peekN(2).Text == "{" {
+			sd, err := p.parseStructDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Structs = append(f.Structs, sd)
+			continue
+		}
+		quals, ty, err := p.parseQualsAndTypeSpec()
+		if err != nil {
+			return nil, err
+		}
+		stars := 0
+		for p.accept(TokPunct, "*") {
+			stars++
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ty.Stars = stars
+		if p.at(TokPunct, "(") {
+			fd, err := p.parseFuncRest(ty, name)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fd)
+			continue
+		}
+		vd, err := p.parseVarRest(quals, ty, name)
+		if err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, vd)
+	}
+	return f, nil
+}
+
+type quals struct{ volatile, atomic bool }
+
+func (p *Parser) parseQualsAndTypeSpec() (quals, TypeExpr, error) {
+	var q quals
+	for {
+		if p.accept(TokKeyword, "volatile") {
+			q.volatile = true
+			continue
+		}
+		if p.accept(TokKeyword, "_Atomic") {
+			q.atomic = true
+			continue
+		}
+		break
+	}
+	t := p.cur()
+	switch {
+	case p.accept(TokKeyword, "int"):
+		return q, TypeExpr{Base: "int"}, nil
+	case p.accept(TokKeyword, "void"):
+		return q, TypeExpr{Base: "void"}, nil
+	case p.accept(TokKeyword, "struct"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return q, TypeExpr{}, err
+		}
+		return q, TypeExpr{StructName: name.Text}, nil
+	}
+	return q, TypeExpr{}, fmt.Errorf("line %d: expected type, found %q", t.Line, t.Text)
+}
+
+func (p *Parser) parseStructDecl() (*StructDecl, error) {
+	start, _ := p.expect(TokKeyword, "struct")
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Name: name.Text, Line: start.Line}
+	for !p.accept(TokPunct, "}") {
+		q, ty, err := p.parseQualsAndTypeSpec()
+		if err != nil {
+			return nil, err
+		}
+		stars := 0
+		for p.accept(TokPunct, "*") {
+			stars++
+		}
+		fname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ty.Stars = stars
+		for p.accept(TokPunct, "[") {
+			n, err := p.parseArrayLen()
+			if err != nil {
+				return nil, err
+			}
+			ty.ArrayLens = append(ty.ArrayLens, n)
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		sd.Fields = append(sd.Fields, FieldDecl{
+			Name: fname.Text, Type: ty, Volatile: q.volatile, Atomic: q.atomic,
+		})
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+func (p *Parser) parseArrayLen() (int, error) {
+	t := p.cur()
+	if t.Kind != TokNumber {
+		return 0, fmt.Errorf("line %d: expected array length, found %q", t.Line, t.Text)
+	}
+	p.i++
+	n, err := strconv.ParseInt(t.Text, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: bad array length %q", t.Line, t.Text)
+	}
+	if _, err := p.expect(TokPunct, "]"); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// parseVarRest finishes a variable declaration after quals, type, stars,
+// and name have been consumed.
+func (p *Parser) parseVarRest(q quals, ty TypeExpr, name Token) (*VarDecl, error) {
+	for p.accept(TokPunct, "[") {
+		n, err := p.parseArrayLen()
+		if err != nil {
+			return nil, err
+		}
+		ty.ArrayLens = append(ty.ArrayLens, n)
+	}
+	vd := &VarDecl{Name: name.Text, Type: ty, Volatile: q.volatile, Atomic: q.atomic, Line: name.Line}
+	if p.accept(TokPunct, "=") {
+		if p.accept(TokPunct, "{") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				vd.InitList = append(vd.InitList, e)
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokPunct, "}"); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = e
+		}
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return vd, nil
+}
+
+func (p *Parser) parseFuncRest(ret TypeExpr, name Token) (*FuncDecl, error) {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	fd := &FuncDecl{Name: name.Text, Ret: ret, Line: name.Line}
+	if !p.accept(TokPunct, ")") {
+		if p.at(TokKeyword, "void") && p.peekN(1).Text == ")" {
+			p.i += 2
+		} else {
+			for {
+				_, ty, err := p.parseQualsAndTypeSpec()
+				if err != nil {
+					return nil, err
+				}
+				stars := 0
+				for p.accept(TokPunct, "*") {
+					stars++
+				}
+				pname, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				ty.Stars = stars
+				fd.Params = append(fd.Params, ParamDecl{Name: pname.Text, Type: ty})
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A prototype ends with ';' — the two-pass compiler registers all
+	// signatures up front, so prototypes carry no information, but real
+	// C sources contain them.
+	if p.accept(TokPunct, ";") {
+		return fd, nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.accept(TokPunct, "}") {
+		if p.cur().Kind == TokEOF {
+			return nil, fmt.Errorf("line %d: unexpected end of file in block", p.lastLine())
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// startsType reports whether the current token begins a type specifier
+// (used to recognize local declarations and casts).
+func (p *Parser) startsType() bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "int", "void", "struct", "volatile", "_Atomic":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(TokPunct, "{"):
+		return p.parseBlock()
+	case p.at(TokPunct, ";"):
+		p.i++
+		return &BlockStmt{}, nil
+	case p.accept(TokKeyword, "if"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept(TokKeyword, "else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.accept(TokKeyword, "while"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+	case p.accept(TokKeyword, "do"):
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "while"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, DoWhile: true, Line: t.Line}, nil
+	case p.accept(TokKeyword, "for"):
+		return p.parseFor(t.Line)
+	case p.accept(TokKeyword, "switch"):
+		return p.parseSwitch(t.Line)
+	case p.accept(TokKeyword, "return"):
+		st := &ReturnStmt{}
+		if !p.at(TokPunct, ";") {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Val = v
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.accept(TokKeyword, "break"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case p.accept(TokKeyword, "continue"):
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	case p.startsType():
+		return p.parseLocalDecl()
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+func (p *Parser) parseLocalDecl() (Stmt, error) {
+	q, ty, err := p.parseQualsAndTypeSpec()
+	if err != nil {
+		return nil, err
+	}
+	stars := 0
+	for p.accept(TokPunct, "*") {
+		stars++
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ty.Stars = stars
+	vd, err := p.parseVarRest(q, ty, name)
+	if err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Decl: vd}, nil
+}
+
+func (p *Parser) parseFor(line int) (Stmt, error) {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Line: line}
+	if !p.accept(TokPunct, ";") {
+		if p.startsType() {
+			init, err := p.parseLocalDecl()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{X: x}
+		}
+	}
+	if !p.at(TokPunct, ";") {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = c
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(TokPunct, ")") {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *Parser) parseSwitch(line int) (Stmt, error) {
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{Tag: tag, Line: line}
+	for !p.accept(TokPunct, "}") {
+		var arm SwitchCase
+		switch {
+		case p.accept(TokKeyword, "case"):
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			arm.Value = v
+		case p.accept(TokKeyword, "default"):
+			arm.Default = true
+		default:
+			cur := p.cur()
+			return nil, fmt.Errorf("line %d: expected case or default, found %q", cur.Line, cur.Text)
+		}
+		// The label separator is ':' — not a general punctuator, so match
+		// the raw token.
+		if !p.accept(TokPunct, ":") {
+			cur := p.cur()
+			return nil, fmt.Errorf("line %d: expected ':' after case label, found %q", cur.Line, cur.Text)
+		}
+		for !p.at(TokKeyword, "case") && !p.at(TokKeyword, "default") && !p.at(TokPunct, "}") {
+			if p.cur().Kind == TokEOF {
+				return nil, fmt.Errorf("line %d: unterminated switch", line)
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			arm.Body = append(arm.Body, s)
+		}
+		st.Cases = append(st.Cases, arm)
+	}
+	return st, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+var compoundOps = []string{"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+func (p *Parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokPunct, "=") {
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{LHS: lhs, RHS: rhs}, nil
+	}
+	for _, op := range compoundOps {
+		if p.accept(TokPunct, op) {
+			rhs, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			return &CompoundAssign{Op: op[:len(op)-1], LHS: lhs, RHS: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.i++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.Text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "++", "--":
+			p.i++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &IncDec{Op: t.Text, X: x}, nil
+		case "!", "-", "*", "&", "~":
+			p.i++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.Text, X: x}, nil
+		case "(":
+			// Possible cast: "(" type ")" unary-expr.
+			if n := p.peekN(1); n.Kind == TokKeyword && (n.Text == "int" || n.Text == "void" || n.Text == "struct") {
+				p.i++ // consume "("
+				_, ty, err := p.parseQualsAndTypeSpec()
+				if err != nil {
+					return nil, err
+				}
+				for p.accept(TokPunct, "*") {
+					ty.Stars++
+				}
+				if _, err := p.expect(TokPunct, ")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &Cast{Type: ty, X: x}, nil
+			}
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.accept(TokPunct, "["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &Index{X: x, Idx: idx}
+		case p.accept(TokPunct, "."):
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{X: x, Name: name.Text, Line: t.Line}
+		case p.accept(TokPunct, "->"):
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{X: x, Name: name.Text, Arrow: true, Line: t.Line}
+		case p.accept(TokPunct, "++"):
+			x = &IncDec{Op: "++", X: x, Post: true}
+		case p.accept(TokPunct, "--"):
+			x = &IncDec{Op: "--", X: x, Post: true}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.i++
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q", t.Line, t.Text)
+		}
+		return &NumLit{Val: v}, nil
+	case t.Kind == TokIdent:
+		p.i++
+		if p.at(TokPunct, "(") {
+			p.i++
+			call := &Call{Name: t.Text, Line: t.Line}
+			if !p.accept(TokPunct, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case p.accept(TokKeyword, "sizeof"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		_, ty, err := p.parseQualsAndTypeSpec()
+		if err != nil {
+			return nil, err
+		}
+		for p.accept(TokPunct, "*") {
+			ty.Stars++
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &SizeOf{Type: ty}, nil
+	case p.accept(TokKeyword, "__asm__"):
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		s := p.cur()
+		if s.Kind != TokString {
+			return nil, fmt.Errorf("line %d: __asm__ needs a string literal", s.Line)
+		}
+		p.i++
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &AsmExpr{Text: s.Text, Line: s.Line}, nil
+	case p.accept(TokPunct, "("):
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %q", t.Line, t.Text)
+}

@@ -1,0 +1,152 @@
+package opt
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// forwardStores performs block-local store-to-load forwarding for plain
+// accesses: a plain load that directly follows a plain store to the
+// same address value reuses the stored value. Any intervening write,
+// call, fence, or atomic access invalidates the knowledge (writes
+// through a different pointer may alias, so any store clears everything
+// except its own entry).
+func forwardStores(f *ir.Func) int {
+	replaced := make(map[*ir.Instr]ir.Value)
+	for _, b := range f.Blocks {
+		known := make(map[ir.Value]ir.Value) // address value -> last stored value
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpStore:
+				if in.Ord.Atomic() || in.Volatile {
+					known = map[ir.Value]ir.Value{}
+					continue
+				}
+				addr, val := in.Args[0], in.Args[1]
+				known = map[ir.Value]ir.Value{addr: val}
+			case ir.OpLoad:
+				if in.Ord.Atomic() || in.Volatile {
+					known = map[ir.Value]ir.Value{}
+					continue
+				}
+				if v, ok := known[in.Args[0]]; ok {
+					replaced[in] = v
+				}
+			case ir.OpCmpXchg, ir.OpRMW, ir.OpFence, ir.OpCall:
+				known = map[ir.Value]ir.Value{}
+			}
+		}
+	}
+	if len(replaced) == 0 {
+		return 0
+	}
+	f.Instrs(func(in *ir.Instr) {
+		for i, a := range in.Args {
+			if ai, ok := a.(*ir.Instr); ok {
+				if v, ok := replaced[ai]; ok {
+					in.Args[i] = v
+				}
+			}
+		}
+	})
+	return len(replaced)
+}
+
+// hoistInvariantLoads is the LICM fragment that matters for the paper's
+// section 3.2 story: a plain, non-volatile load whose address is loop-
+// invariant, inside a loop that contains no writes, calls, fences or
+// atomic accesses, is hoisted to the loop's preheader. Under sequential
+// semantics this is always sound. For an *unported* spinloop it turns
+// `while (flag == 0) {}` into an infinite loop reading a register —
+// which is why accesses used for synchronization must become volatile
+// or atomic before the optimizer runs.
+func hoistInvariantLoads(f *ir.Func) int {
+	dom := analysis.Dominators(f)
+	loops := analysis.FindLoops(f, dom)
+	if len(loops) == 0 {
+		return 0
+	}
+	preds := f.Preds()
+	hoisted := 0
+	for _, loop := range loops {
+		if loopHasMemoryEffects(loop) {
+			continue
+		}
+		pre := preheader(loop, preds)
+		if pre == nil {
+			continue
+		}
+		for b := range loop.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if canHoistLoad(in, loop) {
+					insertBeforeTerminator(pre, in)
+					hoisted++
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+	}
+	return hoisted
+}
+
+// loopHasMemoryEffects reports whether the loop body contains anything
+// that could change or observe memory ordering: stores, RMWs, calls,
+// fences, volatile or atomic accesses.
+func loopHasMemoryEffects(loop *analysis.Loop) bool {
+	for b := range loop.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpStore, ir.OpCmpXchg, ir.OpRMW, ir.OpFence, ir.OpCall:
+				return true
+			case ir.OpLoad:
+				if in.Ord.Atomic() || in.Volatile {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// preheader returns the unique out-of-loop predecessor of the header.
+func preheader(loop *analysis.Loop, preds map[*ir.Block][]*ir.Block) *ir.Block {
+	var pre *ir.Block
+	for _, p := range preds[loop.Header] {
+		if loop.Blocks[p] {
+			continue
+		}
+		if pre != nil {
+			return nil // multiple entries
+		}
+		pre = p
+	}
+	return pre
+}
+
+// canHoistLoad reports whether the instruction is a plain load whose
+// address is loop-invariant.
+func canHoistLoad(in *ir.Instr, loop *analysis.Loop) bool {
+	if in.Op != ir.OpLoad || in.Ord.Atomic() || in.Volatile {
+		return false
+	}
+	switch a := in.Args[0].(type) {
+	case *ir.Global, *ir.Param:
+		return true
+	case *ir.Instr:
+		return !loop.Contains(a)
+	}
+	return false
+}
+
+// insertBeforeTerminator moves an instruction to the end of blk, just
+// before its terminator.
+func insertBeforeTerminator(blk *ir.Block, in *ir.Instr) {
+	in.Blk = blk
+	n := len(blk.Instrs)
+	blk.Instrs = append(blk.Instrs, nil)
+	copy(blk.Instrs[n:], blk.Instrs[n-1:])
+	blk.Instrs[n-1] = in
+}

@@ -1,0 +1,241 @@
+// Package opt implements the "apply any outstanding optimizations
+// (e.g. -O2)" stage of the paper's workflow (Figure 2): the application
+// is compiled without optimizations, analyzed and transformed, and only
+// then optimized, so that the inserted atomics are visible to — and
+// respected by — the optimizer.
+//
+// The passes are deliberately standard and deliberately sequential-
+// semantics-based: constant folding, branch folding with unreachable-
+// block removal, block-local store-to-load forwarding, loop-invariant
+// load hoisting, and dead-instruction elimination. Atomic and volatile
+// accesses are optimization barriers, exactly as in a production
+// compiler. That asymmetry is the point of the paper's section 3.2: on
+// an *unported* program these passes legally hoist the load out of a
+// spinloop and break it; on the atomig-ported program the seq_cst load
+// is untouchable. TestOptimizerBreaksUnportedSpinloop demonstrates it.
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	Folded        int // constant-folded instructions
+	Forwarded     int // store-to-load forwards
+	Hoisted       int // loop-invariant loads hoisted
+	DeadRemoved   int // dead instructions removed
+	BlocksRemoved int // unreachable blocks removed
+}
+
+// Optimize runs the pass pipeline over every function to a local
+// fixpoint (two rounds cover the pass interactions that matter).
+func Optimize(m *ir.Module) Stats {
+	var st Stats
+	for _, f := range m.Funcs {
+		for round := 0; round < 2; round++ {
+			st.Folded += foldConstants(f)
+			st.BlocksRemoved += foldBranches(f)
+			st.Forwarded += forwardStores(f)
+			st.Hoisted += hoistInvariantLoads(f)
+			st.DeadRemoved += removeDead(f)
+		}
+	}
+	return st
+}
+
+// constValue extracts a constant operand.
+func constValue(v ir.Value) (int64, bool) {
+	c, ok := v.(*ir.ConstInt)
+	if !ok {
+		return 0, false
+	}
+	return c.V, true
+}
+
+// foldConstants replaces constant binary/compare instructions with
+// constants in their users.
+func foldConstants(f *ir.Func) int {
+	folded := make(map[*ir.Instr]int64)
+	n := 0
+	f.Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.OpBin:
+			a, okA := constValue(in.Args[0])
+			b, okB := constValue(in.Args[1])
+			if !okA || !okB {
+				return
+			}
+			if (in.BinKind == ir.Div || in.BinKind == ir.Rem) && b == 0 {
+				return // preserve the runtime fault
+			}
+			folded[in] = evalBin(in.BinKind, a, b)
+			n++
+		case ir.OpICmp:
+			a, okA := constValue(in.Args[0])
+			b, okB := constValue(in.Args[1])
+			if !okA || !okB {
+				return
+			}
+			folded[in] = evalICmp(in.Pred, a, b)
+			n++
+		}
+	})
+	if n == 0 {
+		return 0
+	}
+	// Replace uses; the folded instructions become dead and are removed
+	// by removeDead.
+	f.Instrs(func(in *ir.Instr) {
+		for i, a := range in.Args {
+			if ai, ok := a.(*ir.Instr); ok {
+				if v, ok := folded[ai]; ok {
+					in.Args[i] = ir.Const(v)
+				}
+			}
+		}
+	})
+	return n
+}
+
+func evalBin(k ir.BinKind, a, b int64) int64 {
+	switch k {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.Div:
+		return a / b
+	case ir.Rem:
+		return a % b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return a << uint(b&63)
+	default:
+		return a >> uint(b&63)
+	}
+}
+
+func evalICmp(p ir.Pred, a, b int64) int64 {
+	var r bool
+	switch p {
+	case ir.EQ:
+		r = a == b
+	case ir.NE:
+		r = a != b
+	case ir.LT:
+		r = a < b
+	case ir.LE:
+		r = a <= b
+	case ir.GT:
+		r = a > b
+	default:
+		r = a >= b
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+// foldBranches rewrites conditional branches on constants and removes
+// blocks that become unreachable. Returns removed block count.
+func foldBranches(f *ir.Func) int {
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpBr || t.Else == nil {
+			continue
+		}
+		v, ok := constValue(t.Args[0])
+		if !ok {
+			continue
+		}
+		if v == 0 {
+			t.Then = t.Else
+		}
+		t.Else = nil
+		t.Args = nil
+	}
+	// Remove unreachable blocks (keep the entry).
+	reach := map[*ir.Block]bool{}
+	var stack []*ir.Block
+	entry := f.Entry()
+	reach[entry] = true
+	stack = append(stack, entry)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	kept := f.Blocks[:0]
+	removed := 0
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			removed++
+		}
+	}
+	f.Blocks = kept
+	return removed
+}
+
+// hasSideEffects reports whether removing the instruction could change
+// program behavior.
+func hasSideEffects(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpStore, ir.OpCmpXchg, ir.OpRMW, ir.OpFence, ir.OpCall, ir.OpBr, ir.OpRet:
+		return true
+	case ir.OpLoad:
+		// Atomic and volatile loads synchronize; they must stay.
+		return in.Ord.Atomic() || in.Volatile
+	case ir.OpBin:
+		// Division can fault.
+		if in.BinKind == ir.Div || in.BinKind == ir.Rem {
+			if _, isConst := in.Args[1].(*ir.ConstInt); !isConst {
+				return true
+			}
+			v, _ := constValue(in.Args[1])
+			return v == 0
+		}
+	}
+	return false
+}
+
+// removeDead deletes instructions whose results are unused and which
+// have no side effects. Allocas are kept (their addresses index frames).
+func removeDead(f *ir.Func) int {
+	used := map[*ir.Instr]bool{}
+	f.Instrs(func(in *ir.Instr) {
+		for _, a := range in.Args {
+			if ai, ok := a.(*ir.Instr); ok {
+				used[ai] = true
+			}
+		}
+	})
+	removed := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if !used[in] && !hasSideEffects(in) && in.Op != ir.OpAlloca {
+				removed++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return removed
+}

@@ -1,0 +1,260 @@
+package opt_test
+
+import (
+	"testing"
+
+	"repro/internal/atomig"
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	res, err := minic.Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res.Module
+}
+
+func runSC(t *testing.T, m *ir.Module, entries []string, maxSteps int64) *vm.Result {
+	t.Helper()
+	res, err := vm.Run(m, vm.Options{
+		Model: memmodel.ModelSC, Entries: entries, MaxSteps: maxSteps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConstantFoldingAndDCE(t *testing.T) {
+	m := compile(t, `
+int g;
+void main_thread(void) {
+  int a = 2 * 3 + 4;     // folds to 10
+  int unused = a * 100;  // dead after folding chain
+  g = a;
+  print(g);
+}
+`)
+	before := m.NumInstrs()
+	st := opt.Optimize(m)
+	if st.Folded == 0 {
+		t.Error("nothing folded")
+	}
+	if st.DeadRemoved == 0 {
+		t.Error("nothing removed")
+	}
+	if m.NumInstrs() >= before {
+		t.Errorf("instruction count did not shrink: %d -> %d", before, m.NumInstrs())
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res := runSC(t, m, []string{"main_thread"}, 0)
+	if res.Status != vm.StatusDone || res.Output[0] != 10 {
+		t.Fatalf("optimized program wrong: %s %v", res.Status, res.Output)
+	}
+}
+
+func TestBranchFoldingRemovesBlocks(t *testing.T) {
+	m := compile(t, `
+int g;
+void main_thread(void) {
+  if (1 == 1) {
+    g = 7;
+  } else {
+    g = 8;
+  }
+  print(g);
+}
+`)
+	st := opt.Optimize(m)
+	if st.BlocksRemoved == 0 {
+		t.Error("no unreachable blocks removed")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res := runSC(t, m, []string{"main_thread"}, 0)
+	if res.Output[0] != 7 {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	m := compile(t, `
+int g;
+int h;
+void main_thread(void) {
+  g = 41;
+  int a = g;      // forwarded from the store above
+  h = a + 1;
+  print(h);
+}
+`)
+	st := opt.Optimize(m)
+	if st.Forwarded == 0 {
+		t.Error("no loads forwarded")
+	}
+	res := runSC(t, m, []string{"main_thread"}, 0)
+	if res.Status != vm.StatusDone || res.Output[0] != 42 {
+		t.Fatalf("status=%s output=%v", res.Status, res.Output)
+	}
+}
+
+func TestForwardingRespectsAtomicsAndVolatile(t *testing.T) {
+	m := compile(t, `
+volatile int v;
+_Atomic int a;
+void main_thread(void) {
+  v = 1;
+  int x = v;   // volatile: must not forward
+  a = 2;
+  int y = a;   // atomic: must not forward
+  print(x + y);
+}
+`)
+	opt.Optimize(m)
+	// Forwarding local slots is fine; the loads of @v and @a themselves
+	// must survive untouched.
+	var volLoad, atomLoad int
+	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+		if in.Op != ir.OpLoad {
+			return
+		}
+		if g, ok := in.Args[0].(*ir.Global); ok {
+			switch g.GName {
+			case "v":
+				volLoad++
+			case "a":
+				atomLoad++
+			}
+		}
+	})
+	if volLoad != 1 || atomLoad != 1 {
+		t.Fatalf("volatile/atomic global loads = %d/%d, want 1/1", volLoad, atomLoad)
+	}
+	res := runSC(t, m, []string{"main_thread"}, 0)
+	if res.Status != vm.StatusDone || res.Output[0] != 3 {
+		t.Fatalf("status=%s output=%v", res.Status, res.Output)
+	}
+}
+
+// TestOptimizerBreaksUnportedSpinloop is the executable form of the
+// paper's section 3.2 claim: "standard compiler optimizations assume
+// the program is sequential, and can easily break concurrent code".
+// LICM hoists the plain flag load out of the spinloop, so the unported
+// reader spins forever even though the writer completes; the
+// atomig-ported program's seq_cst load is an optimization barrier and
+// survives -O2 intact.
+func TestOptimizerBreaksUnportedSpinloop(t *testing.T) {
+	src := `
+int flag;
+int msg;
+void writer(void) { msg = 1; flag = 1; }
+void reader(void) {
+  while (flag == 0) { }
+  assert(msg == 1);
+}
+`
+	// Unported + optimized: the reader never observes the store.
+	m := compile(t, src)
+	st := opt.Optimize(m)
+	if st.Hoisted == 0 {
+		t.Fatal("LICM did not hoist the spinloop load")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	res := runSC(t, m, []string{"reader", "writer"}, 200_000)
+	if res.Status != vm.StatusStepLimit {
+		t.Fatalf("optimized unported reader ended with %s, expected an infinite spin", res.Status)
+	}
+
+	// Ported + optimized: the seq_cst load stays in the loop.
+	m2 := compile(t, src)
+	ported, _, err := atomig.PortClone(m2, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = opt.Optimize(ported)
+	if st.Hoisted != 0 {
+		t.Fatalf("LICM hoisted %d atomic loads", st.Hoisted)
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		res, err := vm.Run(ported, vm.Options{
+			Model: memmodel.ModelSC, Entries: []string{"reader", "writer"},
+			Seed: seed, MaxSteps: 200_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != vm.StatusDone {
+			t.Fatalf("seed %d: ported+optimized reader ended with %s", seed, res.Status)
+		}
+	}
+}
+
+// TestOptimizePreservesCorpusSemantics: optimizing every ported corpus
+// program keeps it verifiable and runnable.
+func TestOptimizePreservesPortedPrograms(t *testing.T) {
+	src := `
+int seq;
+int msg;
+int out;
+void writer(void) {
+  seq = seq + 1;
+  msg = 7;
+  seq = seq + 1;
+}
+void reader(void) {
+  int s;
+  int data;
+  do {
+    s = seq;
+    data = msg;
+  } while (s % 2 != 0 || s != seq);
+  out = data;
+}
+`
+	m := compile(t, src)
+	ported, _, err := atomig.PortClone(m, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fencesBefore := countFences(ported)
+	opt.Optimize(ported)
+	if err := ir.Verify(ported); err != nil {
+		t.Fatal(err)
+	}
+	if got := countFences(ported); got != fencesBefore {
+		t.Fatalf("optimizer changed fence count: %d -> %d", fencesBefore, got)
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		res, err := vm.Run(ported, vm.Options{
+			Model: memmodel.ModelSC, Entries: []string{"reader", "writer"},
+			Seed: seed, MaxSteps: 400_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != vm.StatusDone {
+			t.Fatalf("seed %d: %s", seed, res.Status)
+		}
+	}
+}
+
+func countFences(m *ir.Module) int {
+	n := 0
+	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+		if in.Op == ir.OpFence {
+			n++
+		}
+	})
+	return n
+}

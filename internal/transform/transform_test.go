@@ -1,0 +1,201 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	res, err := minic.Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res.Module
+}
+
+func TestMakeAccessSC(t *testing.T) {
+	m := compile(t, `
+int g;
+int f(void) { return g; }
+`)
+	var ld *ir.Instr
+	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+		if in.Op == ir.OpLoad && ld == nil {
+			ld = in
+		}
+	})
+	if !MakeAccessSC(ld, ir.MarkNaive) {
+		t.Fatal("first conversion reported no change")
+	}
+	if ld.Ord != ir.SeqCst || !ld.HasMark(ir.MarkNaive) {
+		t.Fatal("conversion did not apply")
+	}
+	if MakeAccessSC(ld, ir.MarkSticky) {
+		t.Fatal("second conversion reported a change")
+	}
+	if !ld.HasMark(ir.MarkSticky) {
+		t.Fatal("mark not accumulated")
+	}
+}
+
+func TestMakeAccessSCPanicsOnNonAccess(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-access")
+		}
+	}()
+	MakeAccessSC(&ir.Instr{Op: ir.OpBin}, 0)
+}
+
+func TestInsertFences(t *testing.T) {
+	m := compile(t, `
+int g;
+void f(void) { g = 1; g = 2; }
+`)
+	blk := m.Func("f").Entry()
+	var stores []*ir.Instr
+	for _, in := range blk.Instrs {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in)
+		}
+	}
+	before := InsertFenceBefore(stores[0])
+	after := InsertFenceAfter(stores[1])
+	if before.Ord != ir.SeqCst || !before.HasMark(ir.MarkInsertedFence) {
+		t.Fatal("fence attributes wrong")
+	}
+	// Verify placement.
+	idx := map[*ir.Instr]int{}
+	for i, in := range blk.Instrs {
+		idx[in] = i
+	}
+	if idx[before] != idx[stores[0]]-1 {
+		t.Errorf("fence-before misplaced: %d vs %d", idx[before], idx[stores[0]])
+	}
+	if idx[after] != idx[stores[1]]+1 {
+		t.Errorf("fence-after misplaced: %d vs %d", idx[after], idx[stores[1]])
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeExplicitAnnotations(t *testing.T) {
+	m := compile(t, `
+volatile int v;
+int g;
+int f(void) {
+  v = 1;                  // volatile store -> SC
+  int a = v;              // volatile load -> SC
+  __store_rel(&g, 2);     // release -> SC
+  int b = __load_acq(&g); // acquire -> SC
+  int c = __load_sc(&g);  // already SC: untouched
+  return a + b + c;
+}
+`)
+	st := UpgradeExplicitAnnotations(m)
+	if st.VolatileConverted != 2 {
+		t.Errorf("VolatileConverted = %d, want 2", st.VolatileConverted)
+	}
+	if st.AtomicUpgraded != 2 {
+		t.Errorf("AtomicUpgraded = %d, want 2", st.AtomicUpgraded)
+	}
+	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+		if in.IsMemAccess() && (in.Volatile || in.HasMark(ir.MarkFromAtomic)) && in.Ord != ir.SeqCst {
+			t.Errorf("unconverted access: %s", in)
+		}
+	})
+}
+
+func TestNaiveConvertsOnlyShared(t *testing.T) {
+	m := compile(t, `
+int g;
+int f(int *p) {
+  int local = 3;          // provably local: untouched
+  local = local + g;      // g access converted
+  *p = local;             // pointer target: converted
+  return local;
+}
+`)
+	n := Naive(m)
+	if n == 0 {
+		t.Fatal("nothing converted")
+	}
+	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+		if !in.IsMemAccess() {
+			return
+		}
+		// Accesses to the local slot must stay plain.
+		if a, ok := in.Args[0].(*ir.Instr); ok && a.Op == ir.OpAlloca {
+			if in.Ord.Atomic() {
+				t.Errorf("local access converted: %s", in)
+			}
+		}
+	})
+	if _, impl := CountBarriers(m); impl != n {
+		t.Errorf("CountBarriers implicit = %d, converted %d", impl, n)
+	}
+}
+
+func TestLasagneStyleInsertsAndMerges(t *testing.T) {
+	m := compile(t, `
+int g;
+int h;
+void f(void) {
+  g = 1;
+  h = 2;   // adjacent shared stores: fences merge between them
+  int x = g;
+  int y = h;
+  g = x + y;
+}
+`)
+	st := LasagneStyle(m)
+	if st.FencesInserted == 0 {
+		t.Fatal("no fences inserted")
+	}
+	if st.FencesElided == 0 {
+		t.Fatal("no fences elided: merge pass inert")
+	}
+	expl, _ := CountBarriers(m)
+	if expl != st.FencesInserted-st.FencesElided {
+		t.Errorf("barriers %d != inserted %d - elided %d", expl, st.FencesInserted, st.FencesElided)
+	}
+	// No two adjacent fences remain.
+	m.EachInstr(func(f *ir.Func, in *ir.Instr) { _ = f })
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := 1; i < len(b.Instrs); i++ {
+				if b.Instrs[i].Op == ir.OpFence && b.Instrs[i-1].Op == ir.OpFence {
+					t.Fatalf("adjacent fences survive in @%s", f.Name)
+				}
+			}
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountBarriers(t *testing.T) {
+	m := compile(t, `
+_Atomic int a;
+int g;
+void f(void) {
+  a = 1;
+  __fence();
+  g = a;
+  __faa(&a, 1);
+}
+`)
+	expl, impl := CountBarriers(m)
+	if expl != 1 {
+		t.Errorf("explicit = %d, want 1", expl)
+	}
+	// Implicit: atomic store a=1, atomic load of a, and the RMW.
+	if impl != 3 {
+		t.Errorf("implicit = %d, want 3", impl)
+	}
+}

@@ -1,0 +1,62 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+)
+
+// BenchmarkInterpreterThroughput measures raw interpretation speed on a
+// compute kernel (instructions per benchmark op reported as steps).
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	res, err := minic.Compile("bench", `
+int out;
+void main_thread(void) {
+  int acc = 0;
+  for (int i = 0; i < 100000; i = i + 1) {
+    acc = (acc * 31 + i) % 65536;
+  }
+  out = acc;
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		r, err := Run(res.Module, Options{Model: memmodel.ModelSC, Entries: []string{"main_thread"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = r.Steps
+	}
+	b.ReportMetric(float64(steps), "instrs/op")
+}
+
+// BenchmarkViewMachine measures the weak-memory machine under the
+// message-passing workload.
+func BenchmarkViewMachine(b *testing.B) {
+	res, err := minic.Compile("bench", `
+int flag;
+int msg;
+void writer(void) { msg = 1; flag = 1; }
+void reader(void) {
+  while (flag == 0) { }
+  assert(msg >= 0);
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(res.Module, Options{
+			Model: memmodel.ModelWMM, Entries: []string{"reader", "writer"},
+			Seed: int64(i), MaxSteps: 100_000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

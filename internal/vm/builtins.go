@@ -1,0 +1,132 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+)
+
+// call dispatches OpCall instructions: user functions push a frame,
+// builtins execute inline. It reports visibility.
+func (v *VM) call(t *thread, in *ir.Instr) (bool, error) {
+	c := &v.opts.Costs
+	if fn := v.mod.Func(in.Callee); fn != nil {
+		params := make([]int64, len(in.Args))
+		for i, a := range in.Args {
+			params[i] = v.eval(t, a)
+		}
+		nf := &frame{
+			fn: fn, blk: fn.Entry(), regs: make([]int64, fn.NumIDs()),
+			params: params, callInstr: in, savedStack: t.stackNext,
+		}
+		t.frames = append(t.frames, nf)
+		t.cycles += c.Call
+		return false, nil
+	}
+	switch in.Callee {
+	case "assert":
+		val := v.eval(t, in.Args[0])
+		t.cycles += c.Arith
+		if val == 0 {
+			v.res.Status = StatusAssertFailed
+			v.res.FailMsg = fmt.Sprintf("assertion failed in @%s (thread %d)", t.frame().fn.Name, t.id)
+			v.halted = true
+		}
+		return true, nil
+
+	case "spawn":
+		fr, ok := in.Args[0].(*ir.FuncRef)
+		if !ok {
+			return false, fmt.Errorf("vm: spawn argument is not a function reference")
+		}
+		v.newThread(fr.Fn, t.mm.Fork())
+		t.cycles += c.Call
+		return true, nil
+
+	case "join":
+		t.cycles += c.Call
+		// Re-check in Runnable; if everything else already finished,
+		// complete immediately.
+		t.state = tBlockedJoin
+		done := true
+		for _, o := range v.threads {
+			if o.id != t.id && o.state != tDone {
+				done = false
+				break
+			}
+		}
+		if done {
+			for _, o := range v.threads {
+				if o.id != t.id {
+					t.mm.JoinThread(o.mm)
+				}
+			}
+			t.state = tRunnable
+		}
+		return true, nil
+
+	case "barrier":
+		n := v.eval(t, in.Args[0])
+		t.cycles += c.RMW
+		if n <= 1 {
+			return true, nil
+		}
+		bs := v.barriers[n]
+		if bs == nil {
+			bs = &barrierState{}
+			v.barriers[n] = bs
+		}
+		bs.waiting = append(bs.waiting, t.id)
+		if int64(len(bs.waiting)) < n {
+			t.state = tBlockedBarrier
+			t.barrierN = n
+			return true, nil
+		}
+		// Last arrival: synchronize all participants and release.
+		joined := memmodel.NewThread()
+		for _, id := range bs.waiting {
+			joined.View.Join(v.threads[id].mm.View)
+		}
+		for _, id := range bs.waiting {
+			p := v.threads[id]
+			p.mm.View.Join(joined.View)
+			p.state = tRunnable
+		}
+		delete(v.barriers, n)
+		return true, nil
+
+	case "tid":
+		t.frame().regs[in.ID] = int64(t.id)
+		t.cycles += c.Arith
+		return false, nil
+
+	case "nondet":
+		t.frame().regs[in.ID] = int64(v.ctrl.PickNondet(2))
+		t.cycles += c.Arith
+		return true, nil
+
+	case "malloc":
+		size := v.eval(t, in.Args[0])
+		if size < 0 {
+			return false, fmt.Errorf("vm: malloc of negative size")
+		}
+		addr := v.heapNext
+		v.heapNext += memmodel.Addr(size)
+		t.frame().regs[in.ID] = int64(addr)
+		t.cycles += c.Call
+		return false, nil
+
+	case "free", "yield", "pause", "asm", "compiler_barrier":
+		t.cycles += c.Arith
+		return false, nil
+
+	case "print":
+		for _, a := range in.Args {
+			v.res.Output = append(v.res.Output, v.eval(t, a))
+		}
+		t.cycles += c.Arith
+		return false, nil
+	}
+	return false, fmt.Errorf("vm: call to unknown builtin @%s", in.Callee)
+}

@@ -1,0 +1,245 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+	"repro/internal/opt"
+)
+
+// TestDifferentialSemantics generates random straight-line programs,
+// evaluates them with a direct Go reference interpreter, and checks the
+// whole MiniC → AIR → VM stack produces identical results. This is the
+// end-to-end guard for the frontend's operator precedence and the VM's
+// arithmetic.
+func TestDifferentialSemantics(t *testing.T) {
+	ops := []struct {
+		sym  string
+		eval func(a, b int64) int64
+	}{
+		{"+", func(a, b int64) int64 { return a + b }},
+		{"-", func(a, b int64) int64 { return a - b }},
+		{"*", func(a, b int64) int64 { return a * b }},
+		{"&", func(a, b int64) int64 { return a & b }},
+		{"|", func(a, b int64) int64 { return a | b }},
+		{"^", func(a, b int64) int64 { return a ^ b }},
+		{"/", func(a, b int64) int64 {
+			if b == 0 {
+				return 0 // guarded in generation
+			}
+			return a / b
+		}},
+		{"%", func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		}},
+	}
+	cmps := []struct {
+		sym  string
+		eval func(a, b int64) bool
+	}{
+		{"==", func(a, b int64) bool { return a == b }},
+		{"!=", func(a, b int64) bool { return a != b }},
+		{"<", func(a, b int64) bool { return a < b }},
+		{"<=", func(a, b int64) bool { return a <= b }},
+		{">", func(a, b int64) bool { return a > b }},
+		{">=", func(a, b int64) bool { return a >= b }},
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nVars := rng.Intn(6) + 2
+		vals := make([]int64, nVars)
+		var sb strings.Builder
+		sb.WriteString("void main_thread(void) {\n")
+		for i := range vals {
+			vals[i] = int64(rng.Intn(201) - 100)
+			fmt.Fprintf(&sb, "  int v%d = %d;\n", i, vals[i])
+		}
+		stmts := rng.Intn(18) + 4
+		for s := 0; s < stmts; s++ {
+			dst := rng.Intn(nVars)
+			a, b := rng.Intn(nVars), rng.Intn(nVars)
+			switch rng.Intn(3) {
+			case 0: // arithmetic
+				op := ops[rng.Intn(len(ops))]
+				if (op.sym == "/" || op.sym == "%") && vals[b] == 0 {
+					op = ops[0]
+				}
+				fmt.Fprintf(&sb, "  v%d = v%d %s v%d;\n", dst, a, op.sym, b)
+				vals[dst] = op.eval(vals[a], vals[b])
+			case 1: // comparison into int
+				c := cmps[rng.Intn(len(cmps))]
+				fmt.Fprintf(&sb, "  v%d = v%d %s v%d;\n", dst, a, c.sym, b)
+				if c.eval(vals[a], vals[b]) {
+					vals[dst] = 1
+				} else {
+					vals[dst] = 0
+				}
+			case 2: // conditional update
+				c := cmps[rng.Intn(len(cmps))]
+				op := ops[rng.Intn(3)] // + - * only
+				fmt.Fprintf(&sb, "  if (v%d %s v%d) { v%d = v%d %s v%d; }\n",
+					a, c.sym, b, dst, a, op.sym, b)
+				if c.eval(vals[a], vals[b]) {
+					vals[dst] = op.eval(vals[a], vals[b])
+				}
+			}
+		}
+		for i := range vals {
+			fmt.Fprintf(&sb, "  print(v%d);\n", i)
+		}
+		sb.WriteString("}\n")
+
+		res, err := minic.Compile("diff", sb.String())
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, sb.String())
+		}
+		out, err := Run(res.Module, Options{
+			Model: memmodel.ModelSC, Entries: []string{"main_thread"},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+		if out.Status != StatusDone {
+			t.Fatalf("trial %d: status %s", trial, out.Status)
+		}
+		if len(out.Output) != nVars {
+			t.Fatalf("trial %d: outputs %d, want %d", trial, len(out.Output), nVars)
+		}
+		for i, want := range vals {
+			if out.Output[i] != want {
+				t.Fatalf("trial %d: v%d = %d, reference says %d\nprogram:\n%s",
+					trial, i, out.Output[i], want, sb.String())
+			}
+		}
+	}
+}
+
+// TestDifferentialLoops does the same for loop constructs: counted
+// loops with breaks/continues against a Go reference.
+func TestDifferentialLoops(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		bound := rng.Intn(20) + 1
+		step := rng.Intn(3) + 1
+		breakAt := rng.Intn(30) + 1
+		contMod := rng.Intn(4) + 2
+
+		src := fmt.Sprintf(`
+void main_thread(void) {
+  int acc = 0;
+  for (int i = 0; i < %d; i = i + %d) {
+    if (i == %d) { break; }
+    if (i %% %d == 0) { continue; }
+    acc = acc + i;
+  }
+  int j = 0;
+  do {
+    acc = acc + 1;
+    j = j + 1;
+  } while (j < %d);
+  while (j > 0) {
+    j = j - 2;
+    acc = acc + j;
+  }
+  print(acc);
+}
+`, bound, step, breakAt, contMod, step+2)
+
+		// Reference.
+		acc := int64(0)
+		for i := 0; i < bound; i += step {
+			if i == breakAt {
+				break
+			}
+			if i%contMod == 0 {
+				continue
+			}
+			acc += int64(i)
+		}
+		j := 0
+		for {
+			acc++
+			j++
+			if j >= step+2 {
+				break
+			}
+		}
+		for j > 0 {
+			j -= 2
+			acc += int64(j)
+		}
+
+		res, err := minic.Compile("diff", src)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		out, err := Run(res.Module, Options{
+			Model: memmodel.ModelSC, Entries: []string{"main_thread"},
+		})
+		if err != nil || out.Status != StatusDone {
+			t.Fatalf("trial %d: %v %v", trial, err, out.Status)
+		}
+		if out.Output[0] != acc {
+			t.Fatalf("trial %d: acc = %d, reference %d\n%s", trial, out.Output[0], acc, src)
+		}
+	}
+}
+
+// TestDifferentialWithOptimizer re-runs the random straight-line
+// programs through the optimizer and requires identical outputs — the
+// optimizer must be semantics-preserving on sequential code.
+func TestDifferentialWithOptimizer(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		n := rng.Intn(5) + 2
+		var sb strings.Builder
+		sb.WriteString("void main_thread(void) {\n")
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(101) - 50)
+			fmt.Fprintf(&sb, "  int v%d = %d;\n", i, vals[i])
+		}
+		for s := 0; s < rng.Intn(14)+4; s++ {
+			d, a, b := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				fmt.Fprintf(&sb, "  v%d = v%d + v%d * 3;\n", d, a, b)
+				vals[d] = vals[a] + vals[b]*3
+			case 1:
+				fmt.Fprintf(&sb, "  if (v%d > v%d) { v%d = v%d - 1; }\n", a, b, d, d)
+				if vals[a] > vals[b] {
+					vals[d]--
+				}
+			case 2:
+				fmt.Fprintf(&sb, "  for (int i = 0; i < 5; i = i + 1) { v%d = v%d + i; }\n", d, d)
+				vals[d] += 10
+			}
+		}
+		for i := range vals {
+			fmt.Fprintf(&sb, "  print(v%d);\n", i)
+		}
+		sb.WriteString("}\n")
+		res, err := minic.Compile("diffopt", sb.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Optimize(res.Module)
+		out, err := Run(res.Module, Options{Model: memmodel.ModelSC, Entries: []string{"main_thread"}})
+		if err != nil || out.Status != StatusDone {
+			t.Fatalf("trial %d: %v %v", trial, err, out.Status)
+		}
+		for i, want := range vals {
+			if out.Output[i] != want {
+				t.Fatalf("trial %d: v%d = %d, want %d\n%s", trial, i, out.Output[i], want, sb.String())
+			}
+		}
+	}
+}

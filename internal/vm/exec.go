@@ -1,0 +1,647 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+)
+
+// Memory layout (cell addresses).
+const (
+	globalBase = 0x0000_1000
+	heapBase   = 0x1000_0000
+	stackBase  = 0x8000_0000
+	stackSize  = 0x0010_0000 // per-thread stack region
+)
+
+type tstate int
+
+const (
+	tRunnable tstate = iota
+	tBlockedJoin
+	tBlockedBarrier
+	tDone
+)
+
+type frame struct {
+	fn         *ir.Func
+	blk        *ir.Block
+	ip         int
+	regs       []int64
+	params     []int64
+	callInstr  *ir.Instr // caller instruction awaiting the return value
+	savedStack memmodel.Addr
+}
+
+type thread struct {
+	id        int
+	frames    []*frame
+	mm        *memmodel.Thread
+	cycles    int64
+	state     tstate
+	barrierN  int64
+	stackNext memmodel.Addr
+	retVal    int64
+	entry     bool
+	// dirtyShared records whether the thread wrote shared memory since
+	// its last fence; dirtyHot additionally records whether one of
+	// those writes took a cell over from another thread. Both drive the
+	// fence drain cost.
+	dirtyShared bool
+	dirtyHot    bool
+}
+
+func (t *thread) frame() *frame { return t.frames[len(t.frames)-1] }
+
+func (t *thread) ownStack(a memmodel.Addr) bool {
+	base := memmodel.Addr(stackBase + t.id*stackSize)
+	return a >= base && a < base+stackSize
+}
+
+type barrierState struct {
+	waiting []int
+}
+
+// VM is one execution instance.
+type VM struct {
+	mod      *ir.Module
+	opts     Options
+	ctrl     Controller
+	mem      memory
+	useView  bool
+	threads  []*thread
+	globals  map[string]memmodel.Addr
+	heapNext memmodel.Addr
+	res      *Result
+	barriers map[int64]*barrierState
+	halted   bool
+	// lastWriter tracks cache-line ownership for the contention
+	// surcharge of the cost model; sharedWith tracks which threads have
+	// re-read a cell since its last write (a MESI shared-state sketch);
+	// multiWritten marks cells written more than once, separating
+	// actively mutated cells (whose cross-thread reads ping-pong) from
+	// write-once data (whose cold-fill cost the baseline pays too).
+	lastWriter   map[memmodel.Addr]int
+	sharedWith   map[memmodel.Addr]uint32
+	multiWritten map[memmodel.Addr]bool
+	// runBuf is reused by Runnable to avoid a per-step allocation.
+	runBuf []int
+}
+
+// chargeWrite applies the write cost including the contention surcharge
+// for atomic writes to cells last written by another thread, and
+// invalidates the cell's shared state.
+func (v *VM) chargeWrite(t *thread, a memmodel.Addr, atomic bool, base int64) {
+	t.cycles += base
+	owner, written := v.lastWriter[a]
+	foreign := written && owner != t.id
+	if atomic && foreign {
+		t.cycles += v.opts.Costs.Contended
+	}
+	if !t.ownStack(a) {
+		t.dirtyShared = true
+		if foreign {
+			t.dirtyHot = true
+		}
+	}
+	if written {
+		v.multiWritten[a] = true
+	}
+	v.lastWriter[a] = t.id
+	delete(v.sharedWith, a)
+}
+
+// chargeLoad applies the load cost plus the invalidation surcharge:
+// the first read of an actively mutated cell whose last writer was
+// another thread refetches the line. Atomic loads pay the full fill
+// (LDAR stalls the pipeline); plain loads pay the residue out-of-order
+// execution cannot hide.
+func (v *VM) chargeLoad(t *thread, a memmodel.Addr, base int64, atomic bool) {
+	t.cycles += base
+	owner, ok := v.lastWriter[a]
+	if !ok || owner == t.id || !v.multiWritten[a] {
+		return
+	}
+	bit := uint32(1) << uint(t.id%32)
+	if v.sharedWith[a]&bit == 0 {
+		if atomic {
+			t.cycles += v.opts.Costs.ContendedLoad
+		} else {
+			t.cycles += v.opts.Costs.ContendedPlain
+		}
+		v.sharedWith[a] |= bit
+	}
+}
+
+// oracleAdapter routes the view machine's read choices through the
+// controller.
+type oracleAdapter struct{ ctrl Controller }
+
+// PickRead delegates to the controller.
+func (o oracleAdapter) PickRead(a memmodel.Addr, eligible []int) int {
+	return o.ctrl.PickRead(a, eligible)
+}
+
+// UseViewMemory reports whether the options select the view machine:
+// any non-SC model needs it to exhibit weak behaviors; pure performance
+// runs pass ModelSC (or set Controller to nil and Model to SC) and get
+// the fast flat backend. The model checker always runs with a weak
+// model.
+func useViewMemory(opts Options) bool { return opts.Model != memmodel.ModelSC }
+
+// New prepares an execution of the module's entry threads.
+func New(m *ir.Module, opts Options) (*VM, error) {
+	if len(opts.Entries) == 0 {
+		return nil, fmt.Errorf("vm: no entry functions")
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 20_000_000
+	}
+	if opts.Costs == (Costs{}) {
+		opts.Costs = DefaultCosts()
+	}
+	ctrl := opts.Controller
+	if ctrl == nil {
+		ctrl = NewRandomController(opts.Seed)
+	}
+	v := &VM{
+		mod:          m,
+		opts:         opts,
+		ctrl:         ctrl,
+		useView:      useViewMemory(opts),
+		globals:      make(map[string]memmodel.Addr),
+		heapNext:     heapBase,
+		res:          &Result{},
+		barriers:     make(map[int64]*barrierState),
+		lastWriter:   make(map[memmodel.Addr]int),
+		sharedWith:   make(map[memmodel.Addr]uint32),
+		multiWritten: make(map[memmodel.Addr]bool),
+	}
+	if opts.Profile {
+		v.res.FuncCycles = make(map[string]int64)
+	}
+	if v.useView {
+		v.mem = newViewMem(opts.Model, oracleAdapter{ctrl})
+	} else {
+		v.mem = newFlatMem()
+	}
+	// Lay out globals.
+	next := memmodel.Addr(globalBase)
+	for _, g := range m.Globals {
+		v.globals[g.GName] = next
+		for i, val := range g.Init {
+			if val != 0 {
+				v.mem.setInit(next+memmodel.Addr(i), val)
+			}
+		}
+		next += memmodel.Addr(g.Elem.Cells())
+	}
+	// Start entry threads.
+	for _, name := range opts.Entries {
+		fn := m.Func(name)
+		if fn == nil {
+			return nil, fmt.Errorf("vm: entry function @%s not found", name)
+		}
+		if len(fn.Params) != 0 {
+			return nil, fmt.Errorf("vm: entry function @%s must take no parameters", name)
+		}
+		t := v.newThread(fn, memmodel.NewThread())
+		t.entry = true
+	}
+	return v, nil
+}
+
+func (v *VM) newThread(fn *ir.Func, mm *memmodel.Thread) *thread {
+	id := len(v.threads)
+	t := &thread{
+		id:        id,
+		mm:        mm,
+		stackNext: memmodel.Addr(stackBase + id*stackSize),
+	}
+	t.frames = []*frame{{fn: fn, blk: fn.Entry(), regs: make([]int64, fn.NumIDs())}}
+	v.threads = append(v.threads, t)
+	return t
+}
+
+// Runnable returns the indices of threads that can take a step,
+// resolving join/barrier unblocking. The returned slice is valid until
+// the next Runnable call.
+func (v *VM) Runnable() []int {
+	run := v.runBuf[:0]
+	allDoneExcept := func(self int) bool {
+		for _, o := range v.threads {
+			if o.id != self && o.state != tDone {
+				return false
+			}
+		}
+		return true
+	}
+	for _, t := range v.threads {
+		switch t.state {
+		case tRunnable:
+			run = append(run, t.id)
+		case tBlockedJoin:
+			if allDoneExcept(t.id) {
+				// Synchronize with every finished thread and resume.
+				for _, o := range v.threads {
+					if o.id != t.id {
+						t.mm.JoinThread(o.mm)
+					}
+				}
+				t.state = tRunnable
+				run = append(run, t.id)
+			}
+		case tBlockedBarrier:
+			// Barrier release happens when the last participant arrives
+			// (in the barrier builtin); blocked threads stay blocked here.
+		}
+	}
+	v.runBuf = run
+	return run
+}
+
+// Done reports whether all threads finished.
+func (v *VM) Done() bool {
+	for _, t := range v.threads {
+		if t.state != tDone {
+			return false
+		}
+	}
+	return true
+}
+
+// Run drives the execution to completion.
+func (v *VM) Run() (*Result, error) {
+	for v.res.Steps < v.opts.MaxSteps {
+		if v.halted {
+			break
+		}
+		run := v.Runnable()
+		if len(run) == 0 {
+			if v.Done() {
+				break
+			}
+			v.res.Status = StatusDeadlock
+			v.finish()
+			return v.res, nil
+		}
+		ti := v.ctrl.PickThread(run)
+		if err := v.Step(v.threads[ti]); err != nil {
+			return nil, err
+		}
+	}
+	if !v.halted && v.res.Steps >= v.opts.MaxSteps {
+		v.res.Status = StatusStepLimit
+	}
+	v.finish()
+	return v.res, nil
+}
+
+func (v *VM) finish() {
+	for _, t := range v.threads {
+		v.res.ThreadCycles = append(v.res.ThreadCycles, t.cycles)
+		if t.cycles > v.res.MaxCycles {
+			v.res.MaxCycles = t.cycles
+		}
+		v.res.TotalCycles += t.cycles
+		if t.entry {
+			v.res.Returns = append(v.res.Returns, t.retVal)
+		}
+	}
+}
+
+// StepThread executes instructions of thread index ti until a visible
+// operation has executed (or the thread blocks/finishes). Used by the
+// model checker to reduce scheduling choice points to visible operations.
+func (v *VM) StepThread(ti int) error {
+	t := v.threads[ti]
+	for t.state == tRunnable && !v.halted {
+		visible, err := v.exec(t)
+		if err != nil {
+			return err
+		}
+		if visible {
+			return nil
+		}
+		if v.res.Steps >= v.opts.MaxSteps {
+			v.res.Status = StatusStepLimit
+			v.halted = true
+		}
+	}
+	return nil
+}
+
+// Step executes a single instruction of t.
+func (v *VM) Step(t *thread) error {
+	_, err := v.exec(t)
+	return err
+}
+
+// Threads returns the number of threads created so far.
+func (v *VM) Threads() int { return len(v.threads) }
+
+// ThreadState returns whether thread ti can currently run (after
+// unblock resolution via Runnable).
+func (v *VM) ThreadDone(ti int) bool { return v.threads[ti].state == tDone }
+
+// Result returns the (possibly still accumulating) result.
+func (v *VM) Result() *Result { return v.res }
+
+// Halted reports whether execution stopped (assertion failure or step
+// limit).
+func (v *VM) Halted() bool { return v.halted }
+
+func (v *VM) eval(t *thread, val ir.Value) int64 {
+	switch x := val.(type) {
+	case *ir.ConstInt:
+		return x.V
+	case *ir.Global:
+		return int64(v.globals[x.GName])
+	case *ir.Param:
+		return t.frame().params[x.Index]
+	case *ir.Instr:
+		return t.frame().regs[x.ID]
+	case *ir.FuncRef:
+		for i, f := range v.mod.Funcs {
+			if f == x.Fn {
+				return int64(i)
+			}
+		}
+	}
+	panic(fmt.Sprintf("vm: cannot evaluate %T", val))
+}
+
+// exec runs one instruction; it reports whether the instruction was
+// visible (touches shared memory or synchronizes threads). When
+// tracing is enabled, visible operations are appended to the result's
+// trace (used by the model checker to print counterexamples).
+func (v *VM) exec(t *thread) (bool, error) {
+	var cur *ir.Instr
+	if f := t.frame(); f.ip < len(f.blk.Instrs) {
+		cur = f.blk.Instrs[f.ip]
+	}
+	var before int64
+	if v.opts.Profile {
+		before = t.cycles
+	}
+	visible, err := v.execInstr(t)
+	if v.opts.Profile && cur != nil {
+		v.res.FuncCycles[cur.Blk.Fn.Name] += t.cycles - before
+	}
+	if visible && v.opts.TraceVisible && cur != nil && len(v.res.Trace) < maxTraceEvents {
+		v.res.Trace = append(v.res.Trace, TraceEvent{
+			Thread: t.id,
+			Fn:     cur.Blk.Fn.Name,
+			Instr:  cur.String(),
+		})
+	}
+	return visible, err
+}
+
+// maxTraceEvents bounds counterexample traces.
+const maxTraceEvents = 4096
+
+func (v *VM) execInstr(t *thread) (bool, error) {
+	f := t.frame()
+	if f.ip >= len(f.blk.Instrs) {
+		return false, fmt.Errorf("vm: fell off block %%%s in @%s", f.blk.Name, f.fn.Name)
+	}
+	in := f.blk.Instrs[f.ip]
+	f.ip++
+	v.res.Steps++
+	c := &v.opts.Costs
+	switch in.Op {
+	case ir.OpAlloca:
+		cells := in.AllocElem.Cells()
+		addr := t.stackNext
+		t.stackNext += memmodel.Addr(cells)
+		if t.stackNext > memmodel.Addr(stackBase+t.id*stackSize+stackSize) {
+			return false, fmt.Errorf("vm: stack overflow in @%s", f.fn.Name)
+		}
+		for i := 0; i < cells; i++ {
+			v.mem.rawset(addr+memmodel.Addr(i), 0)
+		}
+		f.regs[in.ID] = int64(addr)
+		t.cycles += c.Arith
+		return false, nil
+
+	case ir.OpLoad:
+		a := memmodel.Addr(v.eval(t, in.Args[0]))
+		val := v.mem.load(t, a, in.Ord)
+		f.regs[in.ID] = val
+		v.chargeLoad(t, a, c.accessCost(in.Ord, false), in.Ord.Atomic() && in.Ord != ir.Relaxed)
+		if in.Ord.Atomic() {
+			v.res.Counters.AtomicLoads++
+		} else {
+			v.res.Counters.NonAtomicLoads++
+		}
+		return !t.ownStack(a), nil
+
+	case ir.OpStore:
+		a := memmodel.Addr(v.eval(t, in.Args[0]))
+		val := v.eval(t, in.Args[1])
+		v.mem.store(t, a, val, in.Ord)
+		v.chargeWrite(t, a, in.Ord.Atomic(), c.accessCost(in.Ord, true))
+		if in.Ord.Atomic() {
+			v.res.Counters.AtomicStores++
+		} else {
+			v.res.Counters.NonAtomicStores++
+		}
+		return !t.ownStack(a), nil
+
+	case ir.OpCmpXchg:
+		a := memmodel.Addr(v.eval(t, in.Args[0]))
+		exp := v.eval(t, in.Args[1])
+		nv := v.eval(t, in.Args[2])
+		old, _ := v.mem.cmpxchg(t, a, exp, nv, in.Ord)
+		f.regs[in.ID] = old
+		v.chargeWrite(t, a, true, c.RMW)
+		v.res.Counters.RMWs++
+		return true, nil
+
+	case ir.OpRMW:
+		a := memmodel.Addr(v.eval(t, in.Args[0]))
+		operand := v.eval(t, in.Args[1])
+		old := v.mem.rmw(t, a, rmwFunc(in.RMW, operand), in.Ord)
+		f.regs[in.ID] = old
+		v.chargeWrite(t, a, true, c.RMW)
+		v.res.Counters.RMWs++
+		return true, nil
+
+	case ir.OpFence:
+		v.mem.fence(t, in.Ord)
+		if in.Ord == ir.SeqCst {
+			t.cycles += c.FenceSC
+		} else {
+			t.cycles += c.FenceWeak
+		}
+		if t.dirtyShared {
+			t.cycles += c.FenceDrain
+			t.dirtyShared = false
+		}
+		if t.dirtyHot {
+			t.cycles += c.FenceDrainHot
+			t.dirtyHot = false
+		}
+		v.res.Counters.Fences++
+		return true, nil
+
+	case ir.OpBin:
+		x, y := v.eval(t, in.Args[0]), v.eval(t, in.Args[1])
+		r, err := binOp(in.BinKind, x, y)
+		if err != nil {
+			return false, fmt.Errorf("vm: @%s: %w", f.fn.Name, err)
+		}
+		f.regs[in.ID] = r
+		t.cycles += c.Arith
+		return false, nil
+
+	case ir.OpICmp:
+		x, y := v.eval(t, in.Args[0]), v.eval(t, in.Args[1])
+		f.regs[in.ID] = icmp(in.Pred, x, y)
+		t.cycles += c.Arith
+		return false, nil
+
+	case ir.OpGEP:
+		f.regs[in.ID] = v.gepAddr(t, in)
+		t.cycles += c.Arith
+		return false, nil
+
+	case ir.OpCall:
+		return v.call(t, in)
+
+	case ir.OpBr:
+		t.cycles += c.Arith
+		target := in.Then
+		if in.Else != nil && v.eval(t, in.Args[0]) == 0 {
+			target = in.Else
+		}
+		f.blk = target
+		f.ip = 0
+		return false, nil
+
+	case ir.OpRet:
+		var rv int64
+		if len(in.Args) == 1 {
+			rv = v.eval(t, in.Args[0])
+		}
+		t.cycles += c.Call
+		return v.doReturn(t, rv), nil
+	}
+	return false, fmt.Errorf("vm: unhandled op %s", in.Op)
+}
+
+func (v *VM) doReturn(t *thread, rv int64) bool {
+	f := t.frames[len(t.frames)-1]
+	t.frames = t.frames[:len(t.frames)-1]
+	if len(t.frames) == 0 {
+		t.retVal = rv
+		t.state = tDone
+		return true // thread completion is visible (join/deadlock logic)
+	}
+	// Stack space is reused across calls; stack addresses live in flat
+	// storage in both memory modes (view mode routes them to a flat side
+	// store), so no stale message history can leak between frames.
+	t.stackNext = f.savedStack
+	caller := t.frame()
+	if f.callInstr != nil {
+		caller.regs[f.callInstr.ID] = rv
+	}
+	return false
+}
+
+func (v *VM) gepAddr(t *thread, in *ir.Instr) int64 {
+	base := v.eval(t, in.Args[0])
+	off := int64(0)
+	ty := in.GEPBase
+	dyn := 1
+	for _, st := range in.Path {
+		if st.Field >= 0 {
+			s := ty.(*ir.StructType)
+			off += int64(s.FieldOffset(st.Field))
+			ty = s.Fields[st.Field].Type
+			continue
+		}
+		idx := v.eval(t, in.Args[dyn])
+		dyn++
+		if at, ok := ty.(*ir.ArrayType); ok {
+			off += idx * int64(at.Elem.Cells())
+			ty = at.Elem
+		} else {
+			off += idx * int64(ty.Cells())
+		}
+	}
+	return base + off
+}
+
+func binOp(k ir.BinKind, x, y int64) (int64, error) {
+	switch k {
+	case ir.Add:
+		return x + y, nil
+	case ir.Sub:
+		return x - y, nil
+	case ir.Mul:
+		return x * y, nil
+	case ir.Div:
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return x / y, nil
+	case ir.Rem:
+		if y == 0 {
+			return 0, fmt.Errorf("remainder by zero")
+		}
+		return x % y, nil
+	case ir.And:
+		return x & y, nil
+	case ir.Or:
+		return x | y, nil
+	case ir.Xor:
+		return x ^ y, nil
+	case ir.Shl:
+		return x << uint(y&63), nil
+	case ir.Shr:
+		return x >> uint(y&63), nil
+	}
+	return 0, fmt.Errorf("unknown binary op %d", k)
+}
+
+func icmp(p ir.Pred, x, y int64) int64 {
+	var b bool
+	switch p {
+	case ir.EQ:
+		b = x == y
+	case ir.NE:
+		b = x != y
+	case ir.LT:
+		b = x < y
+	case ir.LE:
+		b = x <= y
+	case ir.GT:
+		b = x > y
+	case ir.GE:
+		b = x >= y
+	}
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func rmwFunc(k ir.RMWKind, operand int64) func(int64) int64 {
+	switch k {
+	case ir.RMWAdd:
+		return func(v int64) int64 { return v + operand }
+	case ir.RMWSub:
+		return func(v int64) int64 { return v - operand }
+	case ir.RMWAnd:
+		return func(v int64) int64 { return v & operand }
+	case ir.RMWOr:
+		return func(v int64) int64 { return v | operand }
+	case ir.RMWXor:
+		return func(v int64) int64 { return v ^ operand }
+	default: // RMWXchg
+		return func(int64) int64 { return operand }
+	}
+}

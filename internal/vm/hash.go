@@ -1,0 +1,65 @@
+package vm
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// StateHash returns a hash of the complete execution state: every
+// thread's control state, register file and memory view, plus the
+// shared-memory contents. The model checker prunes re-visited states,
+// which in particular collapses spinloop iterations that observed no
+// change (the state after a failed spin retry equals the state before
+// it).
+func (v *VM) StateHash() uint64 {
+	buf := make([]byte, 0, 1024)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(v.threads)))
+	for _, t := range v.threads {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.state))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.barrierN))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.stackNext))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.frames)))
+		for _, fr := range t.frames {
+			buf = append(buf, fr.fn.Name...)
+			buf = append(buf, 0)
+			buf = append(buf, fr.blk.Name...)
+			buf = append(buf, 0)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(fr.ip))
+			for _, r := range fr.regs {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(r))
+			}
+			for _, p := range fr.params {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(p))
+			}
+		}
+		if t.mm != nil {
+			buf = t.mm.View.AppendState(buf)
+		}
+	}
+	switch mem := v.mem.(type) {
+	case *viewMem:
+		buf = mem.mc.AppendState(buf)
+		buf = appendFlat(buf, mem.stack)
+	case *flatMem:
+		buf = appendFlat(buf, mem)
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return h.Sum64()
+}
+
+func appendFlat(buf []byte, mem *flatMem) []byte {
+	addrs := make([]uint64, 0, len(mem.cells))
+	for a, val := range mem.cells {
+		if val != 0 {
+			addrs = append(addrs, uint64(a))
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		buf = binary.LittleEndian.AppendUint64(buf, a)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(mem.cells[memAddr(a)]))
+	}
+	return buf
+}

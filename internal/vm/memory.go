@@ -1,0 +1,139 @@
+package vm
+
+import (
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+)
+
+// memory abstracts the VM's shared-memory backend. Performance runs use
+// a flat sequentially consistent store (weak behaviors are irrelevant to
+// the cycle model and message histories would grow without bound);
+// model checking and weak-behavior demonstrations use the view machine.
+type memory interface {
+	load(t *thread, a memmodel.Addr, ord ir.MemOrder) int64
+	store(t *thread, a memmodel.Addr, v int64, ord ir.MemOrder)
+	cmpxchg(t *thread, a memmodel.Addr, expected, nv int64, ord ir.MemOrder) (int64, bool)
+	rmw(t *thread, a memmodel.Addr, f func(int64) int64, ord ir.MemOrder) int64
+	fence(t *thread, ord ir.MemOrder)
+	setInit(a memmodel.Addr, v int64)
+	// rawset writes without memory-model effects (alloca zeroing).
+	rawset(a memmodel.Addr, v int64)
+}
+
+// flatMem is the fast sequentially consistent backend.
+type flatMem struct {
+	cells map[memmodel.Addr]int64
+}
+
+func newFlatMem() *flatMem { return &flatMem{cells: make(map[memmodel.Addr]int64)} }
+
+func (m *flatMem) load(_ *thread, a memmodel.Addr, _ ir.MemOrder) int64 { return m.cells[a] }
+
+func (m *flatMem) store(_ *thread, a memmodel.Addr, v int64, _ ir.MemOrder) { m.cells[a] = v }
+
+func (m *flatMem) cmpxchg(_ *thread, a memmodel.Addr, expected, nv int64, _ ir.MemOrder) (int64, bool) {
+	old := m.cells[a]
+	if old != expected {
+		return old, false
+	}
+	m.cells[a] = nv
+	return old, true
+}
+
+func (m *flatMem) rmw(_ *thread, a memmodel.Addr, f func(int64) int64, _ ir.MemOrder) int64 {
+	old := m.cells[a]
+	m.cells[a] = f(old)
+	return old
+}
+
+func (m *flatMem) fence(_ *thread, _ ir.MemOrder) {}
+
+func (m *flatMem) setInit(a memmodel.Addr, v int64) { m.cells[a] = v }
+
+func (m *flatMem) rawset(a memmodel.Addr, v int64) { m.cells[a] = v }
+
+// viewMem adapts the memmodel view machine to the VM memory interface.
+// Thread-stack addresses are routed to a flat side store: stack slots
+// are thread-local (the corpus shares data via globals and the heap
+// only), so modelling weak behavior on them would just bloat message
+// histories — a store per spinloop iteration would make every loop
+// state distinct and defeat the model checker's visited-state pruning.
+type viewMem struct {
+	mc    *memmodel.Machine
+	model memmodel.Model
+	stack *flatMem
+}
+
+func newViewMem(model memmodel.Model, oracle memmodel.ReadOracle) *viewMem {
+	return &viewMem{
+		mc:    memmodel.NewMachine(model, oracle),
+		model: model,
+		stack: newFlatMem(),
+	}
+}
+
+func isStackAddr(a memmodel.Addr) bool { return a >= stackBase }
+
+func (m *viewMem) eff(ord ir.MemOrder, isStore bool) memmodel.AccessOrd {
+	return memmodel.EffectiveOrd(m.model, int(ord), isStore)
+}
+
+func (m *viewMem) load(t *thread, a memmodel.Addr, ord ir.MemOrder) int64 {
+	if isStackAddr(a) {
+		return m.stack.load(t, a, ord)
+	}
+	return m.mc.Load(t.mm, a, m.eff(ord, false))
+}
+
+func (m *viewMem) store(t *thread, a memmodel.Addr, v int64, ord ir.MemOrder) {
+	if isStackAddr(a) {
+		m.stack.store(t, a, v, ord)
+		return
+	}
+	m.mc.Store(t.mm, a, v, m.eff(ord, true))
+}
+
+// rmwOrd maps a static RMW ordering under the model: on TSO (x86 lock
+// prefix) and SC machines read-modify-writes are full barriers.
+func (m *viewMem) rmwOrd(ord ir.MemOrder) memmodel.AccessOrd {
+	if m.model != memmodel.ModelWMM {
+		return memmodel.OrdSC
+	}
+	return m.eff(ord, true)
+}
+
+func (m *viewMem) cmpxchg(t *thread, a memmodel.Addr, expected, nv int64, ord ir.MemOrder) (int64, bool) {
+	if isStackAddr(a) {
+		return m.stack.cmpxchg(t, a, expected, nv, ord)
+	}
+	r := m.mc.CmpXchg(t.mm, a, expected, nv, m.rmwOrd(ord))
+	return r.Old, r.Swapped
+}
+
+func (m *viewMem) rmw(t *thread, a memmodel.Addr, f func(int64) int64, ord ir.MemOrder) int64 {
+	if isStackAddr(a) {
+		return m.stack.rmw(t, a, f, ord)
+	}
+	return m.mc.RMW(t.mm, a, f, m.rmwOrd(ord))
+}
+
+func (m *viewMem) fence(t *thread, ord ir.MemOrder) { m.mc.Fence(t.mm, int(ord)) }
+
+func (m *viewMem) setInit(a memmodel.Addr, v int64) {
+	if isStackAddr(a) {
+		m.stack.setInit(a, v)
+		return
+	}
+	m.mc.SetInit(a, v)
+}
+
+func (m *viewMem) rawset(a memmodel.Addr, v int64) {
+	if isStackAddr(a) {
+		m.stack.rawset(a, v)
+		return
+	}
+	m.mc.SetInit(a, v)
+}
+
+// memAddr converts a raw uint64 to the address type (hash helper).
+func memAddr(a uint64) memmodel.Addr { return memmodel.Addr(a) }

@@ -1,0 +1,318 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+// runOutputs compiles and runs a single-threaded program, returning its
+// print() outputs.
+func runOutputs(t *testing.T, src string) []int64 {
+	t.Helper()
+	m := compile(t, src)
+	res, err := Run(m, Options{Model: memmodel.ModelSC, Entries: []string{"main_thread"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", res.Status, res.FailMsg)
+	}
+	return res.Output
+}
+
+func expectOutputs(t *testing.T, src string, want ...int64) {
+	t.Helper()
+	got := runOutputs(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("outputs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("output[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNestedStructs(t *testing.T) {
+	expectOutputs(t, `
+struct inner { int a; int b; };
+struct outer { int tag; struct inner in; int tail; };
+struct outer o;
+
+void main_thread(void) {
+  o.tag = 1;
+  o.in.a = 10;
+  o.in.b = 20;
+  o.tail = 99;
+  print(o.tag + o.in.a + o.in.b + o.tail);
+  struct outer *p = &o;
+  p->in.b = 25;
+  print(o.in.b);
+  struct inner *q = &o.in;
+  q->a = 11;
+  print(o.in.a);
+  print(o.tail);
+}
+`, 130, 25, 11, 99)
+}
+
+func TestArraysOfArrays(t *testing.T) {
+	expectOutputs(t, `
+int grid[3][4];
+
+void main_thread(void) {
+  for (int r = 0; r < 3; r = r + 1) {
+    for (int c = 0; c < 4; c = c + 1) {
+      grid[r][c] = r * 10 + c;
+    }
+  }
+  print(grid[0][0]);
+  print(grid[1][3]);
+  print(grid[2][2]);
+  int sum = 0;
+  for (int r = 0; r < 3; r = r + 1) {
+    for (int c = 0; c < 4; c = c + 1) {
+      sum = sum + grid[r][c];
+    }
+  }
+  print(sum);
+}
+`, 0, 13, 22, 138)
+}
+
+func TestArraysInsideStructs(t *testing.T) {
+	expectOutputs(t, `
+struct rec { int id; int vals[3]; int after; };
+struct rec recs[2];
+
+void main_thread(void) {
+  recs[0].id = 7;
+  recs[0].vals[0] = 1;
+  recs[0].vals[1] = 2;
+  recs[0].vals[2] = 3;
+  recs[0].after = 8;
+  recs[1].id = 9;
+  recs[1].vals[2] = 30;
+  // Adjacent fields must not overlap.
+  print(recs[0].id);
+  print(recs[0].vals[0] + recs[0].vals[1] + recs[0].vals[2]);
+  print(recs[0].after);
+  print(recs[1].id);
+  print(recs[1].vals[2]);
+}
+`, 7, 6, 8, 9, 30)
+}
+
+func TestPointerArithmeticAndSwap(t *testing.T) {
+	expectOutputs(t, `
+int buf[8];
+
+void fill(int *p, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    p[i] = i * i;
+  }
+}
+
+void swap(int *a, int *b) {
+  int t = *a;
+  *a = *b;
+  *b = t;
+}
+
+void main_thread(void) {
+  fill(buf, 8);
+  print(buf[7]);
+  swap(&buf[0], &buf[7]);
+  print(buf[0]);
+  print(buf[7]);
+  int *mid = &buf[4];
+  print(mid[1]);   // buf[5]
+  print(*mid);
+}
+`, 49, 49, 0, 25, 16)
+}
+
+func TestMutualRecursion(t *testing.T) {
+	expectOutputs(t, `
+int is_even(int n);
+
+int is_odd(int n) {
+  if (n == 0) { return 0; }
+  return is_even(n - 1);
+}
+
+int is_even(int n) {
+  if (n == 0) { return 1; }
+  return is_odd(n - 1);
+}
+
+void main_thread(void) {
+  print(is_even(10));
+  print(is_odd(10));
+  print(is_even(7));
+}
+`, 1, 0, 0)
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	expectOutputs(t, `
+int calls;
+
+int bump(int ret) {
+  calls = calls + 1;
+  return ret;
+}
+
+void main_thread(void) {
+  calls = 0;
+  int a = bump(0) && bump(1);  // rhs must not run
+  print(a);
+  print(calls);
+  calls = 0;
+  int b = bump(1) || bump(1);  // rhs must not run
+  print(b);
+  print(calls);
+  calls = 0;
+  int c = bump(1) && bump(0);  // both run
+  print(c);
+  print(calls);
+}
+`, 0, 1, 1, 1, 0, 2)
+}
+
+func TestGlobalStructPointerChains(t *testing.T) {
+	expectOutputs(t, `
+struct node { int v; struct node *next; };
+struct node a;
+struct node b;
+struct node c;
+
+void main_thread(void) {
+  a.v = 1; b.v = 2; c.v = 3;
+  a.next = &b;
+  b.next = &c;
+  c.next = 0;
+  int sum = 0;
+  struct node *p = &a;
+  while (p != 0) {
+    sum = sum + p->v;
+    p = p->next;
+  }
+  print(sum);
+  print(a.next->next->v);
+}
+`, 6, 3)
+}
+
+func TestNegativeModuloAndShifts(t *testing.T) {
+	// Division/remainder follow Go (and C99) truncation semantics.
+	expectOutputs(t, `
+void main_thread(void) {
+  print(-7 / 2);
+  print(-7 % 2);
+  print(7 / -2);
+  print(7 % -2);
+  print(1 << 10);
+  print(-8 >> 1);
+  print(~5);
+}
+`, -3, -1, -3, 1, 1024, -4, -6)
+}
+
+// TestMutualRecursionForwardDecl exercises the two-pass function
+// registration: is_even is referenced before its body appears.
+func TestFunctionDeclarationOrder(t *testing.T) {
+	expectOutputs(t, `
+void main_thread(void) {
+  print(late(4));
+}
+int late(int x) { return x * x; }
+`, 16)
+}
+
+func TestSwitchStatement(t *testing.T) {
+	expectOutputs(t, `
+int classify(int cmd) {
+  int r = 0;
+  switch (cmd) {
+  case 1:
+    r = 100;
+    break;
+  case 2:
+  case 3:
+    r = 200;      // 2 falls into 3's body via the empty case
+    break;
+  case 4:
+    r = 400;      // falls through into default
+  default:
+    r = r + 1;
+  }
+  return r;
+}
+
+void main_thread(void) {
+  print(classify(1));
+  print(classify(2));
+  print(classify(3));
+  print(classify(4));
+  print(classify(9));
+}
+`, 100, 200, 200, 401, 1)
+}
+
+func TestSwitchInsideLoop(t *testing.T) {
+	expectOutputs(t, `
+void main_thread(void) {
+  int acc = 0;
+  for (int i = 0; i < 6; i = i + 1) {
+    switch (i % 3) {
+    case 0:
+      continue;      // continues the for loop, not the switch
+    case 1:
+      acc = acc + 10;
+      break;
+    default:
+      acc = acc + 1;
+    }
+    acc = acc + 100;  // skipped when case 0 hit continue
+  }
+  print(acc);
+}
+`, 422)
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	expectOutputs(t, `
+int g;
+int arr[4];
+
+void main_thread(void) {
+  int a = 10;
+  a += 5;  print(a);
+  a -= 3;  print(a);
+  a *= 2;  print(a);
+  a /= 4;  print(a);
+  a %= 4;  print(a);
+  a <<= 3; print(a);
+  a |= 1;  print(a);
+  a &= 9;  print(a);
+  a ^= 15; print(a);
+  int i = 0;
+  print(i++);
+  print(i);
+  print(++i);
+  print(i--);
+  print(--i);
+  // Lvalue evaluated once: the index expression runs a single time.
+  g = 0;
+  arr[g++] += 100;
+  print(arr[0]);
+  print(g);
+  // for-loop idiom with ++.
+  int sum = 0;
+  for (int k = 0; k < 5; k++) { sum += k; }
+  print(sum);
+}
+`, 15, 12, 24, 6, 2, 16, 17, 1, 14, 0, 1, 2, 2, 0, 100, 1, 10)
+}
