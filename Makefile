@@ -1,0 +1,31 @@
+# Build / test entry points. `make check` is the tier-1 gate;
+# `make fuzz-smoke` additionally runs each fuzz target for a short,
+# CI-sized burst over its checked-in seed corpus.
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test check fuzz-smoke clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+# Go allows one -fuzz pattern per invocation, so the targets run
+# sequentially. Crashers are written to testdata/fuzz/ as new
+# regression seeds; check them in.
+fuzz-smoke:
+	$(GO) test -run none -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/minic
+	$(GO) test -run none -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME) ./internal/ir
+
+clean:
+	$(GO) clean ./...

@@ -1,17 +1,23 @@
-// Command atomig-mc model-checks a corpus program (or MiniC file) under
-// a chosen memory model, optionally after porting it — the GenMC-style
-// verification flow of the paper's Table 2.
+// Command atomig-mc model-checks a corpus program (or MiniC/.air file)
+// under a chosen memory model, optionally after porting it — the
+// GenMC-style verification flow of the paper's Table 2.
 //
 // Usage:
 //
 //	atomig-mc -corpus mp -model wmm
 //	atomig-mc -corpus mp -model wmm -port
 //	atomig-mc -model tso -entries reader,writer file.c
+//
+// Exit codes: 0 the program verified, 1 a violation was found, 2 usage
+// or internal error, 3 the exploration budget was exhausted before a
+// verdict (verdict unknown; a -resume token is printed so a later run
+// can continue the exploration).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -25,19 +31,28 @@ import (
 )
 
 func main() {
-	corpusName := flag.String("corpus", "", "model-check a named corpus program")
-	model := flag.String("model", "wmm", "memory model: sc, tso, or wmm")
-	port := flag.Bool("port", false, "apply the full atomig pipeline first")
-	level := flag.String("level", "full", "pipeline level when porting: expl, spin, full")
-	entries := flag.String("entries", "", "comma-separated thread entry functions (files only)")
-	budget := flag.Duration("budget", 10*time.Second, "exploration time budget")
-	maxExecs := flag.Int("max-execs", 1_000_000, "maximum explored executions")
-	trace := flag.Bool("trace", false, "print a counterexample trace per violation")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	mod, entryList, err := load(*corpusName, *entries, flag.Args())
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atomig-mc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	corpusName := fs.String("corpus", "", "model-check a named corpus program")
+	model := fs.String("model", "wmm", "memory model: sc, tso, or wmm")
+	port := fs.Bool("port", false, "apply the full atomig pipeline first")
+	level := fs.String("level", "full", "pipeline level when porting: expl, spin, full")
+	entries := fs.String("entries", "", "comma-separated thread entry functions (files only)")
+	budget := fs.Duration("budget", 10*time.Second, "exploration time budget")
+	maxExecs := fs.Int("max-execs", 1_000_000, "maximum explored executions")
+	trace := fs.Bool("trace", false, "print a counterexample trace per violation")
+	resume := fs.String("resume", "", "resume token from a prior budget-exhausted run")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	mod, entryList, err := load(*corpusName, *entries, fs.Args())
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 
 	if *port {
@@ -50,13 +65,13 @@ func main() {
 		case "full":
 			opts.Level = atomig.LevelFull
 		default:
-			fatal(fmt.Errorf("unknown level %q", *level))
+			return fail(stderr, fmt.Errorf("unknown level %q", *level))
 		}
 		rep, err := atomig.Port(mod, opts)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		fmt.Printf("ported: %d spinloops, %d optimistic loops, +%d implicit, +%d explicit barriers\n",
+		fmt.Fprintf(stdout, "ported: %d spinloops, %d optimistic loops, +%d implicit, +%d explicit barriers\n",
 			rep.Spinloops, rep.Optiloops, rep.ImplicitAdded, rep.ExplicitAdded)
 	}
 
@@ -69,33 +84,51 @@ func main() {
 	case "wmm":
 		mm = memmodel.ModelWMM
 	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		return fail(stderr, fmt.Errorf("unknown model %q", *model))
 	}
 
-	res, err := mc.Check(mod, mc.Options{
+	opts := mc.Options{
 		Model:         mm,
 		Entries:       entryList,
 		TimeBudget:    *budget,
 		MaxExecutions: *maxExecs,
 		Traces:        *trace,
-	})
-	if err != nil {
-		fatal(err)
 	}
-	fmt.Printf("model=%s verdict=%s executions=%d pruned=%d truncated=%d\n",
-		mm, res.Verdict, res.Executions, res.Pruned, res.Truncated)
+	if *resume != "" {
+		token, err := mc.DecodeResume(*resume)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		opts.Resume = token
+	}
+	res, err := mc.Check(mod, opts)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "model=%s verdict=%s executions=%d pruned=%d truncated=%d states=%d frontier=%d\n",
+		mm, res.Verdict, res.Executions, res.Pruned, res.Truncated, res.States, res.Frontier)
+	if res.Reason != "" {
+		fmt.Fprintf(stdout, "reason: %s\n", res.Reason)
+	}
 	if *trace {
 		for _, ce := range res.Counterexamples {
-			fmt.Print(ce)
+			fmt.Fprint(stdout, ce)
 		}
 	} else {
 		for _, v := range res.Violations {
-			fmt.Printf("violation: %s\n", v)
+			fmt.Fprintf(stdout, "violation: %s\n", v)
 		}
 	}
-	if res.Verdict == mc.VerdictFail {
-		os.Exit(1)
+	switch res.Verdict {
+	case mc.VerdictFail:
+		return 1
+	case mc.VerdictUnknown:
+		if res.Resume != nil {
+			fmt.Fprintf(stdout, "resume=%s\n", res.Resume.Encode())
+		}
+		return 3
 	}
+	return 0
 }
 
 func load(corpusName, entries string, args []string) (*ir.Module, []string, error) {
@@ -128,7 +161,7 @@ func load(corpusName, entries string, args []string) (*ir.Module, []string, erro
 	return res.Module, strings.Split(entries, ","), nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "atomig-mc:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "atomig-mc:", err)
+	return 2
 }

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func runMC(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Malformed inputs must produce a structured error on stderr and exit
+// code 2 — never a panic.
+func TestMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+		{"unknown corpus", []string{"-corpus", "nope"}},
+		{"unknown model", []string{"-corpus", "mp", "-model", "psc"}},
+		{"missing file", []string{"-entries", "a", "/nonexistent/x.c"}},
+		{"malformed minic", []string{"-entries", "a", writeFile(t, "bad.c", "void f( {")}},
+		{"malformed air", []string{"-entries", "a", writeFile(t, "bad.air", "define [")}},
+		{"bad resume token", []string{"-corpus", "mp", "-resume", "not-a-token"}},
+	}
+	for _, tc := range cases {
+		code, _, stderr := runMC(t, tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, stderr)
+		}
+		if tc.args != nil && !strings.Contains(stderr, "atomig-mc:") && !strings.Contains(stderr, "flag") {
+			t.Errorf("%s: stderr lacks a structured error: %q", tc.name, stderr)
+		}
+		if strings.Contains(stderr, "goroutine") {
+			t.Errorf("%s: stderr looks like a panic:\n%s", tc.name, stderr)
+		}
+	}
+}
+
+const racySrc = `
+int flag;
+int msg;
+void writer(void) { msg = 1; flag = 1; }
+void reader(void) {
+  while (flag == 0) { }
+  assert(msg == 1);
+}
+`
+
+// Violation found => exit 1; ported and verified => exit 0.
+func TestVerdictExitCodes(t *testing.T) {
+	path := writeFile(t, "mp.c", racySrc)
+	code, stdout, _ := runMC(t, "-model", "wmm", "-entries", "reader,writer", path)
+	if code != 1 {
+		t.Fatalf("racy program: exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "verdict=violated") {
+		t.Errorf("stdout lacks verdict=violated:\n%s", stdout)
+	}
+	code, stdout, _ = runMC(t, "-model", "wmm", "-port", "-entries", "reader,writer", path)
+	if code != 0 {
+		t.Fatalf("ported program: exit %d, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "verdict=verified") {
+		t.Errorf("stdout lacks verdict=verified:\n%s", stdout)
+	}
+}
+
+const explosiveSrc = `
+int a;
+int b;
+int c;
+int out;
+void t0(void) {
+  for (int i = 0; i < 6; i = i + 1) { a = a + 1; out = out + b; }
+}
+void t1(void) {
+  for (int i = 0; i < 6; i = i + 1) { b = b + 1; out = out + c; }
+}
+void t2(void) {
+  for (int i = 0; i < 6; i = i + 1) { c = c + 1; out = out + a; }
+}
+`
+
+// Budget exhaustion => exit 3, unknown verdict, stats and a resume
+// token; feeding the token back continues the exploration.
+func TestBudgetExhaustedExitCode(t *testing.T) {
+	path := writeFile(t, "explosive.c", explosiveSrc)
+	code, stdout, stderr := runMC(t,
+		"-model", "wmm", "-entries", "t0,t1,t2", "-max-execs", "50", path)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"verdict=unknown", "executions=50", "frontier=", "reason: execution budget exhausted"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout)
+		}
+	}
+	m := regexp.MustCompile(`(?m)^resume=(\S+)$`).FindStringSubmatch(stdout)
+	if m == nil {
+		t.Fatalf("no resume token printed:\n%s", stdout)
+	}
+	code, stdout, stderr = runMC(t,
+		"-model", "wmm", "-entries", "t0,t1,t2", "-max-execs", "150", "-resume", m[1], path)
+	if code != 3 {
+		t.Fatalf("resumed run: exit %d, want 3 (still unknown)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "executions=150") {
+		t.Errorf("resumed run did not continue the counters:\n%s", stdout)
+	}
+}

@@ -6,13 +6,19 @@
 //
 //	atomig-run -corpus memcached                  # perf harness, SC
 //	atomig-run -corpus mp -model wmm -seed 13     # hunt a weak behavior
+//	atomig-run -corpus mp -model wmm -sched starve -watchdog
 //	atomig-run -corpus memcached -port -profile   # port, then profile
 //	atomig-run -entries main_thread file.c
+//
+// Exit codes: 0 the execution completed, 1 the execution failed (assert
+// failure, deadlock, or step-budget exhaustion), 2 usage or internal
+// error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -27,36 +33,50 @@ import (
 )
 
 func main() {
-	corpusName := flag.String("corpus", "", "run a named corpus program")
-	model := flag.String("model", "sc", "memory model: sc, tso, or wmm")
-	entries := flag.String("entries", "", "comma-separated thread entry functions")
-	seed := flag.Int64("seed", 1, "scheduler seed")
-	maxSteps := flag.Int64("max-steps", 0, "instruction budget (0 = default)")
-	port := flag.Bool("port", false, "apply the atomig pipeline before running")
-	o2 := flag.Bool("O2", false, "optimize (with -port: after porting)")
-	profile := flag.Bool("profile", false, "print the per-function cycle profile")
-	mcHarness := flag.Bool("mc", false, "use the corpus program's model-checking harness instead of the perf harness")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	mod, entryList, maxDefault, err := load(*corpusName, *entries, *mcHarness, flag.Args())
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atomig-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	corpusName := fs.String("corpus", "", "run a named corpus program")
+	model := fs.String("model", "sc", "memory model: sc, tso, or wmm")
+	entries := fs.String("entries", "", "comma-separated thread entry functions")
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	sched := fs.String("sched", "random", "scheduler mode: random, starve, delay, reorder, burst")
+	watchdog := fs.Bool("watchdog", false, "diagnose livelocks when the step budget is exhausted")
+	maxSteps := fs.Int64("max-steps", 0, "instruction budget (0 = default)")
+	port := fs.Bool("port", false, "apply the atomig pipeline before running")
+	o2 := fs.Bool("O2", false, "optimize (with -port: after porting)")
+	profile := fs.Bool("profile", false, "print the per-function cycle profile")
+	mcHarness := fs.Bool("mc", false, "use the corpus program's model-checking harness instead of the perf harness")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	mod, entryList, maxDefault, err := load(*corpusName, *entries, *mcHarness, fs.Args())
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	if *maxSteps == 0 {
 		*maxSteps = maxDefault
+	}
+	mode, err := vm.ParseSchedMode(*sched)
+	if err != nil {
+		return fail(stderr, err)
 	}
 	if *port {
 		opts := atomig.DefaultOptions()
 		opts.Optimize = *o2
 		rep, err := atomig.Port(mod, opts)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		fmt.Printf("ported: %d spinloops, %d optimistic, +%d implicit, +%d explicit\n",
+		fmt.Fprintf(stdout, "ported: %d spinloops, %d optimistic, +%d implicit, +%d explicit\n",
 			rep.Spinloops, rep.Optiloops, rep.ImplicitAdded, rep.ExplicitAdded)
 	} else if *o2 {
 		st := opt.Optimize(mod)
-		fmt.Printf("optimized: folded %d, hoisted %d, removed %d\n",
+		fmt.Fprintf(stdout, "optimized: folded %d, hoisted %d, removed %d\n",
 			st.Folded, st.Hoisted, st.DeadRemoved+st.BlocksRemoved)
 	}
 
@@ -69,26 +89,30 @@ func main() {
 	case "wmm":
 		mm = memmodel.ModelWMM
 	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		return fail(stderr, fmt.Errorf("unknown model %q", *model))
 	}
 
 	res, err := vm.Run(mod, vm.Options{
-		Model: mm, Entries: entryList, Seed: *seed,
-		MaxSteps: *maxSteps, Profile: *profile,
+		Model: mm, Entries: entryList,
+		Controller: vm.NewScheduler(mode, *seed),
+		MaxSteps:   *maxSteps, Profile: *profile, Watchdog: *watchdog,
 	})
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Printf("status=%s steps=%d makespan=%d cycles (total %d)\n",
-		res.Status, res.Steps, res.MaxCycles, res.TotalCycles)
+	fmt.Fprintf(stdout, "status=%s sched=%s steps=%d makespan=%d cycles (total %d)\n",
+		res.Status, mode, res.Steps, res.MaxCycles, res.TotalCycles)
 	if res.FailMsg != "" {
-		fmt.Println(res.FailMsg)
+		fmt.Fprintln(stdout, res.FailMsg)
+	}
+	if len(res.Livelock) > 0 {
+		fmt.Fprint(stdout, vm.FormatLivelock(res.Livelock))
 	}
 	c := res.Counters
-	fmt.Printf("loads=%d/%d stores=%d/%d rmw=%d fences=%d (non-atomic/atomic)\n",
+	fmt.Fprintf(stdout, "loads=%d/%d stores=%d/%d rmw=%d fences=%d (non-atomic/atomic)\n",
 		c.NonAtomicLoads, c.AtomicLoads, c.NonAtomicStores, c.AtomicStores, c.RMWs, c.Fences)
 	if len(res.Output) > 0 {
-		fmt.Printf("output: %v\n", res.Output)
+		fmt.Fprintf(stdout, "output: %v\n", res.Output)
 	}
 	if *profile {
 		type fc struct {
@@ -100,18 +124,19 @@ func main() {
 			fns = append(fns, fc{name, cycles})
 		}
 		sort.Slice(fns, func(i, j int) bool { return fns[i].cycles > fns[j].cycles })
-		fmt.Println("hottest functions:")
+		fmt.Fprintln(stdout, "hottest functions:")
 		for i, f := range fns {
 			if i == 10 {
 				break
 			}
-			fmt.Printf("  %-24s %12d cycles (%4.1f%%)\n",
+			fmt.Fprintf(stdout, "  %-24s %12d cycles (%4.1f%%)\n",
 				f.name, f.cycles, 100*float64(f.cycles)/float64(res.TotalCycles))
 		}
 	}
-	if res.Status == vm.StatusAssertFailed {
-		os.Exit(1)
+	if res.Status != vm.StatusDone {
+		return 1
 	}
+	return 0
 }
 
 func load(corpusName, entries string, mcHarness bool, args []string) (*ir.Module, []string, int64, error) {
@@ -154,7 +179,7 @@ func load(corpusName, entries string, mcHarness bool, args []string) (*ir.Module
 	return res.Module, strings.Split(entries, ","), 0, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "atomig-run:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "atomig-run:", err)
+	return 2
 }

@@ -15,11 +15,16 @@
 //	-emit                   print the transformed module IR
 //	-emit-orig              print the original module IR
 //	-no-inline              disable the pre-analysis inliner
+//
+// Exit codes: 0 success, 2 usage or internal error (malformed input,
+// port failure). Exit code 1 is reserved for tools that report analysis
+// verdicts (atomig-run, atomig-mc).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -31,43 +36,51 @@ import (
 )
 
 func main() {
-	level := flag.String("level", "full", "pipeline level: expl, spin, or full")
-	naive := flag.Bool("naive", false, "apply the naïve all-SC strategy")
-	lasagne := flag.Bool("lasagne", false, "apply the Lasagne-style strategy")
-	emit := flag.Bool("emit", false, "print the transformed module IR")
-	emitOrig := flag.Bool("emit-orig", false, "print the original module IR")
-	noInline := flag.Bool("no-inline", false, "disable the pre-analysis inliner")
-	corpusName := flag.String("corpus", "", "port a named corpus program instead of a file")
-	list := flag.Bool("list", false, "list corpus programs and exit")
-	out := flag.String("o", "", "write the transformed module to a .air file")
-	o2 := flag.Bool("O2", false, "run the post-transformation optimizer (Figure 2)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atomig", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	level := fs.String("level", "full", "pipeline level: expl, spin, or full")
+	naive := fs.Bool("naive", false, "apply the naïve all-SC strategy")
+	lasagne := fs.Bool("lasagne", false, "apply the Lasagne-style strategy")
+	emit := fs.Bool("emit", false, "print the transformed module IR")
+	emitOrig := fs.Bool("emit-orig", false, "print the original module IR")
+	noInline := fs.Bool("no-inline", false, "disable the pre-analysis inliner")
+	corpusName := fs.String("corpus", "", "port a named corpus program instead of a file")
+	list := fs.Bool("list", false, "list corpus programs and exit")
+	out := fs.String("o", "", "write the transformed module to a .air file")
+	o2 := fs.Bool("O2", false, "run the post-transformation optimizer (Figure 2)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, p := range corpus.All() {
-			fmt.Printf("%-18s %s\n", p.Name, p.Desc)
+			fmt.Fprintf(stdout, "%-18s %s\n", p.Name, p.Desc)
 		}
-		return
+		return 0
 	}
 
-	mod, err := loadModule(*corpusName, flag.Args())
+	mod, err := loadModule(*corpusName, fs.Args())
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	if *emitOrig {
-		fmt.Println(mod.String())
+		fmt.Fprintln(stdout, mod.String())
 	}
 
 	switch {
 	case *naive:
 		n := transform.Naive(mod)
 		expl, impl := transform.CountBarriers(mod)
-		fmt.Printf("naive: converted %d accesses to seq_cst (%d explicit, %d implicit barriers present)\n",
+		fmt.Fprintf(stdout, "naive: converted %d accesses to seq_cst (%d explicit, %d implicit barriers present)\n",
 			n, expl, impl)
 	case *lasagne:
 		st := transform.LasagneStyle(mod)
 		expl, impl := transform.CountBarriers(mod)
-		fmt.Printf("lasagne: inserted %d fences, elided %d (%d explicit, %d implicit barriers present)\n",
+		fmt.Fprintf(stdout, "lasagne: inserted %d fences, elided %d (%d explicit, %d implicit barriers present)\n",
 			st.FencesInserted, st.FencesElided, expl, impl)
 	default:
 		opts := atomig.DefaultOptions()
@@ -80,28 +93,29 @@ func main() {
 		case "full":
 			opts.Level = atomig.LevelFull
 		default:
-			fatal(fmt.Errorf("unknown level %q", *level))
+			return fail(stderr, fmt.Errorf("unknown level %q", *level))
 		}
 		opts.Optimize = *o2
 		rep, err := atomig.Port(mod, opts)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		printReport(rep)
+		printReport(stdout, rep)
 		if *o2 {
-			fmt.Printf("  optimizer: folded %d, hoisted %d, removed %d\n",
+			fmt.Fprintf(stdout, "  optimizer: folded %d, hoisted %d, removed %d\n",
 				rep.OptFolded, rep.OptHoisted, rep.OptRemoved)
 		}
 	}
 	if *emit {
-		fmt.Println(mod.String())
+		fmt.Fprintln(stdout, mod.String())
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(mod.String()), 0o644); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		fmt.Printf("wrote %s\n", *out)
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
+	return 0
 }
 
 func loadModule(corpusName string, args []string) (*ir.Module, error) {
@@ -130,23 +144,23 @@ func loadModule(corpusName string, args []string) (*ir.Module, error) {
 	return res.Module, nil
 }
 
-func printReport(rep *atomig.Report) {
-	fmt.Printf("atomig report for %s (level %s)\n", rep.Module, rep.Level)
-	fmt.Printf("  spinloops detected:        %d\n", rep.Spinloops)
-	fmt.Printf("  optimistic loops detected: %d\n", rep.Optiloops)
-	fmt.Printf("  call sites inlined:        %d\n", rep.FunctionsInlined)
-	fmt.Printf("  volatile accesses -> SC:   %d\n", rep.VolatileConverted)
-	fmt.Printf("  atomics upgraded to SC:    %d\n", rep.AtomicUpgraded)
-	fmt.Printf("  spin controls marked:      %d\n", rep.SpinControlsMarked)
-	fmt.Printf("  sticky buddies converted:  %d\n", rep.StickyMarked)
-	fmt.Printf("  implicit barriers added:   %d (%d -> %d)\n",
+func printReport(w io.Writer, rep *atomig.Report) {
+	fmt.Fprintf(w, "atomig report for %s (level %s)\n", rep.Module, rep.Level)
+	fmt.Fprintf(w, "  spinloops detected:        %d\n", rep.Spinloops)
+	fmt.Fprintf(w, "  optimistic loops detected: %d\n", rep.Optiloops)
+	fmt.Fprintf(w, "  call sites inlined:        %d\n", rep.FunctionsInlined)
+	fmt.Fprintf(w, "  volatile accesses -> SC:   %d\n", rep.VolatileConverted)
+	fmt.Fprintf(w, "  atomics upgraded to SC:    %d\n", rep.AtomicUpgraded)
+	fmt.Fprintf(w, "  spin controls marked:      %d\n", rep.SpinControlsMarked)
+	fmt.Fprintf(w, "  sticky buddies converted:  %d\n", rep.StickyMarked)
+	fmt.Fprintf(w, "  implicit barriers added:   %d (%d -> %d)\n",
 		rep.ImplicitAdded, rep.ImplicitBefore, rep.ImplicitAfter)
-	fmt.Printf("  explicit fences added:     %d (%d -> %d)\n",
+	fmt.Fprintf(w, "  explicit fences added:     %d (%d -> %d)\n",
 		rep.ExplicitAdded, rep.ExplicitBefore, rep.ExplicitAfter)
-	fmt.Printf("  porting time:              %s\n", rep.Duration)
+	fmt.Fprintf(w, "  porting time:              %s\n", rep.Duration)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "atomig:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "atomig:", err)
+	return 2
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Malformed inputs must produce a structured error on stderr and exit
+// code 2 — never a panic.
+func TestMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"bad flag", []string{"-definitely-not-a-flag"}},
+		{"unknown corpus", []string{"-corpus", "nope"}},
+		{"unknown level", []string{"-level", "max", "-corpus", "mp"}},
+		{"missing file", []string{"/nonexistent/x.c"}},
+		{"malformed minic", []string{writeFile(t, "bad.c", "int x = = 3;")}},
+		{"malformed air", []string{writeFile(t, "bad.air", "define i64@(")}},
+	}
+	for _, tc := range cases {
+		code, _, stderr := runCLI(t, tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, stderr)
+		}
+		if strings.Contains(stderr, "goroutine") {
+			t.Errorf("%s: stderr looks like a panic:\n%s", tc.name, stderr)
+		}
+	}
+}
+
+// Porting a corpus program succeeds with a report; -list exits 0.
+func TestPortAndList(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-corpus", "mp")
+	if code != 0 {
+		t.Fatalf("port: exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "atomig report") {
+		t.Errorf("no report printed:\n%s", stdout)
+	}
+	code, stdout, _ = runCLI(t, "-list")
+	if code != 0 || !strings.Contains(stdout, "mp") {
+		t.Errorf("-list: exit %d, output:\n%s", code, stdout)
+	}
+}
+
+// -o writes a transformed module that re-parses through the .air path.
+func TestEmitFileRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "mp.air")
+	code, _, stderr := runCLI(t, "-corpus", "mp", "-o", out)
+	if code != 0 {
+		t.Fatalf("port -o: exit %d\nstderr: %s", code, stderr)
+	}
+	code, stdout, stderr := runCLI(t, out)
+	if code != 0 {
+		t.Fatalf("re-port .air: exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "atomig report") {
+		t.Errorf("no report on .air input:\n%s", stdout)
+	}
+}

@@ -62,7 +62,7 @@ func main() {
 	base := run(kernel, prog)
 	fmt.Printf("original: %12d cycles  (%d atomic loads)\n", base.MaxCycles, base.Counters.AtomicLoads)
 
-	naive := ir.CloneModule(kernel)
+	naive := ir.MustClone(kernel)
 	transform.Naive(naive)
 	n := run(naive, prog)
 	fmt.Printf("naive:    %12d cycles  (%.2fx, %d atomic loads)\n",

@@ -1,0 +1,173 @@
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// RunnableProgram generates a terminating concurrent MiniC program whose
+// final global state is schedule-independent: every fair schedule, under
+// sequential consistency, ends with the same values in every global.
+// That property is what the differential stress harness
+// (internal/difftest) needs — the SC run is the reference, and the
+// atomig-ported program must reproduce it under WMM for every
+// adversarial scheduler.
+//
+// The generator composes programs from the synchronization idioms the
+// porting pipeline is proven to repair (the model-checked shapes of the
+// mc end-to-end tests): message-passing channels, two-sided handshakes,
+// test-and-set lock critical sections, and sequence locks whose reader
+// waits for the final generation. Determinism and termination hold by
+// construction:
+//
+//   - each thread performs all its non-blocking "producer" actions
+//     (stores, lock/increment/unlock) before any blocking "consumer"
+//     action (spin-waits), so every wait's precondition is eventually
+//     established;
+//   - consumer actions are ordered by site index within each thread,
+//     and a site's only same-index dependency is its waiter depending
+//     on its responder (never the reverse), so waits cannot form a
+//     cycle;
+//   - no nondet() and no print(), so the only observable state is the
+//     final value of each global, which each site pins uniquely.
+//
+// The same seed always produces the same program.
+func RunnableProgram(seed int64) (src string, entries []string) {
+	rng := rand.New(rand.NewSource(seed))
+	nThreads := 2 + rng.Intn(3) // 2..4 threads
+
+	type action struct {
+		site  int
+		stmts []string
+	}
+	var decls []string
+	prod := make([][]action, nThreads)
+	cons := make([][]action, nThreads)
+
+	// pick2 returns two distinct thread indices.
+	pick2 := func() (int, int) {
+		p := rng.Intn(nThreads)
+		c := rng.Intn(nThreads - 1)
+		if c >= p {
+			c++
+		}
+		return p, c
+	}
+
+	nSites := 2 + rng.Intn(3) // 2..4 sites
+	for i := 0; i < nSites; i++ {
+		switch rng.Intn(4) {
+		case 0: // message-passing channel: writer publishes, reader spins.
+			v := rng.Intn(900) + 1
+			decls = append(decls,
+				fmt.Sprintf("int c%d_flag;", i),
+				fmt.Sprintf("int c%d_msg;", i),
+				fmt.Sprintf("int c%d_out;", i))
+			p, c := pick2()
+			prod[p] = append(prod[p], action{i, []string{
+				fmt.Sprintf("c%d_msg = %d;", i, v),
+				fmt.Sprintf("c%d_flag = 1;", i),
+			}})
+			cons[c] = append(cons[c], action{i, []string{
+				fmt.Sprintf("while (c%d_flag == 0) { }", i),
+				fmt.Sprintf("c%d_out = c%d_msg;", i, i),
+			}})
+
+		case 1: // two-sided handshake: requester waits for the ack.
+			decls = append(decls,
+				fmt.Sprintf("int h%d_req;", i),
+				fmt.Sprintf("int h%d_ack;", i),
+				fmt.Sprintf("int h%d_done;", i))
+			p, c := pick2()
+			prod[p] = append(prod[p], action{i, []string{
+				fmt.Sprintf("h%d_req = 1;", i),
+			}})
+			// Responder: wait for the request, then acknowledge.
+			cons[c] = append(cons[c], action{i, []string{
+				fmt.Sprintf("while (h%d_req == 0) { }", i),
+				fmt.Sprintf("h%d_ack = 1;", i),
+			}})
+			// Requester: wait for the acknowledgement.
+			cons[p] = append(cons[p], action{i, []string{
+				fmt.Sprintf("while (h%d_ack == 0) { }", i),
+				fmt.Sprintf("h%d_done = 1;", i),
+			}})
+
+		case 2: // test-and-set lock around a shared counter.
+			decls = append(decls,
+				fmt.Sprintf("int l%d_lock;", i),
+				fmt.Sprintf("int l%d_count;", i))
+			nWorkers := 2 + rng.Intn(nThreads-1)
+			if nWorkers > nThreads {
+				nWorkers = nThreads
+			}
+			perm := rng.Perm(nThreads)[:nWorkers]
+			for _, t := range perm {
+				prod[t] = append(prod[t], action{i, []string{
+					fmt.Sprintf("while (__cas(&l%d_lock, 0, 1) != 0) { }", i),
+					fmt.Sprintf("l%d_count = l%d_count + 1;", i, i),
+					fmt.Sprintf("l%d_lock = 0;", i),
+				}})
+			}
+
+		default: // seqlock whose reader waits for the final generation.
+			v := rng.Intn(900) + 1
+			decls = append(decls,
+				fmt.Sprintf("int q%d_seq;", i),
+				fmt.Sprintf("int q%d_data;", i),
+				fmt.Sprintf("int q%d_out;", i))
+			p, c := pick2()
+			prod[p] = append(prod[p], action{i, []string{
+				fmt.Sprintf("q%d_seq = q%d_seq + 1;", i, i),
+				fmt.Sprintf("q%d_data = %d;", i, v),
+				fmt.Sprintf("q%d_seq = q%d_seq + 1;", i, i),
+			}})
+			// The writer performs exactly one transaction, so waiting for
+			// an even sequence >= 2 pins the reader to the final snapshot.
+			cons[c] = append(cons[c], action{i, []string{
+				fmt.Sprintf("int s%d;", i),
+				fmt.Sprintf("int d%d;", i),
+				"do {",
+				fmt.Sprintf("  s%d = q%d_seq;", i, i),
+				fmt.Sprintf("  d%d = q%d_data;", i, i),
+				fmt.Sprintf("} while (s%d %% 2 != 0 || s%d < 2 || s%d != q%d_seq);", i, i, i, i),
+				fmt.Sprintf("q%d_out = d%d;", i, i),
+			}})
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "// runnable program, appgen seed %d\n", seed)
+	for _, d := range decls {
+		b.WriteString(d)
+		b.WriteByte('\n')
+	}
+	for t := 0; t < nThreads; t++ {
+		// Per-thread deterministic local compute, published to a private
+		// global so the snapshot also covers plain sequential codegen.
+		fmt.Fprintf(&b, "int p%d_acc;\n", t)
+		fmt.Fprintf(&b, "void t%d(void) {\n", t)
+		fmt.Fprintf(&b, "  int acc = %d;\n", rng.Intn(50))
+		fmt.Fprintf(&b, "  for (int i = 0; i < %d; i = i + 1) { acc = acc + i * %d; }\n",
+			rng.Intn(6)+2, rng.Intn(5)+1)
+		for _, a := range prod[t] {
+			for _, s := range a.stmts {
+				fmt.Fprintf(&b, "  %s\n", s)
+			}
+		}
+		// Waits ordered by site index: the only same-index dependency is
+		// waiter-on-responder, so ordering by site excludes wait cycles.
+		sort.SliceStable(cons[t], func(x, y int) bool { return cons[t][x].site < cons[t][y].site })
+		for _, a := range cons[t] {
+			for _, s := range a.stmts {
+				fmt.Fprintf(&b, "  %s\n", s)
+			}
+		}
+		fmt.Fprintf(&b, "  p%d_acc = acc;\n", t)
+		b.WriteString("}\n")
+		entries = append(entries, fmt.Sprintf("t%d", t))
+	}
+	return b.String(), entries
+}

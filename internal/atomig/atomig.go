@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/alias"
 	"repro/internal/analysis"
+	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/transform"
@@ -131,10 +132,12 @@ type Report struct {
 
 // Port runs the atomig pipeline on m in place and returns the report.
 // Callers that need to keep the original should clone the module first
-// (ir.CloneModule).
-func Port(m *ir.Module, opts Options) (*Report, error) {
+// (ir.CloneModule). Internal panics anywhere in the pipeline are
+// contained by the diag guard and returned as structured errors.
+func Port(m *ir.Module, opts Options) (rep *Report, err error) {
+	defer diag.Guard("atomig.Port", &err)
 	start := time.Now()
-	rep := &Report{Module: m.Name, Level: opts.Level}
+	rep = &Report{Module: m.Name, Level: opts.Level}
 	rep.ExplicitBefore, rep.ImplicitBefore = transform.CountBarriers(m)
 
 	if opts.Inline {
@@ -308,7 +311,10 @@ func Port(m *ir.Module, opts Options) (*Report, error) {
 // PortClone clones m, ports the clone, and returns it with the report,
 // leaving m untouched.
 func PortClone(m *ir.Module, opts Options) (*ir.Module, *Report, error) {
-	c := ir.CloneModule(m)
+	c, err := ir.CloneModule(m)
+	if err != nil {
+		return nil, nil, err
+	}
 	rep, err := Port(c, opts)
 	if err != nil {
 		return nil, nil, err

@@ -22,10 +22,10 @@ func TestAblations(t *testing.T) {
 	if r := byChoice["inlining"]; r.Without >= r.With {
 		t.Errorf("inlining ablation: with=%s without=%s", r.With, r.Without)
 	}
-	if r := byChoice["alias exploration"]; r.Without != "fail" || r.With == "fail" {
+	if r := byChoice["alias exploration"]; r.Without != "violated" || r.With == "violated" {
 		t.Errorf("alias ablation: with=%s without=%s", r.With, r.Without)
 	}
-	if r := byChoice["optimistic loops"]; r.Without != "fail" || r.With == "fail" {
+	if r := byChoice["optimistic loops"]; r.Without != "violated" || r.With == "violated" {
 		t.Errorf("optimistic ablation: with=%s without=%s", r.With, r.Without)
 	}
 	if r := byChoice["polling extension"]; r.Without >= r.With {

@@ -48,11 +48,11 @@ func portVariant(m *ir.Module, v Variant) (*ir.Module, *atomig.Report, error) {
 	case VariantAtoMig:
 		return portLevel(m, atomig.LevelFull)
 	case VariantNaive:
-		c := ir.CloneModule(m)
+		c := ir.MustClone(m)
 		transform.Naive(c)
 		return c, nil, nil
 	case VariantLasagne:
-		c := ir.CloneModule(m)
+		c := ir.MustClone(m)
 		transform.LasagneStyle(c)
 		return c, nil, nil
 	}
@@ -197,7 +197,7 @@ func Table3(scale int, seed int64) ([]Table3Row, error) {
 		portTime := time.Since(portStart)
 		_ = ported
 
-		naive := ir.CloneModule(res.Module)
+		naive := ir.MustClone(res.Module)
 		transform.Naive(naive)
 		_, naiveImpl := transform.CountBarriers(naive)
 

@@ -1,0 +1,199 @@
+// Package difftest is the differential stress harness of the hardened
+// verification stack: it runs a schedule-independent concurrent program
+// under sequential consistency to obtain the reference final state, then
+// ports the program with the atomig pipeline and re-executes it under
+// the weak memory model across every fault-injection scheduler mode,
+// failing on any divergence in final global state, thread returns, or
+// termination status.
+//
+// The model checker (internal/mc) proves small programs exhaustively;
+// this harness is the complementary randomized check that the whole
+// stack — MiniC frontend, porting pipeline, view-machine memory model,
+// adversarial schedulers — composes correctly on larger generated
+// programs (internal/appgen.RunnableProgram).
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/atomig"
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+// Options configures a differential run.
+type Options struct {
+	// Seeds drives both the SC self-consistency check and the per-mode
+	// weak-memory runs. Empty selects DefaultSeeds.
+	Seeds []int64
+	// Modes are the scheduler modes to stress. Empty selects every mode.
+	Modes []vm.SchedMode
+	// MaxSteps bounds each execution (0 = a generous default; the
+	// adversarial schedulers stretch spin phases far beyond what a
+	// uniform schedule needs).
+	MaxSteps int64
+	// Port configures the porting pipeline. Zero value selects
+	// atomig.DefaultOptions.
+	Port *atomig.Options
+}
+
+// DefaultSeeds is the seed set used when Options.Seeds is empty.
+func DefaultSeeds() []int64 { return []int64{1, 2, 3, 4} }
+
+const defaultMaxSteps = 4_000_000
+
+// Result summarizes a passing differential run.
+type Result struct {
+	// Reference is the canonical final global state from the SC run.
+	Reference map[string][]int64
+	// Runs is the number of weak-memory executions compared.
+	Runs int
+}
+
+// Run compiles src, establishes the SC reference state, ports the
+// module, and checks every (mode, seed) weak-memory execution of the
+// ported program against the reference. A non-nil error describes the
+// first divergence or infrastructure failure.
+func Run(src string, entries []string, opts Options) (*Result, error) {
+	seeds := opts.Seeds
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds()
+	}
+	modes := opts.Modes
+	if len(modes) == 0 {
+		modes = vm.AllSchedModes()
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	port := atomig.DefaultOptions()
+	if opts.Port != nil {
+		port = *opts.Port
+	}
+
+	res, err := minic.Compile("difftest", src)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: compile: %w", err)
+	}
+
+	// Reference: the program must be schedule-independent under SC, so
+	// every seeded SC run must agree. A mismatch here means the input
+	// program is invalid for differential testing (the generator broke
+	// its own determinism contract), which is itself a bug worth failing.
+	var ref map[string][]int64
+	var refReturns []int64
+	for _, seed := range seeds {
+		snap, returns, err := execute(res.Module, vm.Options{
+			Model:      memmodel.ModelSC,
+			Entries:    entries,
+			Controller: vm.NewScheduler(vm.SchedRandom, seed),
+			MaxSteps:   maxSteps,
+			Watchdog:   true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("difftest: SC reference (seed %d): %w", seed, err)
+		}
+		if ref == nil {
+			ref, refReturns = snap, returns
+			continue
+		}
+		if diff := diffState(ref, refReturns, snap, returns); diff != "" {
+			return nil, fmt.Errorf("difftest: program is schedule-dependent under SC (seed %d): %s", seed, diff)
+		}
+	}
+
+	ported, _, err := atomig.PortClone(res.Module, port)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: port: %w", err)
+	}
+
+	runs := 0
+	for _, mode := range modes {
+		for _, seed := range seeds {
+			snap, returns, err := execute(ported, vm.Options{
+				Model:      memmodel.ModelWMM,
+				Entries:    entries,
+				Controller: vm.NewScheduler(mode, seed),
+				MaxSteps:   maxSteps,
+				Watchdog:   true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("difftest: ported under WMM, sched=%s seed=%d: %w", mode, seed, err)
+			}
+			if diff := diffState(ref, refReturns, snap, returns); diff != "" {
+				return nil, fmt.Errorf("difftest: divergence under WMM, sched=%s seed=%d: %s", mode, seed, diff)
+			}
+			runs++
+		}
+	}
+	return &Result{Reference: ref, Runs: runs}, nil
+}
+
+// execute runs one execution and returns the final global snapshot and
+// per-thread returns. Any status other than a clean completion is an
+// error; on a step-limit halt the watchdog's livelock diagnosis is
+// attached.
+func execute(m *ir.Module, opts vm.Options) (map[string][]int64, []int64, error) {
+	v, err := vm.New(m, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := v.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	if out.Status != vm.StatusDone {
+		msg := fmt.Sprintf("execution ended with status %s", out.Status)
+		if len(out.Livelock) > 0 {
+			msg += "\n" + vm.FormatLivelock(out.Livelock)
+		}
+		if out.FailMsg != "" {
+			msg += ": " + out.FailMsg
+		}
+		return nil, nil, fmt.Errorf("%s", msg)
+	}
+	return v.Snapshot(), out.Returns, nil
+}
+
+// diffState reports the first difference between two final states, or
+// "" when they are identical.
+func diffState(refSnap map[string][]int64, refReturns []int64, snap map[string][]int64, returns []int64) string {
+	if len(returns) != len(refReturns) {
+		return fmt.Sprintf("thread count %d != %d", len(returns), len(refReturns))
+	}
+	for i := range refReturns {
+		if returns[i] != refReturns[i] {
+			return fmt.Sprintf("thread %d returned %d, reference %d", i, returns[i], refReturns[i])
+		}
+	}
+	names := make([]string, 0, len(refSnap))
+	for n := range refSnap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var diffs []string
+	for _, n := range names {
+		want, got := refSnap[n], snap[n]
+		if len(got) != len(want) {
+			diffs = append(diffs, fmt.Sprintf("%s: %d cells vs %d", n, len(got), len(want)))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				diffs = append(diffs, fmt.Sprintf("%s[%d] = %d, reference %d", n, i, got[i], want[i]))
+			}
+		}
+	}
+	if len(snap) != len(refSnap) {
+		diffs = append(diffs, fmt.Sprintf("global count %d != %d", len(snap), len(refSnap)))
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	return strings.Join(diffs, "; ")
+}

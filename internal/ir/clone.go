@@ -1,10 +1,16 @@
 package ir
 
+import "fmt"
+
 // CloneModule deep-copies a module. Transformation pipelines run on a
 // clone so that the original, Naïve, and AtoMig variants of a program can
 // all be produced from a single compile, exactly as the paper's
 // evaluation compares variants of one build.
-func CloneModule(m *Module) *Module {
+//
+// A malformed source module (duplicate global or function names) yields
+// an error rather than a panic; callers holding a verified module can
+// use MustClone.
+func CloneModule(m *Module) (*Module, error) {
 	out := NewModule(m.Name)
 	for name, st := range m.Structs {
 		out.Structs[name] = st // struct types are immutable, share them
@@ -15,7 +21,7 @@ func CloneModule(m *Module) *Module {
 			ng.Init = append([]int64(nil), g.Init...)
 		}
 		if err := out.AddGlobal(ng); err != nil {
-			panic(err) // source module was well-formed
+			return nil, fmt.Errorf("ir: clone: %w", err)
 		}
 	}
 	// First create all function shells so calls and FuncRefs can resolve.
@@ -25,11 +31,23 @@ func CloneModule(m *Module) *Module {
 			nf.Params = append(nf.Params, &Param{PName: p.PName, Ty: p.Ty, Index: p.Index})
 		}
 		if err := out.AddFunc(nf); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("ir: clone: %w", err)
 		}
 	}
 	for _, f := range m.Funcs {
 		cloneFuncBody(out, f, out.Func(f.Name))
+	}
+	return out, nil
+}
+
+// MustClone clones a module known to be well-formed (already verified or
+// produced by a verifying frontend); a clone failure on such a module is
+// an internal invariant violation, so it panics — callers at public
+// entry points sit behind diag guards that contain it.
+func MustClone(m *Module) *Module {
+	out, err := CloneModule(m)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }

@@ -114,7 +114,10 @@ func TestPrintContainsStructure(t *testing.T) {
 
 func TestCloneIsDeepAndEquivalent(t *testing.T) {
 	m := buildSpinModule(t)
-	c := CloneModule(m)
+	c, err := CloneModule(m)
+	if err != nil {
+		t.Fatalf("clone failed: %v", err)
+	}
 	if err := Verify(c); err != nil {
 		t.Fatalf("clone does not verify: %v", err)
 	}

@@ -4,13 +4,18 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/diag"
 )
 
 // ParseModule parses the textual AIR form produced by Module.String,
 // including access attributes and analysis marks, so that modules
 // survive a print/parse round trip bit-for-bit. This is the loader
-// behind tooling that exchanges .air files.
-func ParseModule(text string) (*Module, error) {
+// behind tooling that exchanges .air files. Malformed input produces an
+// error, never a panic: an internal panic is contained by the diag
+// guard and reported as a structured error.
+func ParseModule(text string) (m *Module, err error) {
+	defer diag.Guard("ir.ParseModule", &err)
 	p := &moduleParser{}
 	if err := p.run(text); err != nil {
 		return nil, fmt.Errorf("ir: parse: %w", err)
@@ -141,6 +146,9 @@ func (p *moduleParser) parseType(s string) (Type, string, error) {
 				depth--
 			}
 			close++
+		}
+		if depth != 0 {
+			return nil, "", fmt.Errorf("unterminated array type %q", s)
 		}
 		inner := s[1 : close-1]
 		parts := strings.SplitN(inner, " x ", 2)
@@ -283,6 +291,9 @@ func (p *moduleParser) parseFuncShell(lines []string, i int) (*rawFunc, int, err
 	}
 	name := rest[1:open]
 	closeIdx := strings.LastIndex(rest, ")")
+	if closeIdx < open {
+		return nil, 0, fmt.Errorf("line %d: unterminated parameter list", i+1)
+	}
 	params := rest[open+1 : closeIdx]
 	fn := &Func{Name: name, RetTy: retTy}
 	if strings.TrimSpace(params) != "" {

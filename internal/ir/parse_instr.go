@@ -70,6 +70,12 @@ func (p *moduleParser) buildInstrShells(rf *rawFunc) error {
 			if err != nil {
 				return fmt.Errorf("line %d: %w", ri.line, err)
 			}
+			// A register bound to a void instruction would be dropped by
+			// the printer (void results are unnamed), so its uses could
+			// never resolve on a re-parse; reject it here.
+			if ri.result >= 0 && in.Type() == Void {
+				return fmt.Errorf("line %d: register %%t%d assigned from a void instruction", ri.line, ri.result)
+			}
 			b.Instrs = append(b.Instrs, in)
 		}
 	}
@@ -152,6 +158,7 @@ func (r *funcResolver) parseInstr(b *Block, ri rawInstr) (*Instr, error) {
 		}
 		last, attrs := splitOperandAttrs(strings.TrimSpace(parts[2]))
 		in.Op = OpCmpXchg
+		in.Ty = I64 // result: the old cell value
 		r.addOperand(in, strings.TrimSpace(parts[0]))
 		r.addOperand(in, strings.TrimSpace(parts[1]))
 		r.addOperand(in, last)
@@ -171,6 +178,7 @@ func (r *funcResolver) parseInstr(b *Block, ri rawInstr) (*Instr, error) {
 		last, attrs := splitOperandAttrs(strings.TrimSpace(parts[1]))
 		in.Op = OpRMW
 		in.RMW = kind
+		in.Ty = I64 // result: the old cell value
 		r.addOperand(in, strings.TrimSpace(parts[0]))
 		r.addOperand(in, last)
 		if err := r.parseAccessAttrs(in, attrs); err != nil {
@@ -404,17 +412,25 @@ func (p *moduleParser) resolveOperands(rf *rawFunc) error {
 		pd.in.Args[pd.idx] = v
 	}
 	// Fix up result types that depend on operands.
+	var fixErr error
 	rf.fn.Instrs(func(in *Instr) {
+		if fixErr != nil {
+			return
+		}
 		switch in.Op {
 		case OpCmpXchg, OpRMW:
-			if e := Pointee(in.Args[0].Type()); e != nil {
-				in.Ty = e
+			e := Pointee(in.Args[0].Type())
+			if e == nil || e == Void {
+				fixErr = fmt.Errorf("@%s: %s address %s is not a data pointer",
+					rf.fn.Name, in.Op, in.Args[0].Operand())
+				return
 			}
+			in.Ty = e
 		case OpBin:
 			in.Ty = in.Args[0].Type()
 		}
 	})
-	return nil
+	return fixErr
 }
 
 func (r *funcResolver) resolveRef(ref string, params map[string]*Param) (Value, error) {

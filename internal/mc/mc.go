@@ -13,10 +13,12 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 	"repro/internal/vm"
@@ -33,8 +35,18 @@ type Options struct {
 	// (0 = 100_000).
 	MaxStepsPerExec int64
 	// TimeBudget bounds the wall-clock exploration time (0 = 10s). When
-	// exceeded without a violation, the verdict is VerdictPassBounded.
+	// exceeded without a violation, the verdict is VerdictUnknown and
+	// Result.Resume can continue the exploration.
 	TimeBudget time.Duration
+	// Context, when non-nil, cancels the exploration early; a canceled
+	// check degrades to VerdictUnknown with a resume token instead of
+	// losing the work done so far.
+	Context context.Context
+	// Resume continues a budget-expired exploration from the token a
+	// previous Check returned. The token pins the depth-first frontier,
+	// so a resumed run follows exactly the trajectory the uninterrupted
+	// run would have taken.
+	Resume *ResumeToken
 	// StopAtFirst stops at the first violation (default: keep exploring
 	// and report up to 16 violations).
 	StopAtFirst bool
@@ -60,28 +72,39 @@ func (c Counterexample) String() string {
 	return b.String()
 }
 
-// Verdict is the outcome of a check.
+// Verdict is the three-valued outcome of a check. A checker that runs
+// out of budget must say so: "no violation found in the part we
+// explored" (Unknown) is a different claim from "no violation exists"
+// (Verified), and conflating them is how a bounded checker silently
+// certifies buggy code.
 type Verdict int
 
 // Verdicts.
 const (
 	// VerdictPass: no violation; the state space was fully explored.
 	VerdictPass Verdict = iota
-	// VerdictPassBounded: no violation within the execution budget.
-	VerdictPassBounded
+	// VerdictUnknown: no violation found, but exploration was cut short
+	// by a budget (time, executions, per-execution steps) or canceled;
+	// the result carries a resume token and exploration statistics.
+	VerdictUnknown
 	// VerdictFail: at least one execution violated an assertion or
 	// deadlocked.
 	VerdictFail
 )
 
+// VerdictPassBounded is the historical name of VerdictUnknown, kept so
+// older callers keep compiling; new code should branch on the
+// three-valued verdict directly.
+const VerdictPassBounded = VerdictUnknown
+
 func (v Verdict) String() string {
 	switch v {
 	case VerdictPass:
-		return "pass"
-	case VerdictPassBounded:
-		return "pass(bounded)"
+		return "verified"
+	case VerdictUnknown:
+		return "unknown"
 	case VerdictFail:
-		return "fail"
+		return "violated"
 	}
 	return fmt.Sprintf("Verdict(%d)", int(v))
 }
@@ -99,6 +122,22 @@ type Result struct {
 	// Truncated counts executions stopped by the per-execution step
 	// budget (possible livelocks).
 	Truncated int
+	// States is the number of distinct post-visible-step states the
+	// visited cache holds.
+	States int
+	// Frontier is the number of unexplored branches remaining on the
+	// depth-first stack when the check stopped — 0 on a fully explored
+	// state space, positive when a budget cut exploration short.
+	Frontier int
+	// Elapsed is the wall-clock exploration time consumed.
+	Elapsed time.Duration
+	// Reason explains an Unknown verdict ("time budget exhausted",
+	// "execution budget exhausted", "canceled", or "step-truncated
+	// executions"); empty otherwise.
+	Reason string
+	// Resume continues the exploration where this check stopped; nil
+	// unless the verdict is VerdictUnknown with work remaining.
+	Resume *ResumeToken
 }
 
 // choice is one recorded nondeterministic decision.
@@ -112,6 +151,12 @@ type dfs struct {
 	trace     []choice
 	pos       int
 	prefixLen int
+	// corrupt is set when a replayed choice does not fit the choice
+	// point actually offered — a resume token from a different
+	// program, model, or harness. The execution is steered to option
+	// 0 so it terminates harmlessly; Check turns the flag into an
+	// error instead of trusting the exploration.
+	corrupt bool
 }
 
 // pick returns the decision for a choice point with n options.
@@ -119,6 +164,10 @@ func (d *dfs) pick(n int) int {
 	if d.pos < len(d.trace) {
 		c := d.trace[d.pos]
 		d.pos++
+		if c.options != n || c.taken >= n {
+			d.corrupt = true
+			return 0
+		}
 		return c.taken
 	}
 	d.trace = append(d.trace, choice{options: n})
@@ -130,6 +179,15 @@ func (d *dfs) pick(n int) int {
 // replayed from the previous execution (visited-state pruning must be
 // suppressed there: those states were recorded by earlier executions).
 func (d *dfs) replaying() bool { return d.pos <= d.prefixLen }
+
+// frontier counts the unexplored alternatives remaining on the stack.
+func (d *dfs) frontier() int {
+	n := 0
+	for _, c := range d.trace {
+		n += c.options - 1 - c.taken
+	}
+	return n
+}
 
 // backtrack prepares the next trace; it returns false when the tree is
 // exhausted.
@@ -158,7 +216,15 @@ func (d *dfs) PickNondet(max int) int { return d.pick(max) }
 
 // Check explores the program's executions under the model and reports
 // whether any assertion can fail or any deadlock can occur.
-func Check(m *ir.Module, opts Options) (*Result, error) {
+//
+// Check degrades gracefully: when a budget (time, executions) expires
+// or the context is canceled before the state space is exhausted, the
+// verdict is VerdictUnknown — never a false VerdictPass — and the
+// result carries exploration statistics plus a resume token that
+// continues the depth-first trajectory deterministically. Internal
+// panics are contained by the diag guard and returned as errors.
+func Check(m *ir.Module, opts Options) (res *Result, err error) {
+	defer diag.Guard("mc.Check", &err)
 	if opts.MaxExecutions == 0 {
 		opts.MaxExecutions = 1_000_000
 	}
@@ -168,14 +234,36 @@ func Check(m *ir.Module, opts Options) (*Result, error) {
 	if opts.TimeBudget == 0 {
 		opts.TimeBudget = 10 * time.Second
 	}
-	deadline := time.Now().Add(opts.TimeBudget)
+	start := time.Now()
+	deadline := start.Add(opts.TimeBudget)
 	d := &dfs{}
-	res := &Result{}
+	res = &Result{}
 	visited := make(map[uint64]bool)
+	if opts.Resume != nil {
+		d.trace = append([]choice(nil), opts.Resume.trace...)
+		d.prefixLen = len(d.trace)
+		res.Executions = opts.Resume.executions
+		res.Pruned = opts.Resume.pruned
+		res.Truncated = opts.Resume.truncated
+		res.Violations = append(res.Violations, opts.Resume.violations...)
+		res.Counterexamples = append(res.Counterexamples, opts.Resume.counterexamples...)
+		if opts.Resume.visited != nil {
+			visited = opts.Resume.visited
+		}
+	}
 	fullyExplored := false
+	stopped := ""
 
-	for res.Executions < opts.MaxExecutions {
-		if res.Executions%64 == 0 && time.Now().After(deadline) {
+	for {
+		switch {
+		case res.Executions >= opts.MaxExecutions:
+			stopped = "execution budget exhausted"
+		case opts.Context != nil && opts.Context.Err() != nil:
+			stopped = "canceled"
+		case time.Now().After(deadline):
+			stopped = "time budget exhausted"
+		}
+		if stopped != "" {
 			break
 		}
 		v, err := vm.New(m, vm.Options{
@@ -188,6 +276,9 @@ func Check(m *ir.Module, opts Options) (*Result, error) {
 			return nil, err
 		}
 		violated, truncated, pruned := runOne(v, d, visited)
+		if d.corrupt {
+			return nil, fmt.Errorf("mc: resume token does not match this program, model, or harness")
+		}
 		res.Executions++
 		if pruned {
 			res.Pruned++
@@ -204,6 +295,7 @@ func Check(m *ir.Module, opts Options) (*Result, error) {
 				})
 			}
 			if opts.StopAtFirst || len(res.Violations) >= 16 {
+				stopped = "stopped at violation"
 				break
 			}
 		}
@@ -213,13 +305,38 @@ func Check(m *ir.Module, opts Options) (*Result, error) {
 		}
 	}
 
+	res.States = len(visited)
+	res.Frontier = d.frontier()
+	res.Elapsed = time.Since(start)
 	switch {
 	case len(res.Violations) > 0:
 		res.Verdict = VerdictFail
 	case fullyExplored && res.Truncated == 0:
 		res.Verdict = VerdictPass
 	default:
-		res.Verdict = VerdictPassBounded
+		res.Verdict = VerdictUnknown
+		if stopped == "" {
+			stopped = "step-truncated executions"
+		}
+	}
+	if res.Verdict != VerdictPass {
+		res.Reason = stopped
+	}
+	// Budget and cancellation stops happen at the top of the loop, after
+	// backtrack prepared the next unexplored execution — exactly the
+	// point a resumed Check can pick up from. (A violation-cap stop
+	// leaves the trace on the violating execution and the verdict is
+	// already final, so it gets no token.)
+	if !fullyExplored && stopped != "" && stopped != "stopped at violation" && stopped != "step-truncated executions" {
+		res.Resume = &ResumeToken{
+			trace:           append([]choice(nil), d.trace...),
+			visited:         visited,
+			executions:      res.Executions,
+			pruned:          res.Pruned,
+			truncated:       res.Truncated,
+			violations:      append([]string(nil), res.Violations...),
+			counterexamples: append([]Counterexample(nil), res.Counterexamples...),
+		}
 	}
 	return res, nil
 }

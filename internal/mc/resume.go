@@ -1,0 +1,120 @@
+package mc
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+)
+
+// ResumeToken pins the depth-first exploration frontier of a
+// budget-expired Check so a later Check can continue where it stopped
+// instead of re-exploring from scratch. Tokens are deterministic: the
+// interrupted-and-resumed exploration visits executions in exactly the
+// order the uninterrupted run would have.
+//
+// A token passed within the same process also carries the visited-state
+// cache and the running statistics, so resumed counters continue
+// seamlessly. A token that crossed a process boundary (Encode/Decode)
+// carries only the frontier; the visited cache is rebuilt as
+// exploration proceeds, which can re-explore some states but never
+// changes the verdict.
+type ResumeToken struct {
+	trace      []choice
+	visited    map[uint64]bool
+	executions int
+	pruned     int
+	truncated  int
+	// violations and counterexamples found before the budget expired;
+	// a resumed Check starts from them so nothing found so far is lost.
+	// They stay in-process only: Encode serializes the frontier and the
+	// counters, not the findings.
+	violations      []string
+	counterexamples []Counterexample
+}
+
+// Executions reports how many executions the interrupted exploration
+// had completed.
+func (t *ResumeToken) Executions() int { return t.executions }
+
+// Frontier reports how many unexplored branches the token pins.
+func (t *ResumeToken) Frontier() int {
+	n := 0
+	for _, c := range t.trace {
+		n += c.options - 1 - c.taken
+	}
+	return n
+}
+
+// resumeMagic versions the encoded token format.
+const resumeMagic = "mcr1"
+
+// Encode serializes the token's frontier for transport across
+// processes (the atomig-mc -resume flag).
+func (t *ResumeToken) Encode() string {
+	buf := []byte(resumeMagic)
+	buf = binary.AppendUvarint(buf, uint64(t.executions))
+	buf = binary.AppendUvarint(buf, uint64(t.pruned))
+	buf = binary.AppendUvarint(buf, uint64(t.truncated))
+	buf = binary.AppendUvarint(buf, uint64(len(t.trace)))
+	for _, c := range t.trace {
+		buf = binary.AppendUvarint(buf, uint64(c.options))
+		buf = binary.AppendUvarint(buf, uint64(c.taken))
+	}
+	return base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// DecodeResume parses a token produced by Encode.
+func DecodeResume(s string) (*ResumeToken, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("mc: bad resume token: %w", err)
+	}
+	if len(raw) < len(resumeMagic) || string(raw[:len(resumeMagic)]) != resumeMagic {
+		return nil, fmt.Errorf("mc: bad resume token: missing %q header", resumeMagic)
+	}
+	raw = raw[len(resumeMagic):]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return 0, fmt.Errorf("mc: bad resume token: truncated")
+		}
+		raw = raw[n:]
+		return v, nil
+	}
+	t := &ResumeToken{}
+	fields := []*int{&t.executions, &t.pruned, &t.truncated}
+	for _, f := range fields {
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		*f = int(v)
+	}
+	n, err := next()
+	if err != nil {
+		return nil, err
+	}
+	const maxTraceLen = 1 << 24 // reject absurd tokens before allocating
+	if n > maxTraceLen {
+		return nil, fmt.Errorf("mc: bad resume token: trace length %d too large", n)
+	}
+	t.trace = make([]choice, n)
+	for i := range t.trace {
+		options, err := next()
+		if err != nil {
+			return nil, err
+		}
+		taken, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if options == 0 || taken >= options {
+			return nil, fmt.Errorf("mc: bad resume token: choice %d/%d out of range", taken, options)
+		}
+		t.trace[i] = choice{options: int(options), taken: int(taken)}
+	}
+	if len(raw) != 0 {
+		return nil, fmt.Errorf("mc: bad resume token: %d trailing bytes", len(raw))
+	}
+	return t, nil
+}

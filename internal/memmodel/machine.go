@@ -46,6 +46,16 @@ func NewMachine(model Model, oracle ReadOracle) *Machine {
 // SetInit records the initial value of a location (default 0).
 func (mc *Machine) SetInit(a Addr, v int64) { mc.init[a] = v }
 
+// Final returns the newest value at a location — the value every thread
+// would agree on after full synchronization. Used by the differential
+// harness to compare final states across models and schedulers.
+func (mc *Machine) Final(a Addr) int64 {
+	if h, ok := mc.hist[a]; ok && len(h) > 0 {
+		return h[len(h)-1].Val
+	}
+	return mc.init[a]
+}
+
 // history returns the message list of a location, materializing the
 // initial message on first touch.
 func (mc *Machine) history(a Addr) []Msg {

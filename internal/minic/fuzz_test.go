@@ -1,0 +1,57 @@
+package minic
+
+import (
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/ir"
+)
+
+// FuzzCompile feeds arbitrary source to the MiniC frontend. The
+// contract under fuzzing: malformed input produces an ordinary error
+// (never a contained panic, which would indicate a compiler bug), and
+// any module that compiles must pass the IR verifier and survive a
+// textual round trip through the AIR printer and parser.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"int x;\nvoid main_thread(void) { x = 1; }\n",
+		"int flag;\nint msg;\nvoid writer(void) { msg = 1; flag = 1; }\nvoid reader(void) {\n  while (flag == 0) { }\n  assert(msg == 1);\n}\n",
+		"_Atomic int a;\nvolatile int v;\nint f(int x) { a = a + x; v = a; return v; }\n",
+		"struct node { int state; int key; };\nstruct node n;\nvoid t(void) { n.state = 1; n.key = 42; }\n",
+		"int l;\nint c;\nvoid w(void) {\n  while (__cas(&l, 0, 1) != 0) { }\n  c = c + 1;\n  l = 0;\n}\n",
+		"void m(void) { for (int i = 0; i < 5; i = i + 1) { print(i); } }\n",
+		"int s;\nint d;\nint r(void) {\n  int a;\n  int b;\n  do { a = s; b = d; } while (a % 2 != 0 || a != s);\n  return b;\n}\n",
+		"void b(void) { __asm__(\"mfence\"); __fence(); barrier(2); }\n",
+		// Malformed inputs: the frontend must reject, not crash.
+		"int",
+		"void f( {",
+		"}}}}",
+		"void f(void) { x = ; }",
+		"struct s { struct s inner; };",
+		"void f(void) { while (1 { } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 16<<10 {
+			t.Skip("oversized input")
+		}
+		res, err := Compile("fuzz", src)
+		if err != nil {
+			if ie, ok := diag.AsInternal(err); ok {
+				t.Fatalf("compiler panicked on input:\n%s\n%s", src, ie.Diagnostics())
+			}
+			return // ordinary rejection of malformed input
+		}
+		if verr := ir.Verify(res.Module); verr != nil {
+			t.Fatalf("accepted module fails verification: %v\ninput:\n%s", verr, src)
+		}
+		// The printed AIR of a valid module must parse back.
+		printed := res.Module.String()
+		if _, perr := ir.ParseModule(printed); perr != nil {
+			t.Fatalf("printed AIR does not re-parse: %v\ninput:\n%s\nAIR:\n%s", perr, src, printed)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/ir"
 )
 
@@ -32,7 +33,10 @@ type Result struct {
 }
 
 // Compile parses and lowers MiniC source into an AIR module named name.
-func Compile(name, src string) (*Result, error) {
+// Malformed source produces an error, never a panic: internal panics in
+// the lexer, parser or lowering are contained by the diag guard.
+func Compile(name, src string) (res *Result, err error) {
+	defer diag.Guard("minic.Compile", &err)
 	file, err := Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("minic: %w", err)
@@ -392,7 +396,7 @@ func (fl *funcLowerer) lowerStmt(s Stmt) error {
 	case *BlockStmt:
 		return fl.lowerBlock(st)
 	case *ExprStmt:
-		_, err := fl.lowerExpr(st.X)
+		_, err := fl.lowerExprAllowVoid(st.X)
 		return err
 	case *DeclStmt:
 		return fl.lowerLocalDecl(st.Decl)
@@ -644,7 +648,7 @@ func (fl *funcLowerer) lowerFor(st *ForStmt) error {
 	}
 	fl.b.SetBlock(postBlk)
 	if st.Post != nil {
-		if _, err := fl.lowerExpr(st.Post); err != nil {
+		if _, err := fl.lowerExprAllowVoid(st.Post); err != nil {
 			return err
 		}
 	}

@@ -30,7 +30,24 @@ func (fl *funcLowerer) storePlace(p place, v ir.Value) {
 	}
 }
 
+// lowerExpr lowers an expression whose value is consumed. A void-typed
+// result (a call to a void function, or a barrier builtin) is an error
+// here: the IR has no register for it, so a use could never resolve.
 func (fl *funcLowerer) lowerExpr(e Expr) (ir.Value, error) {
+	v, err := fl.lowerExprAllowVoid(e)
+	if err != nil {
+		return nil, err
+	}
+	if v != nil && v.Type() == ir.Void {
+		return nil, fmt.Errorf("void value used in an expression")
+	}
+	return v, nil
+}
+
+// lowerExprAllowVoid lowers an expression in a context that discards
+// its value (expression statements, for-loop post expressions), where
+// calling a void function is legal.
+func (fl *funcLowerer) lowerExprAllowVoid(e Expr) (ir.Value, error) {
 	switch x := e.(type) {
 	case *NumLit:
 		return ir.Const(x.Val), nil

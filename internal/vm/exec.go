@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 )
@@ -44,6 +45,11 @@ type thread struct {
 	stackNext memmodel.Addr
 	retVal    int64
 	entry     bool
+	// lastVisible is the global step count at this thread's most recent
+	// visible operation (watchdog progress metric).
+	lastVisible int64
+	// blockEntries counts block entries when the watchdog is enabled.
+	blockEntries map[*ir.Block]int64
 	// dirtyShared records whether the thread wrote shared memory since
 	// its last fence; dirtyHot additionally records whether one of
 	// those writes took a cell over from another thread. Both drive the
@@ -150,8 +156,11 @@ func (o oracleAdapter) PickRead(a memmodel.Addr, eligible []int) int {
 // model.
 func useViewMemory(opts Options) bool { return opts.Model != memmodel.ModelSC }
 
-// New prepares an execution of the module's entry threads.
-func New(m *ir.Module, opts Options) (*VM, error) {
+// New prepares an execution of the module's entry threads. Internal
+// panics (e.g. global layout over malformed types) are contained and
+// returned as structured errors.
+func New(m *ir.Module, opts Options) (v *VM, err error) {
+	defer diag.Guard("vm.New", &err)
 	if len(opts.Entries) == 0 {
 		return nil, fmt.Errorf("vm: no entry functions")
 	}
@@ -165,7 +174,7 @@ func New(m *ir.Module, opts Options) (*VM, error) {
 	if ctrl == nil {
 		ctrl = NewRandomController(opts.Seed)
 	}
-	v := &VM{
+	v = &VM{
 		mod:          m,
 		opts:         opts,
 		ctrl:         ctrl,
@@ -220,6 +229,9 @@ func (v *VM) newThread(fn *ir.Func, mm *memmodel.Thread) *thread {
 		stackNext: memmodel.Addr(stackBase + id*stackSize),
 	}
 	t.frames = []*frame{{fn: fn, blk: fn.Entry(), regs: make([]int64, fn.NumIDs())}}
+	if v.opts.Watchdog {
+		t.blockEntries = map[*ir.Block]int64{fn.Entry(): 1}
+	}
 	v.threads = append(v.threads, t)
 	return t
 }
@@ -271,8 +283,10 @@ func (v *VM) Done() bool {
 	return true
 }
 
-// Run drives the execution to completion.
-func (v *VM) Run() (*Result, error) {
+// Run drives the execution to completion. Internal panics are contained
+// by the diag guard and returned as structured errors.
+func (v *VM) Run() (res *Result, err error) {
+	defer diag.Guard("vm.Run", &err)
 	for v.res.Steps < v.opts.MaxSteps {
 		if v.halted {
 			break
@@ -299,6 +313,9 @@ func (v *VM) Run() (*Result, error) {
 }
 
 func (v *VM) finish() {
+	if v.opts.Watchdog && v.res.Status == StatusStepLimit {
+		v.res.Livelock = v.diagnoseLivelock()
+	}
 	for _, t := range v.threads {
 		v.res.ThreadCycles = append(v.res.ThreadCycles, t.cycles)
 		if t.cycles > v.res.MaxCycles {
@@ -314,7 +331,9 @@ func (v *VM) finish() {
 // StepThread executes instructions of thread index ti until a visible
 // operation has executed (or the thread blocks/finishes). Used by the
 // model checker to reduce scheduling choice points to visible operations.
-func (v *VM) StepThread(ti int) error {
+// Internal panics are contained and returned as structured errors.
+func (v *VM) StepThread(ti int) (err error) {
+	defer diag.Guard("vm.StepThread", &err)
 	t := v.threads[ti]
 	for t.state == tRunnable && !v.halted {
 		visible, err := v.exec(t)
@@ -332,9 +351,11 @@ func (v *VM) StepThread(ti int) error {
 	return nil
 }
 
-// Step executes a single instruction of t.
-func (v *VM) Step(t *thread) error {
-	_, err := v.exec(t)
+// Step executes a single instruction of t. Internal panics are
+// contained and returned as structured errors.
+func (v *VM) Step(t *thread) (err error) {
+	defer diag.Guard("vm.Step", &err)
+	_, err = v.exec(t)
 	return err
 }
 
@@ -369,7 +390,16 @@ func (v *VM) eval(t *thread, val ir.Value) int64 {
 			}
 		}
 	}
-	panic(fmt.Sprintf("vm: cannot evaluate %T", val))
+	// Unreachable on verified modules; the position makes watchdog and
+	// fuzzer reports actionable when an unverified module slips in. The
+	// panic is contained by the diag guard at the public entry points.
+	f := t.frame()
+	ip := f.ip - 1 // exec has already advanced past the current instruction
+	pos := fmt.Sprintf("@%s %%%s", f.fn.Name, f.blk.Name)
+	if ip >= 0 && ip < len(f.blk.Instrs) {
+		pos = fmt.Sprintf("%s #%d: %s", pos, ip, f.blk.Instrs[ip])
+	}
+	panic(fmt.Sprintf("vm: cannot evaluate %T (thread %d, %s)", val, t.id, pos))
 }
 
 // exec runs one instruction; it reports whether the instruction was
@@ -386,6 +416,9 @@ func (v *VM) exec(t *thread) (bool, error) {
 		before = t.cycles
 	}
 	visible, err := v.execInstr(t)
+	if visible {
+		t.lastVisible = v.res.Steps
+	}
 	if v.opts.Profile && cur != nil {
 		v.res.FuncCycles[cur.Blk.Fn.Name] += t.cycles - before
 	}
@@ -519,6 +552,9 @@ func (v *VM) execInstr(t *thread) (bool, error) {
 		}
 		f.blk = target
 		f.ip = 0
+		if t.blockEntries != nil {
+			t.blockEntries[target]++
+		}
 		return false, nil
 
 	case ir.OpRet:
@@ -644,4 +680,21 @@ func rmwFunc(k ir.RMWKind, operand int64) func(int64) int64 {
 	default: // RMWXchg
 		return func(int64) int64 { return operand }
 	}
+}
+
+// Snapshot returns the final value of every global, cell by cell — the
+// schedule-independent part of a terminated execution's state. The
+// differential harness compares snapshots across memory models and
+// scheduler modes.
+func (v *VM) Snapshot() map[string][]int64 {
+	out := make(map[string][]int64, len(v.mod.Globals))
+	for _, g := range v.mod.Globals {
+		base := v.globals[g.GName]
+		cells := make([]int64, g.Elem.Cells())
+		for i := range cells {
+			cells[i] = v.mem.final(base + memmodel.Addr(i))
+		}
+		out[g.GName] = cells
+	}
+	return out
 }

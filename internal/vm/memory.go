@@ -18,6 +18,9 @@ type memory interface {
 	setInit(a memmodel.Addr, v int64)
 	// rawset writes without memory-model effects (alloca zeroing).
 	rawset(a memmodel.Addr, v int64)
+	// final reads the newest value at a without memory-model effects
+	// (final-state snapshots for the differential harness).
+	final(a memmodel.Addr) int64
 }
 
 // flatMem is the fast sequentially consistent backend.
@@ -51,6 +54,8 @@ func (m *flatMem) fence(_ *thread, _ ir.MemOrder) {}
 func (m *flatMem) setInit(a memmodel.Addr, v int64) { m.cells[a] = v }
 
 func (m *flatMem) rawset(a memmodel.Addr, v int64) { m.cells[a] = v }
+
+func (m *flatMem) final(a memmodel.Addr) int64 { return m.cells[a] }
 
 // viewMem adapts the memmodel view machine to the VM memory interface.
 // Thread-stack addresses are routed to a flat side store: stack slots
@@ -133,6 +138,13 @@ func (m *viewMem) rawset(a memmodel.Addr, v int64) {
 		return
 	}
 	m.mc.SetInit(a, v)
+}
+
+func (m *viewMem) final(a memmodel.Addr) int64 {
+	if isStackAddr(a) {
+		return m.stack.final(a)
+	}
+	return m.mc.Final(a)
 }
 
 // memAddr converts a raw uint64 to the address type (hash helper).

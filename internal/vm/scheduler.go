@@ -1,0 +1,219 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/memmodel"
+)
+
+// Scheduler is the pluggable nondeterminism resolver of an execution.
+// It is an alias of Controller: the model checker plugs an exhaustive
+// replay controller in through the same seam the fault-injection
+// schedulers below use.
+type Scheduler = Controller
+
+// SchedMode selects one of the seed-driven fault-injection scheduling
+// strategies. The adversarial modes are inspired by C11Tester-style
+// biased exploration: random scheduling almost never exhibits the rare
+// interleavings where weak-memory bugs live, so the stress harness runs
+// every program under each mode.
+type SchedMode int
+
+// Scheduling modes.
+const (
+	// SchedRandom is the uniform seeded baseline (RandomController).
+	SchedRandom SchedMode = iota
+	// SchedStarve starves one victim thread: the victim only runs when
+	// it is the sole runnable thread or with small probability. This
+	// stretches the windows between a writer's store and the reader
+	// observing it.
+	SchedStarve
+	// SchedDelay delays store-buffer drains: weak reads prefer stale
+	// messages, modelling writes that linger unflushed for as long as
+	// the model allows.
+	SchedDelay
+	// SchedReorder pessimizes the reorder window: every weak read picks
+	// uniformly among all eligible messages and threads advance
+	// round-robin, maximizing the visible-reorder surface per step.
+	SchedReorder
+	// SchedBurst runs threads in long preemption-free bursts with
+	// abrupt switches, the pattern that exposes missing fences at
+	// publication boundaries (one thread completes a whole critical
+	// region while another observes it mid-flight).
+	SchedBurst
+)
+
+// AllSchedModes returns every mode, for stress sweeps.
+func AllSchedModes() []SchedMode {
+	return []SchedMode{SchedRandom, SchedStarve, SchedDelay, SchedReorder, SchedBurst}
+}
+
+func (m SchedMode) String() string {
+	switch m {
+	case SchedRandom:
+		return "random"
+	case SchedStarve:
+		return "starve"
+	case SchedDelay:
+		return "delay"
+	case SchedReorder:
+		return "reorder"
+	case SchedBurst:
+		return "burst"
+	}
+	return fmt.Sprintf("SchedMode(%d)", int(m))
+}
+
+// ParseSchedMode parses a mode name as accepted by the CLIs' -sched
+// flag.
+func ParseSchedMode(s string) (SchedMode, error) {
+	for _, m := range AllSchedModes() {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	names := make([]string, 0, len(AllSchedModes()))
+	for _, m := range AllSchedModes() {
+		names = append(names, m.String())
+	}
+	return 0, fmt.Errorf("unknown scheduler mode %q (want %s)", s, strings.Join(names, ", "))
+}
+
+// NewScheduler returns the seeded scheduler for the mode. The same
+// (mode, seed) pair always produces the same decision sequence.
+func NewScheduler(mode SchedMode, seed int64) Scheduler {
+	rng := rand.New(rand.NewSource(seed))
+	switch mode {
+	case SchedStarve:
+		return &starveScheduler{rng: rng}
+	case SchedDelay:
+		return &delayScheduler{rng: rng}
+	case SchedReorder:
+		return &reorderScheduler{rng: rng}
+	case SchedBurst:
+		return &burstScheduler{rng: rng}
+	default:
+		return NewRandomController(seed)
+	}
+}
+
+// starveScheduler starves one victim thread; the victim rotates
+// occasionally so every thread takes a turn being the one that never
+// gets the CPU.
+type starveScheduler struct {
+	rng    *rand.Rand
+	victim int
+	picks  int
+	maxID  int
+}
+
+func (s *starveScheduler) PickThread(runnable []int) int {
+	s.picks++
+	if s.picks%4096 == 0 {
+		s.victim++ // rotate the starved thread
+	}
+	for _, ti := range runnable {
+		if ti > s.maxID {
+			s.maxID = ti
+		}
+	}
+	if len(runnable) == 1 {
+		return runnable[0]
+	}
+	victim := s.victim % (s.maxID + 1)
+	// With probability 1/64 the victim sneaks a step in anyway, so
+	// starvation stretches windows without deterministically livelocking
+	// two-sided protocols.
+	if s.rng.Intn(64) == 0 {
+		return runnable[s.rng.Intn(len(runnable))]
+	}
+	others := make([]int, 0, len(runnable))
+	for _, ti := range runnable {
+		if ti != victim {
+			others = append(others, ti)
+		}
+	}
+	if len(others) == 0 {
+		return runnable[s.rng.Intn(len(runnable))]
+	}
+	return others[s.rng.Intn(len(others))]
+}
+
+func (s *starveScheduler) PickRead(_ memmodel.Addr, eligible []int) int {
+	return len(eligible) - 1
+}
+
+func (s *starveScheduler) PickNondet(max int) int { return s.rng.Intn(max) }
+
+// delayScheduler keeps weak reads on stale messages: half the reads take
+// the oldest eligible message, a quarter a random one, the rest the
+// newest. Forward progress is preserved (the newest value is seen with
+// probability 1 over time) while stale windows last far longer than
+// under the baseline's newest-biased oracle.
+type delayScheduler struct{ rng *rand.Rand }
+
+func (s *delayScheduler) PickThread(runnable []int) int {
+	return runnable[s.rng.Intn(len(runnable))]
+}
+
+func (s *delayScheduler) PickRead(_ memmodel.Addr, eligible []int) int {
+	switch s.rng.Intn(4) {
+	case 0, 1:
+		return 0 // oldest eligible message
+	case 2:
+		return s.rng.Intn(len(eligible))
+	default:
+		return len(eligible) - 1
+	}
+}
+
+func (s *delayScheduler) PickNondet(max int) int { return s.rng.Intn(max) }
+
+// reorderScheduler maximizes visible reordering: threads advance
+// round-robin (every thread is always mid-flight somewhere) and every
+// weak read picks uniformly among all eligible messages.
+type reorderScheduler struct {
+	rng  *rand.Rand
+	next int
+}
+
+func (s *reorderScheduler) PickThread(runnable []int) int {
+	s.next++
+	return runnable[s.next%len(runnable)]
+}
+
+func (s *reorderScheduler) PickRead(_ memmodel.Addr, eligible []int) int {
+	return s.rng.Intn(len(eligible))
+}
+
+func (s *reorderScheduler) PickNondet(max int) int { return s.rng.Intn(max) }
+
+// burstScheduler runs one thread for a geometric burst, then switches.
+type burstScheduler struct {
+	rng  *rand.Rand
+	cur  int
+	left int
+}
+
+func (s *burstScheduler) PickThread(runnable []int) int {
+	for _, ti := range runnable {
+		if ti == s.cur && s.left > 0 {
+			s.left--
+			return ti
+		}
+	}
+	s.cur = runnable[s.rng.Intn(len(runnable))]
+	s.left = 1 << (s.rng.Intn(9) + 2) // bursts of 8..2048 steps
+	return s.cur
+}
+
+func (s *burstScheduler) PickRead(_ memmodel.Addr, eligible []int) int {
+	if len(eligible) == 1 || s.rng.Intn(8) != 0 {
+		return len(eligible) - 1
+	}
+	return s.rng.Intn(len(eligible))
+}
+
+func (s *burstScheduler) PickNondet(max int) int { return s.rng.Intn(max) }

@@ -1,0 +1,175 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+)
+
+func compileSrc(t *testing.T, src string) *minic.Result {
+	t.Helper()
+	res, err := minic.Compile("schedtest", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return res
+}
+
+const schedMPSrc = `
+int flag;
+int msg;
+int out;
+void writer(void) { msg = 41; flag = 1; }
+void reader(void) {
+  while (flag == 0) { }
+  out = msg;
+}
+`
+
+// TestParseSchedMode: every mode name round-trips, unknown names error.
+func TestParseSchedMode(t *testing.T) {
+	for _, m := range AllSchedModes() {
+		got, err := ParseSchedMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseSchedMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseSchedMode("bogus"); err == nil {
+		t.Error("ParseSchedMode accepted an unknown mode")
+	}
+	if !strings.Contains(SchedMode(99).String(), "99") {
+		t.Error("out-of-range mode String() lost the value")
+	}
+}
+
+// TestSchedulerDeterminism: the same (mode, seed) pair must drive an
+// identical execution — same step count, same final state.
+func TestSchedulerDeterminism(t *testing.T) {
+	res := compileSrc(t, schedMPSrc)
+	for _, mode := range AllSchedModes() {
+		run := func(seed int64) (*Result, map[string][]int64) {
+			v, err := New(res.Module, Options{
+				Model:      memmodel.ModelSC,
+				Entries:    []string{"reader", "writer"},
+				Controller: NewScheduler(mode, seed),
+			})
+			if err != nil {
+				t.Fatalf("%s: New: %v", mode, err)
+			}
+			out, err := v.Run()
+			if err != nil {
+				t.Fatalf("%s: Run: %v", mode, err)
+			}
+			return out, v.Snapshot()
+		}
+		a, snapA := run(7)
+		b, snapB := run(7)
+		if a.Status != StatusDone || b.Status != StatusDone {
+			t.Fatalf("%s: status %s/%s", mode, a.Status, b.Status)
+		}
+		if a.Steps != b.Steps {
+			t.Errorf("%s: steps %d != %d for the same seed", mode, a.Steps, b.Steps)
+		}
+		for name, want := range snapA {
+			got := snapB[name]
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s: %s[%d] = %d != %d for the same seed", mode, name, i, got[i], want[i])
+				}
+			}
+		}
+		if snapA["out"][0] != 41 {
+			t.Errorf("%s: out = %d, want 41", mode, snapA["out"][0])
+		}
+	}
+}
+
+// TestWatchdogDiagnosesLivelock: a spin-wait whose signaling partner is
+// never started must exhaust the step budget with a livelock report
+// naming the spinning loop, cross-referenced to the spinloop detector.
+func TestWatchdogDiagnosesLivelock(t *testing.T) {
+	res := compileSrc(t, `
+int flag;
+void spin(void) {
+  while (flag == 0) { }
+}
+`)
+	out, err := Run(res.Module, Options{
+		Model:    memmodel.ModelSC,
+		Entries:  []string{"spin"},
+		MaxSteps: 10_000,
+		Watchdog: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Status != StatusStepLimit {
+		t.Fatalf("status = %s, want step-limit", out.Status)
+	}
+	if len(out.Livelock) == 0 {
+		t.Fatal("no livelock diagnosis on a step-limit halt with Watchdog set")
+	}
+	top := out.Livelock[0]
+	if top.Fn != "spin" {
+		t.Errorf("diagnosed function = %q, want spin", top.Fn)
+	}
+	if top.Entries < 100 {
+		t.Errorf("hottest block entered %d times, expected a hot spin", top.Entries)
+	}
+	if !top.SpinCandidate {
+		t.Error("spinning block not cross-referenced to a detected spinloop")
+	}
+	report := FormatLivelock(out.Livelock)
+	for _, want := range []string{"livelock watchdog", "T0", "@spin", "[detected spinloop]"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestWatchdogOffByDefault: without the option, a step-limit halt has no
+// livelock report (and no accounting overhead was paid).
+func TestWatchdogOffByDefault(t *testing.T) {
+	res := compileSrc(t, `
+int flag;
+void spin(void) {
+  while (flag == 0) { }
+}
+`)
+	out, err := Run(res.Module, Options{
+		Model:    memmodel.ModelSC,
+		Entries:  []string{"spin"},
+		MaxSteps: 10_000,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Status != StatusStepLimit {
+		t.Fatalf("status = %s, want step-limit", out.Status)
+	}
+	if out.Livelock != nil {
+		t.Fatal("livelock diagnosis populated without Watchdog")
+	}
+}
+
+// TestStarvedThreadStillFinishes: the starvation scheduler stretches
+// windows but must not deterministically livelock a two-sided protocol.
+func TestStarvedThreadStillFinishes(t *testing.T) {
+	res := compileSrc(t, schedMPSrc)
+	for seed := int64(0); seed < 5; seed++ {
+		out, err := Run(res.Module, Options{
+			Model:      memmodel.ModelSC,
+			Entries:    []string{"reader", "writer"},
+			Controller: NewScheduler(SchedStarve, seed),
+			MaxSteps:   2_000_000,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Status != StatusDone {
+			t.Fatalf("seed %d: status %s", seed, out.Status)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 )
@@ -144,6 +145,10 @@ type Options struct {
 	TraceVisible bool
 	// Profile attributes cycle costs per function in Result.FuncCycles.
 	Profile bool
+	// Watchdog enables the livelock watchdog: per-thread block-entry
+	// accounting while running, and a per-thread spin diagnosis in
+	// Result.Livelock when the step budget is exhausted.
+	Watchdog bool
 }
 
 // TraceEvent is one visible operation in an execution trace.
@@ -204,11 +209,18 @@ type Result struct {
 	// FuncCycles attributes cycles per function when Options.Profile is
 	// set.
 	FuncCycles map[string]int64
+	// Livelock is the watchdog's per-thread spin diagnosis, populated
+	// when Options.Watchdog is set and Status is StatusStepLimit.
+	Livelock []LivelockInfo
 }
 
 // Run executes the module's entry threads to completion under the
-// options and returns the result.
-func Run(m *ir.Module, opts Options) (*Result, error) {
+// options and returns the result. Internal panics (malformed modules
+// that slipped past verification, interpreter bugs) are contained by
+// the diag guard and returned as structured errors rather than
+// crashing the caller.
+func Run(m *ir.Module, opts Options) (res *Result, err error) {
+	defer diag.Guard("vm.Run", &err)
 	v, err := New(m, opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,126 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// LivelockInfo is the watchdog's diagnosis for one thread after the
+// step budget was exhausted: the loop the thread is spinning in, how hot
+// it is, and whether the static spinloop detector also flags it — the
+// cross-reference that turns "step-limit" into an actionable report
+// ("thread 2 is stuck in @reader %spin, a detected spinloop whose
+// partner never ran").
+type LivelockInfo struct {
+	// Thread is the spinning thread's index.
+	Thread int
+	// Fn and Block name the block the thread re-entered most often.
+	Fn    string
+	Block string
+	// Entries is how many times the thread entered that block.
+	Entries int64
+	// SinceVisible is the number of global steps executed since this
+	// thread last performed a visible (shared-memory) operation that it
+	// had not seen before; a large value means the thread was starved
+	// rather than spinning.
+	SinceVisible int64
+	// SpinCandidate reports whether the block lies inside a loop the
+	// static spinloop detector flags in this function — i.e. the
+	// livelock is in code AtoMig itself classifies as a spinloop.
+	SpinCandidate bool
+	// Done reports whether the thread had already finished when the
+	// budget ran out (finished threads are reported only when some
+	// other thread is live, for context).
+	Done bool
+}
+
+func (l LivelockInfo) String() string {
+	state := "spinning in"
+	if l.Done {
+		state = "finished at"
+	}
+	s := fmt.Sprintf("T%d %s @%s %%%s (%d entries, %d steps since last visible op)",
+		l.Thread, state, l.Fn, l.Block, l.Entries, l.SinceVisible)
+	if l.SpinCandidate {
+		s += " [detected spinloop]"
+	}
+	return s
+}
+
+// FormatLivelock renders the watchdog report as a multi-line string.
+func FormatLivelock(infos []LivelockInfo) string {
+	if len(infos) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("livelock watchdog: step budget exhausted with no progress\n")
+	for _, l := range infos {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	return b.String()
+}
+
+// diagnoseLivelock builds the watchdog report after a step-limit halt.
+// It names, per live thread, the hottest block (by entry count) and
+// cross-references it against the spinloop detector's candidate loops.
+func (v *VM) diagnoseLivelock() []LivelockInfo {
+	spinCache := make(map[*ir.Func]map[*ir.Block]bool)
+	spinBlocks := func(fn *ir.Func) map[*ir.Block]bool {
+		if got, ok := spinCache[fn]; ok {
+			return got
+		}
+		blocks := make(map[*ir.Block]bool)
+		for _, info := range analysis.DetectSpinloops(fn) {
+			for b := range info.Loop.Blocks {
+				blocks[b] = true
+			}
+		}
+		spinCache[fn] = blocks
+		return blocks
+	}
+
+	var out []LivelockInfo
+	for _, t := range v.threads {
+		info := LivelockInfo{
+			Thread:       t.id,
+			SinceVisible: v.res.Steps - t.lastVisible,
+			Done:         t.state == tDone,
+		}
+		if t.state == tDone {
+			out = append(out, info)
+			continue
+		}
+		f := t.frame()
+		info.Fn, info.Block = f.fn.Name, f.blk.Name
+		// The hottest block the thread kept re-entering is a better
+		// spin diagnosis than wherever the budget happened to run out.
+		var hot *ir.Block
+		var hotN int64
+		for b, n := range t.blockEntries {
+			if n > hotN || (n == hotN && hot != nil && b.Name < hot.Name) {
+				hot, hotN = b, n
+			}
+		}
+		if hot != nil && hotN > 1 {
+			info.Block = hot.Name
+			info.Fn = hot.Fn.Name
+			info.Entries = hotN
+			info.SpinCandidate = spinBlocks(hot.Fn)[hot]
+		} else {
+			info.SpinCandidate = spinBlocks(f.fn)[f.blk]
+		}
+		out = append(out, info)
+	}
+	// Live, hottest threads first.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Done != out[j].Done {
+			return !out[i].Done
+		}
+		return out[i].Entries > out[j].Entries
+	})
+	return out
+}
