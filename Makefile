@@ -5,7 +5,9 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test check fuzz-smoke clean
+.PHONY: all build vet test test-race check race-smoke fuzz-smoke clean
+
+
 
 all: check
 
@@ -18,7 +20,24 @@ vet:
 test:
 	$(GO) test ./...
 
-check: build vet test
+# The stack's own race detector is exercised by the test suite; this
+# runs the suite under Go's runtime race detector as well.
+test-race:
+	$(GO) test -race ./...
+
+check: build vet test test-race
+
+# End-to-end smoke of the happens-before race detector (docs/RACES.md):
+# the seqlock-gap corpus program must be flagged racy before porting
+# and verified race-free after, through every CLI surface. Built
+# binaries, not `go run`, so exit codes survive intact.
+race-smoke:
+	$(GO) build -o bin/ ./cmd/atomig ./cmd/atomig-mc ./cmd/atomig-run
+	bin/atomig -explain-races -corpus seqlock-gap
+	bin/atomig-mc -race -stats -corpus seqlock-gap; test $$? -eq 4
+	bin/atomig-mc -race -stats -port -corpus seqlock-gap
+	bin/atomig-run -race -model wmm -sched reorder -corpus seqlock-gap; test $$? -eq 3
+	bin/atomig-run -race -model wmm -sched reorder -port -corpus seqlock-gap
 
 # Go allows one -fuzz pattern per invocation, so the targets run
 # sequentially. Crashers are written to testdata/fuzz/ as new
@@ -29,3 +48,4 @@ fuzz-smoke:
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin/

@@ -11,7 +11,8 @@
 // Exit codes: 0 the program verified, 1 a violation was found, 2 usage
 // or internal error, 3 the exploration budget was exhausted before a
 // verdict (verdict unknown; a -resume token is printed so a later run
-// can continue the exploration).
+// can continue the exploration), 4 race detection was on and the
+// program has a data race (but no outright violation, which wins).
 package main
 
 import (
@@ -45,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budget := fs.Duration("budget", 10*time.Second, "exploration time budget")
 	maxExecs := fs.Int("max-execs", 1_000_000, "maximum explored executions")
 	trace := fs.Bool("trace", false, "print a counterexample trace per violation")
+	detectRaces := fs.Bool("race", false, "attach the happens-before race detector; races become a verdict")
+	stats := fs.Bool("stats", false, "print a human-readable exploration summary")
 	resume := fs.String("resume", "", "resume token from a prior budget-exhausted run")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		TimeBudget:    *budget,
 		MaxExecutions: *maxExecs,
 		Traces:        *trace,
+		DetectRaces:   *detectRaces,
 	}
 	if *resume != "" {
 		token, err := mc.DecodeResume(*resume)
@@ -110,6 +114,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if res.Reason != "" {
 		fmt.Fprintf(stdout, "reason: %s\n", res.Reason)
 	}
+	if *stats {
+		printStats(stdout, res)
+	}
 	if *trace {
 		for _, ce := range res.Counterexamples {
 			fmt.Fprint(stdout, ce)
@@ -117,6 +124,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		for _, v := range res.Violations {
 			fmt.Fprintf(stdout, "violation: %s\n", v)
+		}
+	}
+	if *detectRaces {
+		if len(res.Races) == 0 {
+			fmt.Fprintln(stdout, "races: none")
+		}
+		for _, r := range res.Races {
+			fmt.Fprint(stdout, r)
+		}
+		if *trace {
+			for _, w := range res.RaceWitnesses {
+				fmt.Fprint(stdout, w)
+			}
 		}
 	}
 	switch res.Verdict {
@@ -127,8 +147,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "resume=%s\n", res.Resume.Encode())
 		}
 		return 3
+	case mc.VerdictRace:
+		return 4
 	}
 	return 0
+}
+
+// printStats renders the exploration summary in prose: what was
+// explored, how much the caches saved, and how complete the claim is.
+func printStats(w io.Writer, res *mc.Result) {
+	fmt.Fprintf(w, "explored %d executions in %v\n", res.Executions, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  distinct states:    %d\n", res.States)
+	fmt.Fprintf(w, "  pruned re-converging executions: %d\n", res.Pruned)
+	fmt.Fprintf(w, "  step-truncated executions:       %d\n", res.Truncated)
+	if res.Frontier > 0 {
+		fmt.Fprintf(w, "  unexplored frontier branches:    %d\n", res.Frontier)
+	} else {
+		fmt.Fprintln(w, "  state space fully explored")
+	}
 }
 
 func load(corpusName, entries string, args []string) (*ir.Module, []string, error) {

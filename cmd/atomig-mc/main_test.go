@@ -127,3 +127,37 @@ func TestBudgetExhaustedExitCode(t *testing.T) {
 		t.Errorf("resumed run did not continue the counters:\n%s", stdout)
 	}
 }
+
+// Race mode: the legacy migration-gap program gets the racy verdict and
+// exit 4 with the struct field named; the ported version verifies race-
+// free with exit 0; -stats prints the human-readable summary.
+func TestRaceVerdictExitCode(t *testing.T) {
+	code, stdout, _ := runMC(t, "-corpus", "seqlock-gap", "-model", "wmm", "-race", "-stats")
+	if code != 4 {
+		t.Fatalf("racy program: exit %d, want 4\n%s", code, stdout)
+	}
+	for _, want := range []string{"verdict=racy", "data race on %gen:0", "distinct states:", "explored"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout)
+		}
+	}
+	code, stdout, _ = runMC(t, "-corpus", "seqlock-gap", "-model", "wmm", "-race", "-port")
+	if code != 0 {
+		t.Fatalf("ported program: exit %d, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "races: none") {
+		t.Errorf("stdout lacks races: none:\n%s", stdout)
+	}
+}
+
+// A violation outranks a race on both verdict and exit code.
+func TestRaceLosesToViolation(t *testing.T) {
+	path := writeFile(t, "mp.c", racySrc)
+	code, stdout, _ := runMC(t, "-model", "wmm", "-entries", "reader,writer", "-race", path)
+	if code != 1 {
+		t.Fatalf("violating racy program: exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "verdict=violated") || !strings.Contains(stdout, "data race on") {
+		t.Errorf("expected violated verdict plus race reports:\n%s", stdout)
+	}
+}

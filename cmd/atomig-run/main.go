@@ -12,7 +12,8 @@
 //
 // Exit codes: 0 the execution completed, 1 the execution failed (assert
 // failure, deadlock, or step-budget exhaustion), 2 usage or internal
-// error.
+// error, 3 the execution completed but -race reported data races (an
+// execution failure wins when both apply).
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/minic"
 	"repro/internal/opt"
+	"repro/internal/race"
 	"repro/internal/vm"
 )
 
@@ -49,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	port := fs.Bool("port", false, "apply the atomig pipeline before running")
 	o2 := fs.Bool("O2", false, "optimize (with -port: after porting)")
 	profile := fs.Bool("profile", false, "print the per-function cycle profile")
+	detectRaces := fs.Bool("race", false, "attach the happens-before race detector and report data races")
 	mcHarness := fs.Bool("mc", false, "use the corpus program's model-checking harness instead of the perf harness")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,11 +95,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, fmt.Errorf("unknown model %q", *model))
 	}
 
-	res, err := vm.Run(mod, vm.Options{
+	var det *race.Detector
+	if *detectRaces {
+		det = race.New(mm, race.Options{})
+	}
+	vopts := vm.Options{
 		Model: mm, Entries: entryList,
 		Controller: vm.NewScheduler(mode, *seed),
 		MaxSteps:   *maxSteps, Profile: *profile, Watchdog: *watchdog,
-	})
+	}
+	if det != nil {
+		vopts.Hook = det
+	}
+	res, err := vm.Run(mod, vopts)
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -133,8 +144,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 				f.name, f.cycles, 100*float64(f.cycles)/float64(res.TotalCycles))
 		}
 	}
+	if det != nil {
+		if det.Races() == 0 {
+			fmt.Fprintln(stdout, "races: none")
+		} else {
+			fmt.Fprintf(stdout, "races: %d distinct\n", det.Races())
+			fmt.Fprint(stdout, race.FormatReports(det.Reports()))
+		}
+	}
 	if res.Status != vm.StatusDone {
 		return 1
+	}
+	if det != nil && det.Races() > 0 {
+		return 3
 	}
 	return 0
 }

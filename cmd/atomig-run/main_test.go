@@ -111,3 +111,22 @@ void boom(void) { assert(0); }
 		t.Errorf("stdout lacks status=assert-failed:\n%s", stdout)
 	}
 }
+
+// -race attaches the detector: a racy execution exits 3 with reports,
+// a ported one exits 0 with "races: none".
+func TestRaceFlagExitCode(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-corpus", "seqlock-gap", "-model", "wmm", "-sched", "reorder", "-race")
+	if code != 3 {
+		t.Fatalf("racy program: exit %d, want 3\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "data race on %gen:0") {
+		t.Errorf("stdout lacks the %%gen:0 report:\n%s", stdout)
+	}
+	code, stdout, _ = runCLI(t, "-corpus", "seqlock-gap", "-model", "wmm", "-sched", "reorder", "-race", "-port")
+	if code != 0 {
+		t.Fatalf("ported program: exit %d, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "races: none") {
+		t.Errorf("stdout lacks races: none:\n%s", stdout)
+	}
+}

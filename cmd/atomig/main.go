@@ -15,10 +15,17 @@
 //	-emit                   print the transformed module IR
 //	-emit-orig              print the original module IR
 //	-no-inline              disable the pre-analysis inliner
+//	-explain-races          run the race detector on the UN-ported input
+//	                        and map each race back to the global or
+//	                        struct field the port should promote
+//	-entries a,b            thread entry functions for -explain-races on
+//	                        file inputs (corpus programs use their
+//	                        model-checking harness)
 //
 // Exit codes: 0 success, 2 usage or internal error (malformed input,
 // port failure). Exit code 1 is reserved for tools that report analysis
-// verdicts (atomig-run, atomig-mc).
+// verdicts (atomig-run, atomig-mc); -explain-races is diagnostic output,
+// not a verdict, and exits 0 whether or not races were found.
 package main
 
 import (
@@ -31,7 +38,9 @@ import (
 	"repro/internal/atomig"
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/memmodel"
 	"repro/internal/minic"
+	"repro/internal/race"
 	"repro/internal/transform"
 )
 
@@ -52,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list corpus programs and exit")
 	out := fs.String("o", "", "write the transformed module to a .air file")
 	o2 := fs.Bool("O2", false, "run the post-transformation optimizer (Figure 2)")
+	explainRaces := fs.Bool("explain-races", false, "detect races in the un-ported input and explain what to promote")
+	entries := fs.String("entries", "", "comma-separated thread entries for -explain-races on file inputs")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mod, err := loadModule(*corpusName, fs.Args())
 	if err != nil {
 		return fail(stderr, err)
+	}
+
+	if *explainRaces {
+		return explain(stdout, stderr, mod, *corpusName, *entries)
 	}
 	if *emitOrig {
 		fmt.Fprintln(stdout, mod.String())
@@ -115,6 +130,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
+	return 0
+}
+
+// explain runs the happens-before detector over the un-ported module
+// under WMM across every scheduler mode and renders the per-location
+// promotion advice. This is the migration feedback loop: run it before
+// porting to see what the pipeline must fix, or on a hand-ported tree
+// to find the promotions it missed.
+func explain(stdout, stderr io.Writer, mod *ir.Module, corpusName, entries string) int {
+	var entryList []string
+	if entries != "" {
+		entryList = strings.Split(entries, ",")
+	} else if corpusName != "" {
+		if p := corpus.Get(corpusName); p != nil {
+			entryList = p.MCEntries
+		}
+	}
+	if len(entryList) == 0 {
+		return fail(stderr, fmt.Errorf("-explain-races needs thread entries (use -entries a,b or a corpus program with a model-checking harness)"))
+	}
+	res, err := race.Sweep(mod, race.SweepOptions{
+		Model:   memmodel.ModelWMM,
+		Entries: entryList,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "race sweep: %d executions, %d distinct race(s)\n",
+		res.Executions, res.Detector.Races())
+	fmt.Fprint(stdout, atomig.ExplainRaces(mod, res.Races()))
 	return 0
 }
 

@@ -80,3 +80,38 @@ func TestEmitFileRoundTrip(t *testing.T) {
 		t.Errorf("no report on .air input:\n%s", stdout)
 	}
 }
+
+// -explain-races maps detector findings back to promotion advice: the
+// migration-gap corpus program yields the %gen:0 gap with the writer's
+// stores listed; a file input works through -entries; missing entries
+// is a usage error.
+func TestExplainRaces(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-explain-races", "-corpus", "seqlock-gap")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, stdout)
+	}
+	for _, want := range []string{"%gen:0", "migration gap", "promote: @writer"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout)
+		}
+	}
+
+	path := writeFile(t, "mp.c", `
+int flag;
+int msg;
+void writer(void) { msg = 1; flag = 1; }
+void reader(void) { while (flag == 0) { } int m = msg; msg = m; }
+`)
+	code, stdout, _ = runCLI(t, "-explain-races", "-entries", "reader,writer", path)
+	if code != 0 {
+		t.Fatalf("file input: exit %d, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "@flag") {
+		t.Errorf("file input lacks @flag locale:\n%s", stdout)
+	}
+
+	code, _, stderr := runCLI(t, "-explain-races", path)
+	if code != 2 || !strings.Contains(stderr, "entries") {
+		t.Errorf("missing entries: exit %d stderr %q, want usage error", code, stderr)
+	}
+}

@@ -1,0 +1,110 @@
+package atomig
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/ir"
+	"repro/internal/race"
+)
+
+// RaceLocale is the explanation of all races on one symbolic location:
+// the detector's reports plus the static picture of the location — the
+// plain accesses the port should have promoted and how many accesses
+// are already atomic (a mixed location is the classic migration gap:
+// one side of the protocol was ported, its buddies were not).
+type RaceLocale struct {
+	Loc alias.Loc
+	// Reports are the detector findings attributed to this location.
+	Reports []*race.Report
+	// PlainSites are the module's non-atomic accesses to the location —
+	// the promotion candidates.
+	PlainSites []*ir.Instr
+	// AtomicSites counts the accesses already atomic.
+	AtomicSites int
+}
+
+// Gap reports whether the location is partially ported: some accesses
+// atomic, some plain. These are the highest-confidence findings — the
+// programmer (or the pipeline) already decided the location needs
+// atomicity and missed the rest.
+func (l *RaceLocale) Gap() bool { return l.AtomicSites > 0 && len(l.PlainSites) > 0 }
+
+// RaceExplanation maps a detector's reports back onto the module's
+// alias structure.
+type RaceExplanation struct {
+	Locales []*RaceLocale
+	// Unattributed holds reports whose accesses resolve to no shared
+	// location descriptor (dynamically computed addresses the type-based
+	// scheme cannot name).
+	Unattributed []*race.Report
+}
+
+// ExplainRaces groups race reports by symbolic location and joins them
+// with the module's alias map, producing the feedback a migration
+// engineer acts on: which globals or struct fields still have plain
+// accesses, where those accesses are, and whether the location is
+// already partially atomic. The module must be the same (un-ported)
+// module the detector observed — sites are matched through the alias
+// map built from it.
+func ExplainRaces(m *ir.Module, reports []*race.Report) *RaceExplanation {
+	am := alias.BuildMap(m)
+	byLoc := make(map[alias.Loc]*RaceLocale)
+	out := &RaceExplanation{}
+	for _, r := range reports {
+		if !r.Loc.Shared() {
+			out.Unattributed = append(out.Unattributed, r)
+			continue
+		}
+		l := byLoc[r.Loc]
+		if l == nil {
+			l = &RaceLocale{Loc: r.Loc}
+			for _, in := range am.Buddies(r.Loc) {
+				if in.Ord.Atomic() {
+					l.AtomicSites++
+				} else {
+					l.PlainSites = append(l.PlainSites, in)
+				}
+			}
+			byLoc[r.Loc] = l
+			out.Locales = append(out.Locales, l)
+		}
+		l.Reports = append(l.Reports, r)
+	}
+	// Gaps first (strongest signal), then by location name for stable
+	// output.
+	sort.SliceStable(out.Locales, func(i, j int) bool {
+		a, b := out.Locales[i], out.Locales[j]
+		if a.Gap() != b.Gap() {
+			return a.Gap()
+		}
+		return a.Loc.String() < b.Loc.String()
+	})
+	return out
+}
+
+// String renders the explanation as the -explain-races CLI output.
+func (e *RaceExplanation) String() string {
+	var b strings.Builder
+	if len(e.Locales) == 0 && len(e.Unattributed) == 0 {
+		return "no races to explain\n"
+	}
+	for _, l := range e.Locales {
+		fmt.Fprintf(&b, "%s: %d race(s), %d plain access(es), %d atomic\n",
+			l.Loc, len(l.Reports), len(l.PlainSites), l.AtomicSites)
+		if l.Gap() {
+			fmt.Fprintf(&b, "  migration gap: location is partially atomic — promote the remaining plain accesses\n")
+		} else if l.AtomicSites == 0 {
+			fmt.Fprintf(&b, "  unported location: no access is atomic — a synchronization pattern the detection missed, or an unprotected shared location\n")
+		}
+		for _, in := range l.PlainSites {
+			fmt.Fprintf(&b, "  promote: %s\n", race.SiteString(in))
+		}
+	}
+	for _, r := range e.Unattributed {
+		fmt.Fprintf(&b, "unattributed (dynamic address %#x):\n%s", uint64(r.Addr), r)
+	}
+	return b.String()
+}

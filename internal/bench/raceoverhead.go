@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/memmodel"
+	"repro/internal/race"
+	"repro/internal/vm"
+)
+
+// RaceOverheadRow reports the VM's instruction throughput on one corpus
+// program with race detection off and on. The hook seam is nil-checked
+// at every event site, so the "off" column is the baseline interpreter;
+// the ratio is the cost of FastTrack-style vector-clock tracking per
+// observed access.
+type RaceOverheadRow struct {
+	Program  string
+	Steps    int64
+	NsOff    float64 // ns per VM step, detector disabled
+	NsOn     float64 // ns per VM step, detector attached
+	Slowdown float64 // NsOn / NsOff
+	Races    int     // distinct races the attached detector found
+}
+
+// RaceOverhead measures detection overhead across the corpus programs
+// with a performance harness, running each (program, detector?) pair
+// iters times under the WMM model with the baseline random scheduler.
+func RaceOverhead(programs []string, iters int) ([]RaceOverheadRow, error) {
+	if iters <= 0 {
+		iters = 3
+	}
+	rows := make([]RaceOverheadRow, 0, len(programs))
+	for _, name := range programs {
+		p := corpus.Get(name)
+		if p == nil {
+			return nil, fmt.Errorf("bench: unknown corpus program %q", name)
+		}
+		if len(p.PerfEntries) == 0 {
+			return nil, fmt.Errorf("bench: corpus program %q has no performance harness", name)
+		}
+		m, err := p.Compile()
+		if err != nil {
+			return nil, err
+		}
+		run := func(det *race.Detector) (int64, int64, error) {
+			var steps, elapsed int64
+			for i := 0; i < iters; i++ {
+				opts := vm.Options{
+					Model:      memmodel.ModelWMM,
+					Entries:    p.PerfEntries,
+					Controller: vm.NewScheduler(vm.SchedRandom, int64(i)+1),
+					MaxSteps:   p.PerfSteps,
+					Costs:      vm.DefaultCosts(),
+				}
+				if det != nil {
+					det.BeginExec()
+					opts.Hook = det
+				}
+				t0 := time.Now()
+				res, err := vm.Run(m, opts)
+				elapsed += time.Since(t0).Nanoseconds()
+				if err != nil {
+					return 0, 0, err
+				}
+				steps += res.Steps
+			}
+			return steps, elapsed, nil
+		}
+		stepsOff, nsOff, err := run(nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s (detector off): %w", name, err)
+		}
+		det := race.New(memmodel.ModelWMM, race.Options{})
+		stepsOn, nsOn, err := run(det)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s (detector on): %w", name, err)
+		}
+		row := RaceOverheadRow{
+			Program: name,
+			Steps:   stepsOff + stepsOn,
+			Races:   det.Races(),
+		}
+		if stepsOff > 0 {
+			row.NsOff = float64(nsOff) / float64(stepsOff)
+		}
+		if stepsOn > 0 {
+			row.NsOn = float64(nsOn) / float64(stepsOn)
+		}
+		if row.NsOff > 0 {
+			row.Slowdown = row.NsOn / row.NsOff
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatRaceOverhead renders the overhead table.
+func FormatRaceOverhead(rows []RaceOverheadRow) string {
+	out := "race-detection overhead (WMM, random scheduler)\n"
+	out += fmt.Sprintf("%-14s %12s %12s %10s %7s\n", "program", "ns/step off", "ns/step on", "slowdown", "races")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-14s %12.1f %12.1f %9.2fx %7d\n",
+			r.Program, r.NsOff, r.NsOn, r.Slowdown, r.Races)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package corpus
+
+// Race-detection corpus: litmus programs whose defining property is the
+// data race itself rather than an assertion failure. The happens-before
+// detector (internal/race) must flag every program here on its legacy
+// TSO source, and the ported variants (atomig.Port for the
+// synchronization-pattern programs, transform.Naive for the pure litmus
+// races) must come out race-free.
+
+// LB is the load-buffering litmus test: each thread reads one variable
+// before writing the other. The view-based machines never produce the
+// r0==r1==1 outcome (that needs promises), but the plain cross-thread
+// accesses are unordered — a data race under every model.
+var LB = register(&Program{
+	Name: "lb",
+	Desc: "load buffering litmus: racy cross-thread plain accesses",
+	Source: `
+int x;
+int y;
+int r0 = -1;
+int r1 = -1;
+
+void t0(void) { r0 = y; x = 1; }
+void t1(void) { r1 = x; y = 1; }
+
+void main_thread(void) {
+  spawn(t0);
+  spawn(t1);
+  join();
+  assert(r0 == 0 || r1 == 0);
+}
+`,
+	MCEntries: []string{"main_thread"},
+})
+
+// IRIW is independent-reads-of-independent-writes: two writers to
+// distinct variables and two readers observing them in opposite orders.
+// There is no assertion — the interesting outcome (readers disagreeing
+// on the write order) is legal under WMM — but every access is a plain
+// racy access.
+var IRIW = register(&Program{
+	Name: "iriw",
+	Desc: "IRIW litmus: independent readers may disagree on write order",
+	Source: `
+int x;
+int y;
+int r0;
+int r1;
+int r2;
+int r3;
+
+void w0(void) { x = 1; }
+void w1(void) { y = 1; }
+void rd0(void) { r0 = x; r1 = y; }
+void rd1(void) { r2 = y; r3 = x; }
+
+void main_thread(void) {
+  spawn(w0);
+  spawn(w1);
+  spawn(rd0);
+  spawn(rd1);
+  join();
+}
+`,
+	MCEntries: []string{"main_thread"},
+})
+
+// SeqlockGap is the detector's flagship migration-gap program: a
+// generation-counter publication where the reader was already ported to
+// an SC atomic load but the writer's counter stores were left plain — a
+// sticky buddy the port must find (the %gen:0 field). Under WMM the
+// plain g.seq=2 store releases nothing, so the reader's data reads race
+// with the writer's stores; after a full atomig port (seeded by the
+// reader's atomic load, closed under type-based aliasing) the program
+// is race-free. There is deliberately no assertion: the program's
+// correctness property IS race-freedom, which the detector checks
+// without needing the racy outcome to corrupt an observable value.
+var SeqlockGap = register(&Program{
+	Name: "seqlock-gap",
+	Desc: "generation counter with un-ported writer stores (migration gap on %gen:0)",
+	Source: `
+struct gen { int seq; int a; int b; };
+struct gen g;
+int ra;
+int rb;
+
+void writer(void) {
+  g.seq = 1;
+  g.a = 7;
+  g.b = 9;
+  g.seq = 2;
+}
+
+void reader(void) {
+  while (__load_sc(&g.seq) != 2) { }
+  ra = g.a;
+  rb = g.b;
+}
+`,
+	MCEntries:   []string{"reader", "writer"},
+	PerfEntries: []string{"reader", "writer"},
+})

@@ -22,6 +22,8 @@ import (
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 	"repro/internal/minic"
+	"repro/internal/race"
+	"repro/internal/transform"
 	"repro/internal/vm"
 )
 
@@ -39,6 +41,14 @@ type Options struct {
 	// Port configures the porting pipeline. Zero value selects
 	// atomig.DefaultOptions.
 	Port *atomig.Options
+	// DetectRaces additionally runs the happens-before race detector
+	// over the ported program's weak-memory executions. A race in the
+	// ported program is compared against a naive all-SC port of the same
+	// source (the paper's always-correct baseline): if the ported
+	// program races while the naive port does not, the port missed an
+	// access it should have promoted — a differential failure even when
+	// the final states happen to agree.
+	DetectRaces bool
 }
 
 // DefaultSeeds is the seed set used when Options.Seeds is empty.
@@ -52,6 +62,9 @@ type Result struct {
 	Reference map[string][]int64
 	// Runs is the number of weak-memory executions compared.
 	Runs int
+	// RaceExecutions is the number of detector-attached executions when
+	// Options.DetectRaces is set.
+	RaceExecutions int
 }
 
 // Run compiles src, establishes the SC reference state, ports the
@@ -131,7 +144,59 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 			runs++
 		}
 	}
-	return &Result{Reference: ref, Runs: runs}, nil
+	out := &Result{Reference: ref, Runs: runs}
+
+	if opts.DetectRaces {
+		n, err := checkRaces(res.Module, ported, entries, modes, len(seeds), maxSteps)
+		if err != nil {
+			return nil, err
+		}
+		out.RaceExecutions = n
+	}
+	return out, nil
+}
+
+// checkRaces sweeps the ported module for data races across the
+// scheduler modes and, when any are found, repeats the sweep on a naive
+// all-SC port of the original source as the control. Racy ported +
+// clean control = the atomig port missed a promotion; racy control too
+// = the program itself is racy beyond what any porting strategy fixes
+// (reported as an infrastructure error, since difftest inputs are
+// generated to be data-race-free once fully ported).
+func checkRaces(orig, ported *ir.Module, entries []string, modes []vm.SchedMode, seeds int, maxSteps int64) (int, error) {
+	sweep := func(m *ir.Module) (*race.SweepResult, error) {
+		return race.Sweep(m, race.SweepOptions{
+			Model:    memmodel.ModelWMM,
+			Entries:  entries,
+			Modes:    modes,
+			Seeds:    seeds,
+			MaxSteps: maxSteps,
+		})
+	}
+	pres, err := sweep(ported)
+	if err != nil {
+		return 0, fmt.Errorf("difftest: race sweep of ported program: %w", err)
+	}
+	if pres.Detector.Races() == 0 {
+		return pres.Executions, nil
+	}
+	control, err := ir.CloneModule(orig)
+	if err != nil {
+		return pres.Executions, fmt.Errorf("difftest: clone for naive control: %w", err)
+	}
+	transform.Naive(control)
+	cres, err := sweep(control)
+	if err != nil {
+		return pres.Executions, fmt.Errorf("difftest: race sweep of naive control: %w", err)
+	}
+	if cres.Detector.Races() == 0 {
+		return pres.Executions, fmt.Errorf(
+			"difftest: ported program races but the naive-SC control does not — the port missed a promotion:\n%s",
+			race.FormatReports(pres.Races()))
+	}
+	return pres.Executions, fmt.Errorf(
+		"difftest: program races even under the naive-SC control (%d ported / %d control reports):\n%s",
+		pres.Detector.Races(), cres.Detector.Races(), race.FormatReports(pres.Races()))
 }
 
 // execute runs one execution and returns the final global snapshot and

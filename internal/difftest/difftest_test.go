@@ -61,3 +61,56 @@ func TestPortIsLoadBearing(t *testing.T) {
 	}
 	t.Skip("no divergence observed without full porting on these seeds")
 }
+
+// gapSrc is a publication protocol whose final state is insensitive to
+// the migration gap: the writer's plain g.seq store races with the
+// reader's already-atomic load, but every write lands on its initial
+// value, so the state comparison alone cannot see the bug. Only the
+// race check can.
+const gapSrc = `
+struct gen { int seq; int pad; };
+struct gen g;
+
+void writer(void) {
+  g.pad = 0;
+  g.seq = 2;
+}
+
+void reader(void) {
+  while (__load_sc(&g.seq) != 2) { }
+}
+`
+
+// TestDetectRacesPassesOnCorrectPort: the full pipeline promotes the
+// writer's stores (sticky buddies of the reader's atomic load), so the
+// race check adds executions and finds nothing.
+func TestDetectRacesPassesOnCorrectPort(t *testing.T) {
+	res, err := Run(gapSrc, []string{"reader", "writer"}, Options{
+		DetectRaces: true, MaxSteps: 300_000,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.RaceExecutions == 0 {
+		t.Fatal("race check ran no executions")
+	}
+}
+
+// TestDetectRacesCatchesMissedPromotion: with the sticky-buddy alias
+// exploration disabled (the unsound ablation), the writer's plain
+// stores survive the port. Final states still agree — only the race
+// check fails, and it must implicate the port rather than the program
+// by showing the naive-SC control is clean.
+func TestDetectRacesCatchesMissedPromotion(t *testing.T) {
+	broken := atomig.DefaultOptions()
+	broken.SkipAlias = true
+	_, err := Run(gapSrc, []string{"reader", "writer"}, Options{
+		DetectRaces: true, MaxSteps: 300_000, Port: &broken,
+	})
+	if err == nil {
+		t.Fatal("race check passed despite the skipped alias exploration")
+	}
+	if !strings.Contains(err.Error(), "naive-SC control does not") {
+		t.Fatalf("error does not implicate the port: %v", err)
+	}
+}

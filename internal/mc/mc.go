@@ -21,6 +21,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
+	"repro/internal/race"
 	"repro/internal/vm"
 )
 
@@ -53,6 +54,16 @@ type Options struct {
 	// Traces replays each violating execution with tracing enabled and
 	// attaches the visible-operation counterexample.
 	Traces bool
+	// DetectRaces attaches a happens-before race detector to every
+	// explored execution. Data races become a first-class verdict
+	// (VerdictRace) and the detector's happens-before state is mixed
+	// into the visited-state hash, so pruning never collapses two states
+	// whose clock assignments differ — a VerdictPass with race detection
+	// on is a proof of race-freedom over the explored space.
+	DetectRaces bool
+	// MaxRaceReports caps the distinct race reports retained (0 = the
+	// detector default).
+	MaxRaceReports int
 }
 
 // Counterexample is a violating execution: the violation message plus
@@ -90,6 +101,12 @@ const (
 	// VerdictFail: at least one execution violated an assertion or
 	// deadlocked.
 	VerdictFail
+	// VerdictRace: no assertion violation or deadlock, but race
+	// detection was on and at least one execution contained a data
+	// race. Precedence is Fail > Race > Unknown > Pass: an outright
+	// violation outranks a race, and a witnessed race is a definitive
+	// claim even when exploration was cut short.
+	VerdictRace
 )
 
 // VerdictPassBounded is the historical name of VerdictUnknown, kept so
@@ -105,6 +122,8 @@ func (v Verdict) String() string {
 		return "unknown"
 	case VerdictFail:
 		return "violated"
+	case VerdictRace:
+		return "racy"
 	}
 	return fmt.Sprintf("Verdict(%d)", int(v))
 }
@@ -116,6 +135,13 @@ type Result struct {
 	// Counterexamples carries violation traces when Options.Traces is
 	// set (parallel to Violations).
 	Counterexamples []Counterexample
+	// Races holds the deduplicated race reports when
+	// Options.DetectRaces is set.
+	Races []*race.Report
+	// RaceWitnesses carries one replayed interleaving per execution
+	// that exposed a previously unseen race, when Options.Traces and
+	// Options.DetectRaces are both set.
+	RaceWitnesses []Counterexample
 	Executions      int
 	// Pruned counts executions cut short by the visited-state cache.
 	Pruned int
@@ -251,6 +277,10 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 			visited = opts.Resume.visited
 		}
 	}
+	var det *race.Detector
+	if opts.DetectRaces {
+		det = race.New(opts.Model, race.Options{MaxReports: opts.MaxRaceReports})
+	}
 	fullyExplored := false
 	stopped := ""
 
@@ -266,16 +296,21 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 		if stopped != "" {
 			break
 		}
-		v, err := vm.New(m, vm.Options{
+		vopts := vm.Options{
 			Model:      opts.Model,
 			Entries:    opts.Entries,
 			Controller: d,
 			MaxSteps:   opts.MaxStepsPerExec,
-		})
+		}
+		if det != nil {
+			det.BeginExec()
+			vopts.Hook = det
+		}
+		v, err := vm.New(m, vopts)
 		if err != nil {
 			return nil, err
 		}
-		violated, truncated, pruned := runOne(v, d, visited)
+		violated, truncated, pruned := runOne(v, d, visited, det)
 		if d.corrupt {
 			return nil, fmt.Errorf("mc: resume token does not match this program, model, or harness")
 		}
@@ -299,6 +334,19 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 				break
 			}
 		}
+		if det != nil && det.ExecFoundNew() {
+			if opts.Traces && len(res.RaceWitnesses) < 16 {
+				reports := det.Reports()
+				res.RaceWitnesses = append(res.RaceWitnesses, Counterexample{
+					Msg:    "data race: " + reports[len(reports)-1].Loc.String(),
+					Events: replayTrace(m, opts, d),
+				})
+			}
+			if opts.StopAtFirst && violated == "" {
+				stopped = "stopped at race"
+				break
+			}
+		}
 		if !d.backtrack() {
 			fullyExplored = true
 			break
@@ -308,9 +356,14 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 	res.States = len(visited)
 	res.Frontier = d.frontier()
 	res.Elapsed = time.Since(start)
+	if det != nil {
+		res.Races = det.Reports()
+	}
 	switch {
 	case len(res.Violations) > 0:
 		res.Verdict = VerdictFail
+	case len(res.Races) > 0:
+		res.Verdict = VerdictRace
 	case fullyExplored && res.Truncated == 0:
 		res.Verdict = VerdictPass
 	default:
@@ -319,7 +372,7 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 			stopped = "step-truncated executions"
 		}
 	}
-	if res.Verdict != VerdictPass {
+	if res.Verdict == VerdictUnknown || res.Verdict == VerdictFail {
 		res.Reason = stopped
 	}
 	// Budget and cancellation stops happen at the top of the loop, after
@@ -327,7 +380,8 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 	// point a resumed Check can pick up from. (A violation-cap stop
 	// leaves the trace on the violating execution and the verdict is
 	// already final, so it gets no token.)
-	if !fullyExplored && stopped != "" && stopped != "stopped at violation" && stopped != "step-truncated executions" {
+	if !fullyExplored && stopped != "" && stopped != "stopped at violation" &&
+		stopped != "stopped at race" && stopped != "step-truncated executions" {
 		res.Resume = &ResumeToken{
 			trace:           append([]choice(nil), d.trace...),
 			visited:         visited,
@@ -344,7 +398,12 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 // runOne drives a single execution to completion, pruning on visited
 // states. It returns a violation message (or ""), whether the step
 // budget truncated the run, and whether the visited cache pruned it.
-func runOne(v *vm.VM, d *dfs, visited map[uint64]bool) (violation string, truncated, pruned bool) {
+// When a race detector is attached its happens-before fingerprint is
+// mixed into the visited hash: two executions reaching the same memory
+// state through different synchronization histories must not be
+// collapsed, or a pruned branch could hide a race the surviving branch
+// happens to order.
+func runOne(v *vm.VM, d *dfs, visited map[uint64]bool, det *race.Detector) (violation string, truncated, pruned bool) {
 	for {
 		if v.Halted() {
 			break
@@ -369,6 +428,9 @@ func runOne(v *vm.VM, d *dfs, visited map[uint64]bool) (violation string, trunca
 		}
 		if !d.replaying() {
 			h := v.StateHash()
+			if det != nil {
+				h = h*1099511628211 ^ det.Fingerprint()
+			}
 			if visited[h] {
 				return "", false, true
 			}
@@ -397,6 +459,6 @@ func replayTrace(m *ir.Module, opts Options, d *dfs) []vm.TraceEvent {
 		return nil
 	}
 	// No visited pruning: we want the full execution.
-	runOne(v, replay, map[uint64]bool{})
+	runOne(v, replay, map[uint64]bool{}, nil)
 	return v.Result().Trace
 }

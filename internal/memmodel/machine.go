@@ -110,9 +110,17 @@ func (mc *Machine) EligibleReads(t *Thread, a Addr, ord AccessOrd) []int {
 // Load performs a load with the given effective ordering, consulting
 // the oracle for the read choice.
 func (mc *Machine) Load(t *Thread, a Addr, ord AccessOrd) int64 {
+	v, _ := mc.LoadT(t, a, ord)
+	return v
+}
+
+// LoadT is Load additionally reporting the timestamp of the message
+// read — the identity instrumentation (race detection) needs to follow
+// reads-from edges precisely.
+func (mc *Machine) LoadT(t *Thread, a Addr, ord AccessOrd) (int64, int) {
 	eligible := mc.EligibleReads(t, a, ord)
 	ts := eligible[mc.oracle.PickRead(a, eligible)]
-	return mc.finishLoad(t, a, ord, ts)
+	return mc.finishLoad(t, a, ord, ts), ts
 }
 
 // finishLoad applies the view effects of reading message ts at a.
@@ -130,6 +138,12 @@ func (mc *Machine) finishLoad(t *Thread, a Addr, ord AccessOrd, ts int) int64 {
 
 // Store appends a new message at a.
 func (mc *Machine) Store(t *Thread, a Addr, v int64, ord AccessOrd) {
+	mc.StoreT(t, a, v, ord)
+}
+
+// StoreT is Store additionally reporting the timestamp of the new
+// message.
+func (mc *Machine) StoreT(t *Thread, a Addr, v int64, ord AccessOrd) int {
 	h := mc.history(a)
 	m := Msg{Val: v, TS: len(h)}
 	if ord.releases() {
@@ -138,12 +152,18 @@ func (mc *Machine) Store(t *Thread, a Addr, v int64, ord AccessOrd) {
 	}
 	mc.hist[a] = append(h, m)
 	t.View[a] = m.TS
+	return m.TS
 }
 
-// RMWResult reports the outcome of a read-modify-write.
+// RMWResult reports the outcome of a read-modify-write. ReadTS is the
+// timestamp of the message read (always the newest); WriteTS is the
+// timestamp of the appended message, or -1 when a compare-exchange
+// failed and wrote nothing.
 type RMWResult struct {
 	Old     int64
 	Swapped bool
+	ReadTS  int
+	WriteTS int
 }
 
 // CmpXchg atomically compares the newest message at a with expected and,
@@ -155,20 +175,32 @@ func (mc *Machine) CmpXchg(t *Thread, a Addr, expected, nv int64, ord AccessOrd)
 	newest := len(h) - 1
 	old := mc.finishLoad(t, a, ord.loadPart(), newest)
 	if old != expected {
-		return RMWResult{Old: old}
+		return RMWResult{Old: old, ReadTS: newest, WriteTS: -1}
 	}
-	mc.Store(t, a, nv, ord.storePart())
-	return RMWResult{Old: old, Swapped: true}
+	wts := mc.StoreT(t, a, nv, ord.storePart())
+	return RMWResult{Old: old, Swapped: true, ReadTS: newest, WriteTS: wts}
 }
 
 // RMW atomically applies f to the newest value at a.
 func (mc *Machine) RMW(t *Thread, a Addr, f func(int64) int64, ord AccessOrd) int64 {
+	return mc.RMWT(t, a, f, ord).Old
+}
+
+// RMWT is RMW additionally reporting the message timestamps involved.
+func (mc *Machine) RMWT(t *Thread, a Addr, f func(int64) int64, ord AccessOrd) RMWResult {
 	h := mc.history(a)
 	newest := len(h) - 1
 	old := mc.finishLoad(t, a, ord.loadPart(), newest)
-	mc.Store(t, a, f(old), ord.storePart())
-	return old
+	wts := mc.StoreT(t, a, f(old), ord.storePart())
+	return RMWResult{Old: old, Swapped: true, ReadTS: newest, WriteTS: wts}
 }
+
+// LoadPart returns the load half of an RMW ordering (exported for
+// happens-before mirroring).
+func (o AccessOrd) LoadPart() AccessOrd { return o.loadPart() }
+
+// StorePart returns the store half of an RMW ordering.
+func (o AccessOrd) StorePart() AccessOrd { return o.storePart() }
 
 // loadPart returns the load half of an RMW ordering.
 func (o AccessOrd) loadPart() AccessOrd {

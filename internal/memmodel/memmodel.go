@@ -135,3 +135,21 @@ func (o AccessOrd) acquires() bool {
 func (o AccessOrd) releases() bool {
 	return o == OrdRelease || o == OrdAcqRel || o == OrdSC
 }
+
+// Acquires reports whether the ordering has acquire semantics. Exported
+// for clients that mirror the machine's synchronization (the race
+// detector's happens-before tracking).
+func (o AccessOrd) Acquires() bool { return o.acquires() }
+
+// Releases reports whether the ordering has release semantics.
+func (o AccessOrd) Releases() bool { return o.releases() }
+
+// RMWOrd maps a static read-modify-write ordering under the model: on
+// TSO (x86 lock prefix) and SC machines read-modify-writes are full
+// barriers; only WMM honors the annotated ordering.
+func RMWOrd(m Model, staticOrd int) AccessOrd {
+	if m != ModelWMM {
+		return OrdSC
+	}
+	return EffectiveOrd(m, staticOrd, true)
+}

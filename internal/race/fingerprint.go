@@ -1,0 +1,61 @@
+package race
+
+import (
+	"sort"
+
+	"repro/internal/memmodel"
+)
+
+// Fingerprint hashes the detector's happens-before state: the thread
+// clocks, every location's write/read epochs and synchronization
+// clocks, and the global fence clock. The model checker mixes this into
+// its visited-state hash when race mode is on, so a state is only
+// pruned when the memory state AND the race-detection state match —
+// without it, exploration could prune a path whose clock assignment
+// would have exposed a race the first visit's assignment ordered.
+func (d *Detector) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mixVC := func(v VC) {
+		mix(uint64(len(v)))
+		for _, c := range v {
+			mix(uint64(c))
+		}
+	}
+	mix(uint64(len(d.clocks)))
+	for _, c := range d.clocks {
+		mixVC(c)
+	}
+	mixVC(d.scClock)
+
+	addrs := make([]memmodel.Addr, 0, len(d.locs))
+	for a := range d.locs {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		l := d.locs[a]
+		mix(uint64(a))
+		if l.hasWrite {
+			mix(uint64(l.write.thread)<<32 | uint64(l.write.clock))
+		} else {
+			mix(0)
+		}
+		mix(uint64(len(l.reads)))
+		for _, r := range l.reads {
+			mix(uint64(r.thread)<<32 | uint64(r.clock))
+		}
+		mixVC(l.sync)
+	}
+	return h
+}

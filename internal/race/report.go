@@ -1,0 +1,96 @@
+package race
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+)
+
+// Access is one side of a reported race: the access site with full IR
+// provenance plus the owning thread's vector clock at the access.
+type Access struct {
+	Thread int
+	Write  bool
+	Atomic bool
+	Ord    ir.MemOrder
+	// Site is the access instruction; Site.Blk and Site.Blk.Fn give the
+	// block and function.
+	Site *ir.Instr
+	// Clock is a copy of the thread's vector clock at the access.
+	Clock VC
+}
+
+func newAccess(rec accessRec, clock VC) Access {
+	return Access{
+		Thread: rec.thread, Write: rec.write, Atomic: rec.atomic,
+		Ord: rec.ord, Site: rec.site, Clock: clock,
+	}
+}
+
+func (a Access) kind() string {
+	if a.Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Report is one detected data race: two conflicting accesses to Addr
+// unordered by happens-before, at least one of them a non-atomic write
+// or read.
+type Report struct {
+	// Addr is the concrete cell address the conflict occurred on.
+	Addr memmodel.Addr
+	// Loc is the symbolic location descriptor (global name or
+	// struct-type field path) — the handle the migration feedback loop
+	// uses to name what the port should have promoted.
+	Loc alias.Loc
+	// Prior is the earlier access, Current the one whose execution
+	// exposed the race.
+	Prior, Current Access
+	// Count is the number of dynamic occurrences of this site pair.
+	Count int
+}
+
+// SiteString renders an access site with function, block and
+// instruction-index provenance, e.g.
+// "@writer %entry #1: store %t0, @flag".
+func SiteString(in *ir.Instr) string {
+	if in == nil || in.Blk == nil {
+		return "<unknown site>"
+	}
+	idx := -1
+	for i, x := range in.Blk.Instrs {
+		if x == in {
+			idx = i
+			break
+		}
+	}
+	return fmt.Sprintf("@%s %%%s #%d: %s", in.Blk.Fn.Name, in.Blk.Name, idx, in)
+}
+
+// String renders the report for CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "data race on %s (addr %#x", r.Loc, uint64(r.Addr))
+	if r.Count > 1 {
+		fmt.Fprintf(&b, ", %d occurrences", r.Count)
+	}
+	b.WriteString(")\n")
+	for _, a := range []Access{r.Current, r.Prior} {
+		fmt.Fprintf(&b, "  %-5s by T%d [%s] %s\n    clock %v\n",
+			a.kind(), a.Thread, a.Ord, SiteString(a.Site), a.Clock)
+	}
+	return b.String()
+}
+
+// FormatReports renders a report list, one report per paragraph.
+func FormatReports(reports []*Report) string {
+	var b strings.Builder
+	for _, r := range reports {
+		b.WriteString(r.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package race
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+	"repro/internal/vm"
+)
+
+// SweepOptions configures a scheduler-mode race sweep.
+type SweepOptions struct {
+	Model memmodel.Model
+	// Entries are the functions started as initial threads.
+	Entries []string
+	// Modes are the scheduler modes to sweep; nil selects all of them.
+	Modes []vm.SchedMode
+	// Seeds is the number of seeds per mode (0 selects 4).
+	Seeds int
+	// MaxSteps bounds each execution (0 = VM default).
+	MaxSteps int64
+	// Detector accumulates findings across the sweep; nil creates a
+	// fresh one. Passing a detector in lets callers deduplicate races
+	// across several sweeps (the same program under different models,
+	// or a resumed stress run).
+	Detector *Detector
+	// MaxReports configures the fresh detector when Detector is nil.
+	MaxReports int
+}
+
+// SweepResult is the outcome of a race sweep.
+type SweepResult struct {
+	// Detector holds the deduplicated race reports.
+	Detector *Detector
+	// Executions is the number of executions run.
+	Executions int
+	// Violations lists executions that failed outright (assertion
+	// failure or deadlock), one line each. An un-ported program under
+	// WMM is expected to both race and fail — the sweep keeps going and
+	// reports both — while a ported program should produce neither.
+	Violations []string
+}
+
+// Races returns the distinct races found by the sweep.
+func (r *SweepResult) Races() []*Report { return r.Detector.Reports() }
+
+// Sweep runs the module's entry threads under every scheduler mode and
+// seed with a race detector attached. Execution failures do not stop
+// the sweep (the racy outcome the detector explains is often the same
+// one that trips an assertion); they are recorded in
+// SweepResult.Violations. The error return is reserved for engine
+// failures (malformed module, internal VM error).
+func Sweep(m *ir.Module, opts SweepOptions) (*SweepResult, error) {
+	modes := opts.Modes
+	if modes == nil {
+		modes = vm.AllSchedModes()
+	}
+	seeds := opts.Seeds
+	if seeds == 0 {
+		seeds = 4
+	}
+	det := opts.Detector
+	if det == nil {
+		det = New(opts.Model, Options{MaxReports: opts.MaxReports})
+	}
+	out := &SweepResult{Detector: det}
+	for _, mode := range modes {
+		for s := 0; s < seeds; s++ {
+			det.BeginExec()
+			res, err := vm.Run(m, vm.Options{
+				Model:      opts.Model,
+				Entries:    opts.Entries,
+				Controller: vm.NewScheduler(mode, int64(s)+1),
+				MaxSteps:   opts.MaxSteps,
+				Costs:      vm.DefaultCosts(),
+				Hook:       det,
+			})
+			if err != nil {
+				return out, fmt.Errorf("race sweep (%s, seed %d): %w", mode, s+1, err)
+			}
+			out.Executions++
+			if res.Status == vm.StatusAssertFailed || res.Status == vm.StatusDeadlock {
+				out.Violations = append(out.Violations,
+					fmt.Sprintf("%s seed %d: %s: %s", mode, s+1, res.Status, res.FailMsg))
+			}
+		}
+	}
+	return out, nil
+}

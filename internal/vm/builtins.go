@@ -40,7 +40,10 @@ func (v *VM) call(t *thread, in *ir.Instr) (bool, error) {
 		if !ok {
 			return false, fmt.Errorf("vm: spawn argument is not a function reference")
 		}
-		v.newThread(fr.Fn, t.mm.Fork())
+		child := v.newThread(fr.Fn, t.mm.Fork())
+		if v.hook != nil {
+			v.hook.OnSpawn(t.id, child.id)
+		}
 		t.cycles += c.Call
 		return true, nil
 
@@ -60,6 +63,9 @@ func (v *VM) call(t *thread, in *ir.Instr) (bool, error) {
 			for _, o := range v.threads {
 				if o.id != t.id {
 					t.mm.JoinThread(o.mm)
+					if v.hook != nil {
+						v.hook.OnJoin(t.id, o.id)
+					}
 				}
 			}
 			t.state = tRunnable
@@ -92,6 +98,9 @@ func (v *VM) call(t *thread, in *ir.Instr) (bool, error) {
 			p := v.threads[id]
 			p.mm.View.Join(joined.View)
 			p.state = tRunnable
+		}
+		if v.hook != nil {
+			v.hook.OnBarrier(bs.waiting)
 		}
 		delete(v.barriers, n)
 		return true, nil

@@ -75,6 +75,7 @@ type VM struct {
 	opts     Options
 	ctrl     Controller
 	mem      memory
+	hook     Hook
 	useView  bool
 	threads  []*thread
 	globals  map[string]memmodel.Addr
@@ -178,6 +179,7 @@ func New(m *ir.Module, opts Options) (v *VM, err error) {
 		mod:          m,
 		opts:         opts,
 		ctrl:         ctrl,
+		hook:         opts.Hook,
 		useView:      useViewMemory(opts),
 		globals:      make(map[string]memmodel.Addr),
 		heapNext:     heapBase,
@@ -259,6 +261,9 @@ func (v *VM) Runnable() []int {
 				for _, o := range v.threads {
 					if o.id != t.id {
 						t.mm.JoinThread(o.mm)
+						if v.hook != nil {
+							v.hook.OnJoin(t.id, o.id)
+						}
 					}
 				}
 				t.state = tRunnable
@@ -461,7 +466,7 @@ func (v *VM) execInstr(t *thread) (bool, error) {
 
 	case ir.OpLoad:
 		a := memmodel.Addr(v.eval(t, in.Args[0]))
-		val := v.mem.load(t, a, in.Ord)
+		val, rts := v.mem.load(t, a, in.Ord)
 		f.regs[in.ID] = val
 		v.chargeLoad(t, a, c.accessCost(in.Ord, false), in.Ord.Atomic() && in.Ord != ir.Relaxed)
 		if in.Ord.Atomic() {
@@ -469,17 +474,23 @@ func (v *VM) execInstr(t *thread) (bool, error) {
 		} else {
 			v.res.Counters.NonAtomicLoads++
 		}
+		if v.hook != nil && !isStackAddr(a) {
+			v.hookAccess(t, a, AccessLoad, in, rts, -1)
+		}
 		return !t.ownStack(a), nil
 
 	case ir.OpStore:
 		a := memmodel.Addr(v.eval(t, in.Args[0]))
 		val := v.eval(t, in.Args[1])
-		v.mem.store(t, a, val, in.Ord)
+		wts := v.mem.store(t, a, val, in.Ord)
 		v.chargeWrite(t, a, in.Ord.Atomic(), c.accessCost(in.Ord, true))
 		if in.Ord.Atomic() {
 			v.res.Counters.AtomicStores++
 		} else {
 			v.res.Counters.NonAtomicStores++
+		}
+		if v.hook != nil && !isStackAddr(a) {
+			v.hookAccess(t, a, AccessStore, in, -1, wts)
 		}
 		return !t.ownStack(a), nil
 
@@ -487,23 +498,36 @@ func (v *VM) execInstr(t *thread) (bool, error) {
 		a := memmodel.Addr(v.eval(t, in.Args[0]))
 		exp := v.eval(t, in.Args[1])
 		nv := v.eval(t, in.Args[2])
-		old, _ := v.mem.cmpxchg(t, a, exp, nv, in.Ord)
+		old, swapped, rts, wts := v.mem.cmpxchg(t, a, exp, nv, in.Ord)
 		f.regs[in.ID] = old
 		v.chargeWrite(t, a, true, c.RMW)
 		v.res.Counters.RMWs++
+		if v.hook != nil && !isStackAddr(a) {
+			kind := AccessRMW
+			if !swapped {
+				kind = AccessCasFail
+			}
+			v.hookAccess(t, a, kind, in, rts, wts)
+		}
 		return true, nil
 
 	case ir.OpRMW:
 		a := memmodel.Addr(v.eval(t, in.Args[0]))
 		operand := v.eval(t, in.Args[1])
-		old := v.mem.rmw(t, a, rmwFunc(in.RMW, operand), in.Ord)
+		old, rts, wts := v.mem.rmw(t, a, rmwFunc(in.RMW, operand), in.Ord)
 		f.regs[in.ID] = old
 		v.chargeWrite(t, a, true, c.RMW)
 		v.res.Counters.RMWs++
+		if v.hook != nil && !isStackAddr(a) {
+			v.hookAccess(t, a, AccessRMW, in, rts, wts)
+		}
 		return true, nil
 
 	case ir.OpFence:
 		v.mem.fence(t, in.Ord)
+		if v.hook != nil {
+			v.hook.OnFence(t.id, in.Ord)
+		}
 		if in.Ord == ir.SeqCst {
 			t.cycles += c.FenceSC
 		} else {

@@ -9,11 +9,16 @@ import (
 // a flat sequentially consistent store (weak behaviors are irrelevant to
 // the cycle model and message histories would grow without bound);
 // model checking and weak-behavior demonstrations use the view machine.
+//
+// The load/store/cmpxchg/rmw methods additionally report the
+// view-machine timestamps of the messages read and written (-1 when the
+// flat backend is in use or no message was involved); the event-hook
+// instrumentation uses them to follow reads-from edges precisely.
 type memory interface {
-	load(t *thread, a memmodel.Addr, ord ir.MemOrder) int64
-	store(t *thread, a memmodel.Addr, v int64, ord ir.MemOrder)
-	cmpxchg(t *thread, a memmodel.Addr, expected, nv int64, ord ir.MemOrder) (int64, bool)
-	rmw(t *thread, a memmodel.Addr, f func(int64) int64, ord ir.MemOrder) int64
+	load(t *thread, a memmodel.Addr, ord ir.MemOrder) (int64, int)
+	store(t *thread, a memmodel.Addr, v int64, ord ir.MemOrder) int
+	cmpxchg(t *thread, a memmodel.Addr, expected, nv int64, ord ir.MemOrder) (int64, bool, int, int)
+	rmw(t *thread, a memmodel.Addr, f func(int64) int64, ord ir.MemOrder) (int64, int, int)
 	fence(t *thread, ord ir.MemOrder)
 	setInit(a memmodel.Addr, v int64)
 	// rawset writes without memory-model effects (alloca zeroing).
@@ -30,23 +35,28 @@ type flatMem struct {
 
 func newFlatMem() *flatMem { return &flatMem{cells: make(map[memmodel.Addr]int64)} }
 
-func (m *flatMem) load(_ *thread, a memmodel.Addr, _ ir.MemOrder) int64 { return m.cells[a] }
-
-func (m *flatMem) store(_ *thread, a memmodel.Addr, v int64, _ ir.MemOrder) { m.cells[a] = v }
-
-func (m *flatMem) cmpxchg(_ *thread, a memmodel.Addr, expected, nv int64, _ ir.MemOrder) (int64, bool) {
-	old := m.cells[a]
-	if old != expected {
-		return old, false
-	}
-	m.cells[a] = nv
-	return old, true
+func (m *flatMem) load(_ *thread, a memmodel.Addr, _ ir.MemOrder) (int64, int) {
+	return m.cells[a], -1
 }
 
-func (m *flatMem) rmw(_ *thread, a memmodel.Addr, f func(int64) int64, _ ir.MemOrder) int64 {
+func (m *flatMem) store(_ *thread, a memmodel.Addr, v int64, _ ir.MemOrder) int {
+	m.cells[a] = v
+	return -1
+}
+
+func (m *flatMem) cmpxchg(_ *thread, a memmodel.Addr, expected, nv int64, _ ir.MemOrder) (int64, bool, int, int) {
+	old := m.cells[a]
+	if old != expected {
+		return old, false, -1, -1
+	}
+	m.cells[a] = nv
+	return old, true, -1, -1
+}
+
+func (m *flatMem) rmw(_ *thread, a memmodel.Addr, f func(int64) int64, _ ir.MemOrder) (int64, int, int) {
 	old := m.cells[a]
 	m.cells[a] = f(old)
-	return old
+	return old, -1, -1
 }
 
 func (m *flatMem) fence(_ *thread, _ ir.MemOrder) {}
@@ -83,43 +93,34 @@ func (m *viewMem) eff(ord ir.MemOrder, isStore bool) memmodel.AccessOrd {
 	return memmodel.EffectiveOrd(m.model, int(ord), isStore)
 }
 
-func (m *viewMem) load(t *thread, a memmodel.Addr, ord ir.MemOrder) int64 {
+func (m *viewMem) load(t *thread, a memmodel.Addr, ord ir.MemOrder) (int64, int) {
 	if isStackAddr(a) {
 		return m.stack.load(t, a, ord)
 	}
-	return m.mc.Load(t.mm, a, m.eff(ord, false))
+	return m.mc.LoadT(t.mm, a, m.eff(ord, false))
 }
 
-func (m *viewMem) store(t *thread, a memmodel.Addr, v int64, ord ir.MemOrder) {
+func (m *viewMem) store(t *thread, a memmodel.Addr, v int64, ord ir.MemOrder) int {
 	if isStackAddr(a) {
-		m.stack.store(t, a, v, ord)
-		return
+		return m.stack.store(t, a, v, ord)
 	}
-	m.mc.Store(t.mm, a, v, m.eff(ord, true))
+	return m.mc.StoreT(t.mm, a, v, m.eff(ord, true))
 }
 
-// rmwOrd maps a static RMW ordering under the model: on TSO (x86 lock
-// prefix) and SC machines read-modify-writes are full barriers.
-func (m *viewMem) rmwOrd(ord ir.MemOrder) memmodel.AccessOrd {
-	if m.model != memmodel.ModelWMM {
-		return memmodel.OrdSC
-	}
-	return m.eff(ord, true)
-}
-
-func (m *viewMem) cmpxchg(t *thread, a memmodel.Addr, expected, nv int64, ord ir.MemOrder) (int64, bool) {
+func (m *viewMem) cmpxchg(t *thread, a memmodel.Addr, expected, nv int64, ord ir.MemOrder) (int64, bool, int, int) {
 	if isStackAddr(a) {
 		return m.stack.cmpxchg(t, a, expected, nv, ord)
 	}
-	r := m.mc.CmpXchg(t.mm, a, expected, nv, m.rmwOrd(ord))
-	return r.Old, r.Swapped
+	r := m.mc.CmpXchg(t.mm, a, expected, nv, memmodel.RMWOrd(m.model, int(ord)))
+	return r.Old, r.Swapped, r.ReadTS, r.WriteTS
 }
 
-func (m *viewMem) rmw(t *thread, a memmodel.Addr, f func(int64) int64, ord ir.MemOrder) int64 {
+func (m *viewMem) rmw(t *thread, a memmodel.Addr, f func(int64) int64, ord ir.MemOrder) (int64, int, int) {
 	if isStackAddr(a) {
 		return m.stack.rmw(t, a, f, ord)
 	}
-	return m.mc.RMW(t.mm, a, f, m.rmwOrd(ord))
+	r := m.mc.RMWT(t.mm, a, f, memmodel.RMWOrd(m.model, int(ord)))
+	return r.Old, r.ReadTS, r.WriteTS
 }
 
 func (m *viewMem) fence(t *thread, ord ir.MemOrder) { m.mc.Fence(t.mm, int(ord)) }

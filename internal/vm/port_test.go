@@ -1,0 +1,71 @@
+package vm_test
+
+// External test package: it exercises the vm through the atomig
+// pipeline, and atomig (via the race detector's explain path) imports
+// vm, so an in-package test would be an import cycle.
+
+import (
+	"testing"
+
+	"repro/internal/atomig"
+	"repro/internal/memmodel"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+// TestMessagePassingWeakness is the executable version of Figure 1: the
+// unported MP program fails under WMM for some schedules/read choices,
+// while the atomig-ported version never does.
+func TestMessagePassingWeakness(t *testing.T) {
+	src := `
+int flag;
+int msg;
+void writer(void) {
+  msg = 1;
+  flag = 1;
+}
+void reader(void) {
+  while (flag == 0) { }
+  assert(msg == 1);
+}
+`
+	res, err := minic.Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := res.Module
+	const seeds = 200
+	fails := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		r, err := vm.Run(m, vm.Options{
+			Model: memmodel.ModelWMM, Entries: []string{"reader", "writer"},
+			Seed: seed, MaxSteps: 100_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status == vm.StatusAssertFailed {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("original MP never failed under WMM; the weak model is not weak")
+	}
+
+	ported, _, err := atomig.PortClone(m, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		r, err := vm.Run(ported, vm.Options{
+			Model: memmodel.ModelWMM, Entries: []string{"reader", "writer"},
+			Seed: seed, MaxSteps: 100_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status == vm.StatusAssertFailed {
+			t.Fatalf("ported MP failed under WMM at seed %d", seed)
+		}
+	}
+}

@@ -149,6 +149,11 @@ type Options struct {
 	// accounting while running, and a per-thread spin diagnosis in
 	// Result.Livelock when the step budget is exhausted.
 	Watchdog bool
+	// Hook observes memory accesses, fences and thread synchronization
+	// events (race detection). Nil disables instrumentation entirely;
+	// every event site is behind a nil check, so a disabled hook costs
+	// one predictable branch.
+	Hook Hook
 }
 
 // TraceEvent is one visible operation in an execution trace.

@@ -3,7 +3,6 @@ package vm
 import (
 	"testing"
 
-	"repro/internal/atomig"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 	"repro/internal/minic"
@@ -170,52 +169,9 @@ void main_thread(void) {
 	}
 }
 
-// TestMessagePassingWeakness is the executable version of Figure 1: the
-// unported MP program fails under WMM for some schedules/read choices,
-// while the atomig-ported version never does.
-func TestMessagePassingWeakness(t *testing.T) {
-	src := `
-int flag;
-int msg;
-void writer(void) {
-  msg = 1;
-  flag = 1;
-}
-void reader(void) {
-  while (flag == 0) { }
-  assert(msg == 1);
-}
-`
-	const seeds = 200
-	fails := 0
-	m := compile(t, src)
-	for seed := int64(0); seed < seeds; seed++ {
-		res := run(t, m, Options{
-			Model: memmodel.ModelWMM, Entries: []string{"reader", "writer"},
-			Seed: seed, MaxSteps: 100_000,
-		})
-		if res.Status == StatusAssertFailed {
-			fails++
-		}
-	}
-	if fails == 0 {
-		t.Fatal("original MP never failed under WMM; the weak model is not weak")
-	}
-
-	ported, _, err := atomig.PortClone(m, atomig.DefaultOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for seed := int64(0); seed < seeds; seed++ {
-		res := run(t, ported, Options{
-			Model: memmodel.ModelWMM, Entries: []string{"reader", "writer"},
-			Seed: seed, MaxSteps: 100_000,
-		})
-		if res.Status == StatusAssertFailed {
-			t.Fatalf("ported MP failed under WMM at seed %d", seed)
-		}
-	}
-}
+// TestMessagePassingWeakness (the executable version of Figure 1)
+// lives in port_test.go, in the external test package: it needs the
+// atomig pipeline, which imports vm through the race detector.
 
 // TestMessagePassingHoldsOnTSO: the unported program is correct on TSO —
 // that is the porting problem in a nutshell.
