@@ -5,7 +5,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test test-race check race-smoke fuzz-smoke clean
+.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke clean
 
 
 
@@ -25,7 +25,20 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race
+check: build vet test test-race bench-mc-smoke
+
+# Model-checker scaling sweep (docs/MODEL-CHECKER.md): exhaustive
+# exploration of the litmus+seqlock corpus at 1..8 workers, appending
+# execs/sec, speedup vs -j 1, states and pruning counters to
+# BENCH_mc.json.
+bench-mc:
+	$(GO) run ./cmd/atomig-bench -exp mc-scaling -json BENCH_mc.json
+
+# One-iteration smoke of the same sweep so `make check` notices a
+# broken or drifting parallel engine without paying for a full
+# measurement run.
+bench-mc-smoke:
+	$(GO) test -run none -bench BenchmarkMCScaling -benchtime=1x ./internal/bench
 
 # End-to-end smoke of the happens-before race detector (docs/RACES.md):
 # the seqlock-gap corpus program must be flagged racy before porting

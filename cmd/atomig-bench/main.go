@@ -13,19 +13,40 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
 )
 
+// appendJSON appends one JSON line to path, creating it on first use,
+// so repeated benchmark runs accumulate a machine-readable history.
+func appendJSON(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, all")
+	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, mc-scaling, all")
 	scale := flag.Int("scale", 20, "application scale divisor for t3 (1 = paper-sized)")
 	seed := flag.Int64("seed", 7, "generator seed for t3/t4")
 	budget := flag.Duration("budget", 5*time.Second, "per-check time budget for t2")
+	jsonOut := flag.String("json", "", "append machine-readable results to this file (mc-scaling)")
 	flag.Parse()
 
 	run := func(id string) error {
@@ -85,6 +106,24 @@ func main() {
 				return err
 			}
 			fmt.Print(bench.FormatTable2(rows))
+			return nil
+		case "mc-scaling":
+			rows, err := bench.MCScaling(nil, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatMCScaling(rows))
+			if *jsonOut != "" {
+				if err := appendJSON(*jsonOut, map[string]any{
+					"experiment": "mc-scaling",
+					"when":       time.Now().UTC().Format(time.RFC3339),
+					"gomaxprocs": runtime.GOMAXPROCS(0),
+					"rows":       rows,
+				}); err != nil {
+					return err
+				}
+				fmt.Printf("appended results to %s\n", *jsonOut)
+			}
 			return nil
 		case "scaling":
 			points, err := bench.ScalingSeries([]int{200, 100, 50, 20, 10}, *seed)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -48,7 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	trace := fs.Bool("trace", false, "print a counterexample trace per violation")
 	detectRaces := fs.Bool("race", false, "attach the happens-before race detector; races become a verdict")
 	stats := fs.Bool("stats", false, "print a human-readable exploration summary")
-	resume := fs.String("resume", "", "resume token from a prior budget-exhausted run")
+	resume := fs.String("resume", "", "resume token(s) from a prior budget-exhausted run (comma-separated)")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel exploration workers (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,13 +99,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxExecutions: *maxExecs,
 		Traces:        *trace,
 		DetectRaces:   *detectRaces,
+		Workers:       *workers,
+	}
+	if *workers < 1 {
+		return fail(stderr, fmt.Errorf("-j %d: need at least one worker", *workers))
 	}
 	if *resume != "" {
-		token, err := mc.DecodeResume(*resume)
-		if err != nil {
-			return fail(stderr, err)
+		for _, tok := range strings.Split(*resume, ",") {
+			token, err := mc.DecodeResume(strings.TrimSpace(tok))
+			if err != nil {
+				return fail(stderr, err)
+			}
+			opts.ResumeAll = append(opts.ResumeAll, token)
 		}
-		opts.Resume = token
 	}
 	res, err := mc.Check(mod, opts)
 	if err != nil {
@@ -143,7 +151,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case mc.VerdictFail:
 		return 1
 	case mc.VerdictUnknown:
-		if res.Resume != nil {
+		if len(res.ResumeTokens) > 0 {
+			encoded := make([]string, len(res.ResumeTokens))
+			for i, tok := range res.ResumeTokens {
+				encoded[i] = tok.Encode()
+			}
+			fmt.Fprintf(stdout, "resume=%s\n", strings.Join(encoded, ","))
+		} else if res.Resume != nil {
 			fmt.Fprintf(stdout, "resume=%s\n", res.Resume.Encode())
 		}
 		return 3
@@ -156,10 +170,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 // printStats renders the exploration summary in prose: what was
 // explored, how much the caches saved, and how complete the claim is.
 func printStats(w io.Writer, res *mc.Result) {
-	fmt.Fprintf(w, "explored %d executions in %v\n", res.Executions, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "explored %d executions in %v with %d worker(s)\n",
+		res.Executions, res.Elapsed.Round(time.Millisecond), res.Workers)
 	fmt.Fprintf(w, "  distinct states:    %d\n", res.States)
 	fmt.Fprintf(w, "  pruned re-converging executions: %d\n", res.Pruned)
 	fmt.Fprintf(w, "  step-truncated executions:       %d\n", res.Truncated)
+	fmt.Fprintf(w, "  VM reuse: %d resets / %d fresh allocations\n", res.VMResets, res.VMAllocs)
+	fmt.Fprintf(w, "  contended visited-shard locks:   %d\n", res.ShardContention)
 	if res.Frontier > 0 {
 		fmt.Fprintf(w, "  unexplored frontier branches:    %d\n", res.Frontier)
 	} else {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -53,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	profile := fs.Bool("profile", false, "print the per-function cycle profile")
 	detectRaces := fs.Bool("race", false, "attach the happens-before race detector and report data races")
 	mcHarness := fs.Bool("mc", false, "use the corpus program's model-checking harness instead of the perf harness")
+	sweep := fs.Bool("sweep", false, "race-sweep every scheduler mode instead of one seeded run (implies -race)")
+	sweepSeeds := fs.Int("seeds", 4, "seeds per scheduler mode for -sweep")
+	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel workers for -sweep")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -93,6 +97,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mm = memmodel.ModelWMM
 	default:
 		return fail(stderr, fmt.Errorf("unknown model %q", *model))
+	}
+
+	if *sweep {
+		return runSweep(stdout, stderr, mod, mm, entryList, *sweepSeeds, *maxSteps, *workers)
 	}
 
 	var det *race.Detector
@@ -156,6 +164,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if det != nil && det.Races() > 0 {
+		return 3
+	}
+	return 0
+}
+
+// runSweep fans a full race sweep (every scheduler mode x seeds) out
+// across the -j workers; results are worker-count-invariant, so -j only
+// changes the wall-clock time.
+func runSweep(stdout, stderr io.Writer, mod *ir.Module, mm memmodel.Model, entryList []string, seeds int, maxSteps int64, workers int) int {
+	res, err := race.Sweep(mod, race.SweepOptions{
+		Model:    mm,
+		Entries:  entryList,
+		Seeds:    seeds,
+		MaxSteps: maxSteps,
+		Workers:  workers,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "race sweep: %d executions across %d scheduler modes (%d workers)\n",
+		res.Executions, len(vm.AllSchedModes()), workers)
+	for _, v := range res.Violations {
+		fmt.Fprintf(stdout, "violation: %s\n", v)
+	}
+	if n := res.Detector.Races(); n == 0 {
+		fmt.Fprintln(stdout, "races: none")
+	} else {
+		fmt.Fprintf(stdout, "races: %d distinct\n", n)
+		fmt.Fprint(stdout, race.FormatReports(res.Races()))
+	}
+	if len(res.Violations) > 0 {
+		return 1
+	}
+	if res.Detector.Races() > 0 {
 		return 3
 	}
 	return 0

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/mc"
+	"repro/internal/memmodel"
+)
+
+// MCScalingRow is one (program, worker-count) measurement of the
+// parallel model checker. Speedup is wall-clock relative to the same
+// program at the first worker count in the sweep (canonically 1).
+type MCScalingRow struct {
+	Program         string  `json:"program"`
+	Workers         int     `json:"workers"`
+	Executions      int     `json:"executions"`
+	States          int     `json:"states"`
+	Pruned          int     `json:"pruned"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	ExecsPerSec     float64 `json:"execs_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	Verdict         string  `json:"verdict"`
+	ShardContention int64   `json:"shard_contention"`
+	VMResets        int64   `json:"vm_resets"`
+	VMAllocs        int64   `json:"vm_allocs"`
+}
+
+// DefaultMCScalingPrograms is the litmus+seqlock corpus the scaling
+// claim is measured on: every program fully explores in well under a
+// second sequentially, so the sweep times exhaustive verification, not
+// budget exhaustion.
+func DefaultMCScalingPrograms() []string {
+	return []string{"mp", "sb", "corr", "seqlock", "seqlock-gap", "lfhash-fig7"}
+}
+
+// DefaultMCScalingWorkers is the worker-count sweep (1 first: it is
+// the speedup baseline).
+func DefaultMCScalingWorkers() []int { return []int{1, 2, 4, 8} }
+
+// MCScaling explores each program to completion at every worker count
+// and reports throughput and speedup. It fails if any run does not
+// fully explore its state space, or if the verdict or violation set
+// drifts across worker counts — the determinism contract the parallel
+// engine guarantees (docs/MODEL-CHECKER.md).
+func MCScaling(programs []string, workerCounts []int) ([]MCScalingRow, error) {
+	if len(programs) == 0 {
+		programs = DefaultMCScalingPrograms()
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultMCScalingWorkers()
+	}
+	var rows []MCScalingRow
+	for _, name := range programs {
+		p := corpus.Get(name)
+		if p == nil {
+			return nil, fmt.Errorf("bench: unknown corpus program %q", name)
+		}
+		if len(p.MCEntries) == 0 {
+			return nil, fmt.Errorf("bench: corpus program %q has no model-checking harness", name)
+		}
+		m, err := p.Compile()
+		if err != nil {
+			return nil, err
+		}
+		var baseline time.Duration
+		var baseFP string
+		for i, j := range workerCounts {
+			res, err := checkOnce(m, p.MCEntries, j)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s -j %d: %w", name, j, err)
+			}
+			if res.Verdict == mc.VerdictUnknown {
+				return nil, fmt.Errorf("bench: %s -j %d did not fully explore (%s); the scaling claim needs exhaustive runs", name, j, res.Reason)
+			}
+			fp := verdictFingerprint(res)
+			if i == 0 {
+				baseline, baseFP = res.Elapsed, fp
+			} else if fp != baseFP {
+				return nil, fmt.Errorf("bench: %s verdict drift between -j %d and -j %d:\n  %s\n  %s",
+					name, workerCounts[0], j, baseFP, fp)
+			}
+			row := MCScalingRow{
+				Program:         name,
+				Workers:         j,
+				Executions:      res.Executions,
+				States:          res.States,
+				Pruned:          res.Pruned,
+				ElapsedMS:       float64(res.Elapsed) / float64(time.Millisecond),
+				Verdict:         res.Verdict.String(),
+				ShardContention: res.ShardContention,
+				VMResets:        res.VMResets,
+				VMAllocs:        res.VMAllocs,
+			}
+			if res.Elapsed > 0 {
+				row.ExecsPerSec = float64(res.Executions) / res.Elapsed.Seconds()
+				row.Speedup = float64(baseline) / float64(res.Elapsed)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// checkOnce runs one exhaustive check at the given worker count, under
+// budgets generous enough that the corpus programs complete far below
+// them — elapsed time measures exploration, not the budget.
+func checkOnce(m *ir.Module, entries []string, workers int) (*mc.Result, error) {
+	return mc.Check(m, mc.Options{
+		Model:         memmodel.ModelWMM,
+		Entries:       entries,
+		MaxExecutions: 5_000_000,
+		TimeBudget:    2 * time.Minute,
+		Workers:       workers,
+	})
+}
+
+// verdictFingerprint reduces a result to the worker-count-invariant
+// parts: verdict, distinct violation messages, race keys.
+func verdictFingerprint(res *mc.Result) string {
+	vios := append([]string(nil), res.Violations...)
+	sort.Strings(vios)
+	keys := make([]string, 0, len(res.Races))
+	for _, r := range res.Races {
+		keys = append(keys, r.Key())
+	}
+	sort.Strings(keys)
+	return fmt.Sprintf("verdict=%s violations=%q races=%q", res.Verdict, vios, keys)
+}
+
+// FormatMCScaling renders the sweep.
+func FormatMCScaling(rows []MCScalingRow) string {
+	var b strings.Builder
+	b.WriteString("Model-checker scaling (frontier-split workers, shared visited cache)\n")
+	fmt.Fprintf(&b, "%-14s %3s %10s %8s %12s %12s %8s %10s %10s\n",
+		"program", "j", "execs", "states", "elapsed", "execs/sec", "speedup", "contention", "vm reuse")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %3d %10d %8d %11.1fms %12.0f %7.2fx %10d %9.0f%%\n",
+			r.Program, r.Workers, r.Executions, r.States, r.ElapsedMS, r.ExecsPerSec,
+			r.Speedup, r.ShardContention, reusePct(r.VMResets, r.VMAllocs))
+	}
+	return b.String()
+}
+
+func reusePct(resets, allocs int64) float64 {
+	if resets+allocs == 0 {
+		return 0
+	}
+	return 100 * float64(resets) / float64(resets+allocs)
+}

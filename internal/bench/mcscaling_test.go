@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestMCScalingNoDrift is the acceptance gate for the parallel model
+// checker: the full litmus+seqlock sweep at 1, 2 and 8 workers must
+// fully explore every program with byte-identical verdicts and
+// violation sets (MCScaling errors out on any drift).
+func TestMCScalingNoDrift(t *testing.T) {
+	rows, err := MCScaling(nil, []int{1, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(DefaultMCScalingPrograms()) * 3
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Workers == 1 && r.ShardContention != 0 {
+			t.Errorf("%s -j 1: shard contention %d, want 0 (lock-free single-worker path)",
+				r.Program, r.ShardContention)
+		}
+		if r.VMAllocs > int64(r.Workers) {
+			t.Errorf("%s -j %d: %d VM allocations for %d workers (reuse broken?)",
+				r.Program, r.Workers, r.VMAllocs, r.Workers)
+		}
+	}
+}
+
+// TestMCScalingSpeedup asserts the headline claim — at least 3x
+// wall-clock speedup at 8 workers over 1 — on machines that can
+// actually run 8 workers in parallel. On smaller hosts the determinism
+// half of the claim is still covered by TestMCScalingNoDrift.
+func TestMCScalingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 8 {
+		t.Skipf("GOMAXPROCS=%d; the 8-worker speedup claim needs 8 CPUs", p)
+	}
+	rows, err := MCScaling([]string{"seqlock-gap", "lfhash-fig7", "sb"}, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, par float64
+	for _, r := range rows {
+		switch r.Workers {
+		case 1:
+			base += r.ElapsedMS
+		case 8:
+			par += r.ElapsedMS
+		}
+	}
+	if par <= 0 {
+		t.Fatal("no 8-worker measurements")
+	}
+	if speedup := base / par; speedup < 3 {
+		t.Errorf("aggregate speedup at -j 8 is %.2fx, want >= 3x (1-worker %.1fms, 8-worker %.1fms)",
+			speedup, base, par)
+	}
+}
+
+// BenchmarkMCScaling times one full exhaustive exploration of the
+// litmus+seqlock corpus per iteration, one sub-benchmark per worker
+// count. `make bench-mc` captures execs/sec and speedup in
+// BENCH_mc.json via atomig-bench; this benchmark is the `go test
+// -bench` view of the same sweep and the smoke target in `make check`.
+func BenchmarkMCScaling(b *testing.B) {
+	programs := DefaultMCScalingPrograms()
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				execs := 0
+				for _, name := range programs {
+					p := corpus.Get(name)
+					m, err := p.Compile()
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := checkOnce(m, p.MCEntries, j)
+					if err != nil {
+						b.Fatal(err)
+					}
+					execs += res.Executions
+				}
+				b.ReportMetric(float64(execs), "execs/op")
+			}
+		})
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/atomig"
 	"repro/internal/ir"
@@ -49,6 +51,12 @@ type Options struct {
 	// access it should have promoted — a differential failure even when
 	// the final states happen to agree.
 	DetectRaces bool
+	// Workers fans the seeded executions (SC reference runs, per-mode
+	// weak-memory runs, race sweeps) out across that many goroutines.
+	// Every (mode, seed) cell is independent, and on failure the error
+	// of the earliest cell in grid order is reported, so the outcome is
+	// identical for every worker count. 0 or 1 runs sequentially.
+	Workers int
 }
 
 // DefaultSeeds is the seed set used when Options.Seeds is empty.
@@ -98,25 +106,28 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 	// every seeded SC run must agree. A mismatch here means the input
 	// program is invalid for differential testing (the generator broke
 	// its own determinism contract), which is itself a bug worth failing.
-	var ref map[string][]int64
-	var refReturns []int64
-	for _, seed := range seeds {
+	snaps := make([]map[string][]int64, len(seeds))
+	rets := make([][]int64, len(seeds))
+	if err := gridRun(len(seeds), opts.Workers, func(i int) error {
 		snap, returns, err := execute(res.Module, vm.Options{
 			Model:      memmodel.ModelSC,
 			Entries:    entries,
-			Controller: vm.NewScheduler(vm.SchedRandom, seed),
+			Controller: vm.NewScheduler(vm.SchedRandom, seeds[i]),
 			MaxSteps:   maxSteps,
 			Watchdog:   true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("difftest: SC reference (seed %d): %w", seed, err)
+			return fmt.Errorf("difftest: SC reference (seed %d): %w", seeds[i], err)
 		}
-		if ref == nil {
-			ref, refReturns = snap, returns
-			continue
-		}
-		if diff := diffState(ref, refReturns, snap, returns); diff != "" {
-			return nil, fmt.Errorf("difftest: program is schedule-dependent under SC (seed %d): %s", seed, diff)
+		snaps[i], rets[i] = snap, returns
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	ref, refReturns := snaps[0], rets[0]
+	for i := 1; i < len(seeds); i++ {
+		if diff := diffState(ref, refReturns, snaps[i], rets[i]); diff != "" {
+			return nil, fmt.Errorf("difftest: program is schedule-dependent under SC (seed %d): %s", seeds[i], diff)
 		}
 	}
 
@@ -125,35 +136,78 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("difftest: port: %w", err)
 	}
 
-	runs := 0
-	for _, mode := range modes {
-		for _, seed := range seeds {
-			snap, returns, err := execute(ported, vm.Options{
-				Model:      memmodel.ModelWMM,
-				Entries:    entries,
-				Controller: vm.NewScheduler(mode, seed),
-				MaxSteps:   maxSteps,
-				Watchdog:   true,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("difftest: ported under WMM, sched=%s seed=%d: %w", mode, seed, err)
-			}
-			if diff := diffState(ref, refReturns, snap, returns); diff != "" {
-				return nil, fmt.Errorf("difftest: divergence under WMM, sched=%s seed=%d: %s", mode, seed, diff)
-			}
-			runs++
+	cells := len(modes) * len(seeds)
+	if err := gridRun(cells, opts.Workers, func(i int) error {
+		mode, seed := modes[i/len(seeds)], seeds[i%len(seeds)]
+		snap, returns, err := execute(ported, vm.Options{
+			Model:      memmodel.ModelWMM,
+			Entries:    entries,
+			Controller: vm.NewScheduler(mode, seed),
+			MaxSteps:   maxSteps,
+			Watchdog:   true,
+		})
+		if err != nil {
+			return fmt.Errorf("difftest: ported under WMM, sched=%s seed=%d: %w", mode, seed, err)
 		}
+		if diff := diffState(ref, refReturns, snap, returns); diff != "" {
+			return fmt.Errorf("difftest: divergence under WMM, sched=%s seed=%d: %s", mode, seed, diff)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	out := &Result{Reference: ref, Runs: runs}
+	out := &Result{Reference: ref, Runs: cells}
 
 	if opts.DetectRaces {
-		n, err := checkRaces(res.Module, ported, entries, modes, len(seeds), maxSteps)
+		n, err := checkRaces(res.Module, ported, entries, modes, len(seeds), maxSteps, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
 		out.RaceExecutions = n
 	}
 	return out, nil
+}
+
+// gridRun evaluates fn for every index in [0, n) across workers
+// goroutines. A sequential loop reports the first error it hits;
+// gridRun reports the error of the lowest index, so the observed
+// failure is the same one regardless of worker count. fn must be safe
+// to call concurrently for distinct indices.
+func gridRun(n, workers int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // checkRaces sweeps the ported module for data races across the
@@ -163,7 +217,7 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 // = the program itself is racy beyond what any porting strategy fixes
 // (reported as an infrastructure error, since difftest inputs are
 // generated to be data-race-free once fully ported).
-func checkRaces(orig, ported *ir.Module, entries []string, modes []vm.SchedMode, seeds int, maxSteps int64) (int, error) {
+func checkRaces(orig, ported *ir.Module, entries []string, modes []vm.SchedMode, seeds int, maxSteps int64, workers int) (int, error) {
 	sweep := func(m *ir.Module) (*race.SweepResult, error) {
 		return race.Sweep(m, race.SweepOptions{
 			Model:    memmodel.ModelWMM,
@@ -171,6 +225,7 @@ func checkRaces(orig, ported *ir.Module, entries []string, modes []vm.SchedMode,
 			Modes:    modes,
 			Seeds:    seeds,
 			MaxSteps: maxSteps,
+			Workers:  workers,
 		})
 	}
 	pres, err := sweep(ported)

@@ -114,3 +114,49 @@ func TestDetectRacesCatchesMissedPromotion(t *testing.T) {
 		t.Fatalf("error does not implicate the port: %v", err)
 	}
 }
+
+// TestParallelRunMatchesSequential: Workers must not change the
+// outcome — same run count and reference snapshot, races included.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	src, entries := appgen.RunnableProgram(3)
+	seq, err := Run(src, entries, Options{DetectRaces: true})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	for _, j := range []int{2, 8} {
+		par, err := Run(src, entries, Options{DetectRaces: true, Workers: j})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", j, err)
+		}
+		if par.Runs != seq.Runs || par.RaceExecutions != seq.RaceExecutions {
+			t.Errorf("workers=%d: runs=%d raceExecs=%d, want %d/%d",
+				j, par.Runs, par.RaceExecutions, seq.Runs, seq.RaceExecutions)
+		}
+		if len(par.Reference) != len(seq.Reference) {
+			t.Errorf("workers=%d: reference size %d, want %d", j, len(par.Reference), len(seq.Reference))
+		}
+	}
+}
+
+// TestParallelRunReportsEarliestFailure: the deterministic-error
+// contract — an un-ported racy program must fail with the same
+// divergence cell regardless of worker count.
+func TestParallelRunReportsEarliestFailure(t *testing.T) {
+	weak := atomig.DefaultOptions()
+	weak.Level = atomig.LevelExplicit
+	for seed := int64(1); seed <= 6; seed++ {
+		src, entries := appgen.RunnableProgram(seed)
+		_, seqErr := Run(src, entries, Options{Port: &weak, MaxSteps: 300_000})
+		if seqErr == nil {
+			continue
+		}
+		for _, j := range []int{2, 8} {
+			_, parErr := Run(src, entries, Options{Port: &weak, MaxSteps: 300_000, Workers: j})
+			if parErr == nil || parErr.Error() != seqErr.Error() {
+				t.Errorf("seed %d workers=%d error drifted:\n got %v\nwant %v", seed, j, parErr, seqErr)
+			}
+		}
+		return
+	}
+	t.Skip("no seed diverges under the weak port; nothing to compare")
+}

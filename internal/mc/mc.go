@@ -54,6 +54,17 @@ type Options struct {
 	// Traces replays each violating execution with tracing enabled and
 	// attaches the visible-operation counterexample.
 	Traces bool
+	// Workers selects the parallel frontier-split engine with that many
+	// workers sharing a lock-striped visited cache (0 = the sequential
+	// engine; callers wanting all cores pass runtime.GOMAXPROCS(0)).
+	// On fully explored state spaces the verdict, the violation set and
+	// the race-report keys are identical for every worker count; see
+	// docs/MODEL-CHECKER.md.
+	Workers int
+	// ResumeAll seeds the exploration with multiple frontier fragments —
+	// the per-worker tokens an interrupted parallel run emits. A non-empty
+	// ResumeAll selects the parallel engine even when Workers is 0.
+	ResumeAll []*ResumeToken
 	// DetectRaces attaches a happens-before race detector to every
 	// explored execution. Data races become a first-class verdict
 	// (VerdictRace) and the detector's happens-before state is mixed
@@ -164,12 +175,45 @@ type Result struct {
 	// Resume continues the exploration where this check stopped; nil
 	// unless the verdict is VerdictUnknown with work remaining.
 	Resume *ResumeToken
+	// ResumeTokens carries one token per remaining frontier fragment
+	// when the parallel engine is interrupted (per-worker remainders
+	// plus undistributed queue fragments). Resume mirrors the single
+	// token when exactly one fragment remains.
+	ResumeTokens []*ResumeToken
+	// Workers is the worker count the check ran with (1 for the
+	// sequential engine).
+	Workers int
+	// ShardContention counts contended visited-shard lock acquisitions
+	// in the parallel engine (0 for -j 1: the single-worker cache skips
+	// locking entirely).
+	ShardContention int64
+	// VMResets and VMAllocs count how executions obtained their VM:
+	// recycled via vm.Reset versus freshly built with vm.New.
+	VMResets int64
+	VMAllocs int64
 }
+
+// maxReports caps the violations, counterexamples and race witnesses a
+// check retains, shared by the sequential loop and the parallel merge.
+const maxReports = 16
 
 // choice is one recorded nondeterministic decision.
 type choice struct {
 	options int
 	taken   int
+	// ceil is the exclusive backtrack bound on taken (0 means options):
+	// alternatives at ceil and beyond were donated to another worker by
+	// a frontier split, so backtracking must not re-take them. Replay is
+	// unaffected — it follows taken values only.
+	ceil int
+}
+
+// bound returns the exclusive upper bound backtracking may take.
+func (c choice) bound() int {
+	if c.ceil > 0 {
+		return c.ceil
+	}
+	return c.options
 }
 
 // dfs is the replay controller driving the exploration.
@@ -177,6 +221,11 @@ type dfs struct {
 	trace     []choice
 	pos       int
 	prefixLen int
+	// floor is the immutable prefix length of this exploration fragment:
+	// backtrack never pops below it. The choices under floor (and the
+	// pre-floor siblings) belong to the donor that split this fragment
+	// off. 0 for a whole-tree exploration.
+	floor int
 	// corrupt is set when a replayed choice does not fit the choice
 	// point actually offered — a resume token from a different
 	// program, model, or harness. The execution is steered to option
@@ -206,21 +255,22 @@ func (d *dfs) pick(n int) int {
 // suppressed there: those states were recorded by earlier executions).
 func (d *dfs) replaying() bool { return d.pos <= d.prefixLen }
 
-// frontier counts the unexplored alternatives remaining on the stack.
+// frontier counts the unexplored alternatives remaining on the stack
+// (within this fragment's floor and ceilings).
 func (d *dfs) frontier() int {
 	n := 0
-	for _, c := range d.trace {
-		n += c.options - 1 - c.taken
+	for i := d.floor; i < len(d.trace); i++ {
+		n += d.trace[i].bound() - 1 - d.trace[i].taken
 	}
 	return n
 }
 
-// backtrack prepares the next trace; it returns false when the tree is
-// exhausted.
+// backtrack prepares the next trace; it returns false when the
+// fragment is exhausted.
 func (d *dfs) backtrack() bool {
-	for len(d.trace) > 0 {
+	for len(d.trace) > d.floor {
 		last := &d.trace[len(d.trace)-1]
-		if last.taken+1 < last.options {
+		if last.taken+1 < last.bound() {
 			last.taken++
 			d.prefixLen = len(d.trace)
 			d.pos = 0
@@ -229,6 +279,39 @@ func (d *dfs) backtrack() bool {
 		d.trace = d.trace[:len(d.trace)-1]
 	}
 	return false
+}
+
+// seed loads an exploration fragment into the controller: the first
+// execution replays trace exactly, subsequent backtracking stays above
+// floor and under the per-choice ceilings.
+func (d *dfs) seed(trace []choice, floor int) {
+	d.trace = trace
+	d.floor = floor
+	d.prefixLen = len(trace)
+	d.pos = 0
+	d.corrupt = false
+}
+
+// split donates the shallowest unexplored alternatives of the fragment
+// as a new work unit, or reports false when no split point exists. The
+// donor keeps its current branch at the split index (its ceiling drops
+// to taken+1); the recipient receives every remaining alternative
+// there (taken+1 up to the donor's old bound) and nothing below it.
+// The two fragments partition the donor's frontier: no leaf is lost or
+// explored twice.
+func (d *dfs) split() (unit, bool) {
+	for i := d.floor; i < len(d.trace); i++ {
+		c := d.trace[i]
+		if c.taken+1 < c.bound() {
+			nt := make([]choice, i+1)
+			copy(nt, d.trace[:i+1])
+			nt[i].taken++
+			nt[i].ceil = c.bound()
+			d.trace[i].ceil = c.taken + 1
+			return unit{trace: nt, floor: i}, true
+		}
+	}
+	return unit{}, false
 }
 
 // PickThread implements vm.Controller.
@@ -260,21 +343,26 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 	if opts.TimeBudget == 0 {
 		opts.TimeBudget = 10 * time.Second
 	}
+	if opts.Workers > 0 || len(opts.ResumeAll) > 0 {
+		return checkParallel(m, opts)
+	}
 	start := time.Now()
 	deadline := start.Add(opts.TimeBudget)
 	d := &dfs{}
-	res = &Result{}
-	visited := make(map[uint64]bool)
+	res = &Result{Workers: 1}
+	visited := make(mapCache)
 	if opts.Resume != nil {
-		d.trace = append([]choice(nil), opts.Resume.trace...)
-		d.prefixLen = len(d.trace)
+		d.seed(append([]choice(nil), opts.Resume.trace...), opts.Resume.floor)
 		res.Executions = opts.Resume.executions
 		res.Pruned = opts.Resume.pruned
 		res.Truncated = opts.Resume.truncated
 		res.Violations = append(res.Violations, opts.Resume.violations...)
 		res.Counterexamples = append(res.Counterexamples, opts.Resume.counterexamples...)
-		if opts.Resume.visited != nil {
-			visited = opts.Resume.visited
+		// Copy-on-resume: adopting the token's live map would make the
+		// token single-use (a second resume would see the first resume's
+		// states and prune its own frontier unsoundly).
+		for h := range opts.Resume.visited {
+			visited[h] = true
 		}
 	}
 	var det *race.Detector
@@ -283,6 +371,16 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 	}
 	fullyExplored := false
 	stopped := ""
+	vopts := vm.Options{
+		Model:      opts.Model,
+		Entries:    opts.Entries,
+		Controller: d,
+		MaxSteps:   opts.MaxStepsPerExec,
+	}
+	if det != nil {
+		vopts.Hook = det
+	}
+	var v *vm.VM
 
 	for {
 		switch {
@@ -296,19 +394,21 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 		if stopped != "" {
 			break
 		}
-		vopts := vm.Options{
-			Model:      opts.Model,
-			Entries:    opts.Entries,
-			Controller: d,
-			MaxSteps:   opts.MaxStepsPerExec,
-		}
 		if det != nil {
 			det.BeginExec()
-			vopts.Hook = det
 		}
-		v, err := vm.New(m, vopts)
-		if err != nil {
-			return nil, err
+		// One VM serves the whole exploration: executions after the first
+		// recycle it through Reset instead of paying vm.New's allocations.
+		if v == nil {
+			if v, err = vm.New(m, vopts); err != nil {
+				return nil, err
+			}
+			res.VMAllocs++
+		} else {
+			if err = v.Reset(); err != nil {
+				return nil, err
+			}
+			res.VMResets++
 		}
 		violated, truncated, pruned := runOne(v, d, visited, det)
 		if d.corrupt {
@@ -329,13 +429,13 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 					Events: replayTrace(m, opts, d),
 				})
 			}
-			if opts.StopAtFirst || len(res.Violations) >= 16 {
+			if opts.StopAtFirst || len(res.Violations) >= maxReports {
 				stopped = "stopped at violation"
 				break
 			}
 		}
 		if det != nil && det.ExecFoundNew() {
-			if opts.Traces && len(res.RaceWitnesses) < 16 {
+			if opts.Traces && len(res.RaceWitnesses) < maxReports {
 				reports := det.Reports()
 				res.RaceWitnesses = append(res.RaceWitnesses, Counterexample{
 					Msg:    "data race: " + reports[len(reports)-1].Loc.String(),
@@ -384,6 +484,7 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 		stopped != "stopped at race" && stopped != "step-truncated executions" {
 		res.Resume = &ResumeToken{
 			trace:           append([]choice(nil), d.trace...),
+			floor:           d.floor,
 			visited:         visited,
 			executions:      res.Executions,
 			pruned:          res.Pruned,
@@ -391,6 +492,7 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 			violations:      append([]string(nil), res.Violations...),
 			counterexamples: append([]Counterexample(nil), res.Counterexamples...),
 		}
+		res.ResumeTokens = []*ResumeToken{res.Resume}
 	}
 	return res, nil
 }
@@ -403,11 +505,8 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 // state through different synchronization histories must not be
 // collapsed, or a pruned branch could hide a race the surviving branch
 // happens to order.
-func runOne(v *vm.VM, d *dfs, visited map[uint64]bool, det *race.Detector) (violation string, truncated, pruned bool) {
-	for {
-		if v.Halted() {
-			break
-		}
+func runOne(v *vm.VM, d *dfs, visited stateCache, det *race.Detector) (violation string, truncated, pruned bool) {
+	for !v.Halted() {
 		run := v.Runnable()
 		if len(run) == 0 {
 			if v.Done() {
@@ -419,22 +518,20 @@ func runOne(v *vm.VM, d *dfs, visited map[uint64]bool, det *race.Detector) (viol
 		if err := v.StepThread(ti); err != nil {
 			return fmt.Sprintf("runtime fault: %v", err), false, false
 		}
-		r := v.Result()
-		if r.Status == vm.StatusAssertFailed {
-			return r.FailMsg, false, false
-		}
-		if r.Status == vm.StatusStepLimit {
-			return "", true, false
+		if v.Halted() {
+			// Assertion failure or step limit: resolved below, before any
+			// pruning — a halted state must never enter the visited cache,
+			// or it could mask the violation on a later path.
+			break
 		}
 		if !d.replaying() {
 			h := v.StateHash()
 			if det != nil {
 				h = h*1099511628211 ^ det.Fingerprint()
 			}
-			if visited[h] {
+			if !visited.insert(h) {
 				return "", false, true
 			}
-			visited[h] = true
 		}
 	}
 	r := v.Result()
@@ -459,6 +556,6 @@ func replayTrace(m *ir.Module, opts Options, d *dfs) []vm.TraceEvent {
 		return nil
 	}
 	// No visited pruning: we want the full execution.
-	runOne(v, replay, map[uint64]bool{}, nil)
+	runOne(v, replay, make(mapCache), nil)
 	return v.Result().Trace
 }

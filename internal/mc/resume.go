@@ -19,7 +19,11 @@ import (
 // exploration proceeds, which can re-explore some states but never
 // changes the verdict.
 type ResumeToken struct {
-	trace      []choice
+	trace []choice
+	// floor is the fragment's immutable prefix length: a token from a
+	// parallel worker pins only the exploration fragment that worker
+	// owned (see dfs.floor); sequential whole-tree tokens have floor 0.
+	floor      int
 	visited    map[uint64]bool
 	executions int
 	pruned     int
@@ -36,17 +40,24 @@ type ResumeToken struct {
 // had completed.
 func (t *ResumeToken) Executions() int { return t.executions }
 
-// Frontier reports how many unexplored branches the token pins.
+// Frontier reports how many unexplored branches the token pins (within
+// the fragment's floor and per-choice ceilings).
 func (t *ResumeToken) Frontier() int {
 	n := 0
-	for _, c := range t.trace {
-		n += c.options - 1 - c.taken
+	for i := t.floor; i < len(t.trace); i++ {
+		n += t.trace[i].bound() - 1 - t.trace[i].taken
 	}
 	return n
 }
 
-// resumeMagic versions the encoded token format.
-const resumeMagic = "mcr1"
+// resumeMagic versions the encoded token format: "mcr2" adds the
+// fragment floor and per-choice backtrack ceilings of the parallel
+// frontier split. "mcr1" tokens (no floor, no ceilings) decode
+// unchanged.
+const (
+	resumeMagic   = "mcr2"
+	resumeMagicV1 = "mcr1"
+)
 
 // Encode serializes the token's frontier for transport across
 // processes (the atomig-mc -resume flag).
@@ -55,21 +66,29 @@ func (t *ResumeToken) Encode() string {
 	buf = binary.AppendUvarint(buf, uint64(t.executions))
 	buf = binary.AppendUvarint(buf, uint64(t.pruned))
 	buf = binary.AppendUvarint(buf, uint64(t.truncated))
+	buf = binary.AppendUvarint(buf, uint64(t.floor))
 	buf = binary.AppendUvarint(buf, uint64(len(t.trace)))
 	for _, c := range t.trace {
 		buf = binary.AppendUvarint(buf, uint64(c.options))
 		buf = binary.AppendUvarint(buf, uint64(c.taken))
+		buf = binary.AppendUvarint(buf, uint64(c.ceil))
 	}
 	return base64.RawURLEncoding.EncodeToString(buf)
 }
 
-// DecodeResume parses a token produced by Encode.
+// DecodeResume parses a token produced by Encode (current or mcr1
+// format).
 func DecodeResume(s string) (*ResumeToken, error) {
 	raw, err := base64.RawURLEncoding.DecodeString(s)
 	if err != nil {
 		return nil, fmt.Errorf("mc: bad resume token: %w", err)
 	}
-	if len(raw) < len(resumeMagic) || string(raw[:len(resumeMagic)]) != resumeMagic {
+	v2 := false
+	switch {
+	case len(raw) >= len(resumeMagic) && string(raw[:len(resumeMagic)]) == resumeMagic:
+		v2 = true
+	case len(raw) >= len(resumeMagicV1) && string(raw[:len(resumeMagicV1)]) == resumeMagicV1:
+	default:
 		return nil, fmt.Errorf("mc: bad resume token: missing %q header", resumeMagic)
 	}
 	raw = raw[len(resumeMagic):]
@@ -83,6 +102,9 @@ func DecodeResume(s string) (*ResumeToken, error) {
 	}
 	t := &ResumeToken{}
 	fields := []*int{&t.executions, &t.pruned, &t.truncated}
+	if v2 {
+		fields = append(fields, &t.floor)
+	}
 	for _, f := range fields {
 		v, err := next()
 		if err != nil {
@@ -98,6 +120,9 @@ func DecodeResume(s string) (*ResumeToken, error) {
 	if n > maxTraceLen {
 		return nil, fmt.Errorf("mc: bad resume token: trace length %d too large", n)
 	}
+	if t.floor > int(n) {
+		return nil, fmt.Errorf("mc: bad resume token: floor %d beyond trace length %d", t.floor, n)
+	}
 	t.trace = make([]choice, n)
 	for i := range t.trace {
 		options, err := next()
@@ -108,10 +133,19 @@ func DecodeResume(s string) (*ResumeToken, error) {
 		if err != nil {
 			return nil, err
 		}
+		var ceil uint64
+		if v2 {
+			if ceil, err = next(); err != nil {
+				return nil, err
+			}
+		}
 		if options == 0 || taken >= options {
 			return nil, fmt.Errorf("mc: bad resume token: choice %d/%d out of range", taken, options)
 		}
-		t.trace[i] = choice{options: int(options), taken: int(taken)}
+		if ceil != 0 && (ceil > options || taken >= ceil) {
+			return nil, fmt.Errorf("mc: bad resume token: ceiling %d invalid for choice %d/%d", ceil, taken, options)
+		}
+		t.trace[i] = choice{options: int(options), taken: int(taken), ceil: int(ceil)}
 	}
 	if len(raw) != 0 {
 		return nil, fmt.Errorf("mc: bad resume token: %d trailing bytes", len(raw))

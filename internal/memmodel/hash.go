@@ -5,6 +5,81 @@ import (
 	"sort"
 )
 
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer whose
+// output bits all depend on all input bits. The incremental state
+// hashes below combine per-component hashes with XOR (a multiset
+// combine), which is only collision-resistant when each component hash
+// is well mixed first.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Mix64 exposes the mixer for clients composing their own incremental
+// state hashes (the VM's flat memory backend).
+func Mix64(x uint64) uint64 { return mix64(x) }
+
+// StateHash returns an order-independent hash of the view: the XOR of a
+// mixed (address, timestamp) pair per nonzero entry. Equal views hash
+// equal regardless of map iteration order, and the hash is cheap enough
+// to recompute per dirty thread on every visible step of the model
+// checker.
+func (v View) StateHash() uint64 {
+	var h uint64
+	for a, ts := range v {
+		if ts != 0 {
+			h ^= mix64(uint64(a)*0x9e3779b97f4a7c15 ^ uint64(ts))
+		}
+	}
+	return h
+}
+
+// msgHash hashes one message (value, timestamp, released view).
+func msgHash(m Msg) uint64 {
+	h := mix64(uint64(m.Val)*0x2545f4914f6cdd1d ^ uint64(m.TS))
+	if m.Rel != nil {
+		h ^= mix64(m.Rel.StateHash() ^ 0xa0761d6478bd642f)
+	}
+	return h
+}
+
+// addrTag folds an address into its history hash so identical histories
+// at different addresses do not cancel under the XOR combine.
+func addrTag(a Addr, histHash uint64) uint64 {
+	return mix64(histHash ^ mix64(uint64(a)))
+}
+
+// noteAppend folds a newly appended (or materialized) message at a into
+// the machine's incremental state accumulator. Histories are
+// append-only, so the per-address running hash is an FNV-style chain
+// over the message hashes, and the machine-level accumulator XORs the
+// address-tagged per-address hashes (XOR lets one address's update
+// replace its old contribution in O(1)).
+func (mc *Machine) noteAppend(a Addr, m Msg) {
+	old := mc.addrAcc[a]
+	mc.acc ^= addrTag(a, old)
+	nh := old*1099511628211 ^ msgHash(m)
+	mc.addrAcc[a] = nh
+	mc.acc ^= addrTag(a, nh)
+}
+
+// StateAcc returns the incrementally maintained hash of the machine's
+// memory state: every touched location's message history plus the
+// global SC view. It replaces serializing the full state (AppendState)
+// on every visible step of the model checker; AppendState remains the
+// canonical (and slower) form.
+func (mc *Machine) StateAcc() uint64 {
+	if mc.scDirty {
+		mc.scHash = mix64(mc.scView.StateHash() ^ 0x8bb84b93962eacc9)
+		mc.scDirty = false
+	}
+	return mc.acc ^ mc.scHash
+}
+
 // AppendState serializes the view canonically (sorted by address) for
 // state hashing in the model checker.
 func (v View) AppendState(buf []byte) []byte {

@@ -29,18 +29,40 @@ type Machine struct {
 	oracle ReadOracle
 	// initial values for lazily materialized locations.
 	init map[Addr]int64
+	// Incremental state-hash accumulators (see StateAcc): acc XORs the
+	// address-tagged per-address history hashes in addrAcc; scHash caches
+	// the SC-view hash, recomputed when scDirty.
+	acc     uint64
+	addrAcc map[Addr]uint64
+	scHash  uint64
+	scDirty bool
 }
 
 // NewMachine returns an empty machine under the given model using the
 // supplied oracle for weak read choices.
 func NewMachine(model Model, oracle ReadOracle) *Machine {
 	return &Machine{
-		Model:  model,
-		hist:   make(map[Addr][]Msg),
-		scView: make(View),
-		oracle: oracle,
-		init:   make(map[Addr]int64),
+		Model:   model,
+		hist:    make(map[Addr][]Msg),
+		scView:  make(View),
+		oracle:  oracle,
+		init:    make(map[Addr]int64),
+		addrAcc: make(map[Addr]uint64),
 	}
+}
+
+// Reset restores the machine to its empty initial state while keeping
+// the allocated maps, so one machine can serve many executions (the
+// model checker's VM reuse). Callers must re-apply initial values
+// (SetInit) afterwards.
+func (mc *Machine) Reset() {
+	clear(mc.hist)
+	clear(mc.scView)
+	clear(mc.init)
+	clear(mc.addrAcc)
+	mc.acc = 0
+	mc.scHash = 0
+	mc.scDirty = false
 }
 
 // SetInit records the initial value of a location (default 0).
@@ -63,6 +85,7 @@ func (mc *Machine) history(a Addr) []Msg {
 	if !ok {
 		h = []Msg{{Val: mc.init[a], TS: 0}}
 		mc.hist[a] = h
+		mc.noteAppend(a, h[0])
 	}
 	return h
 }
@@ -74,6 +97,10 @@ type Thread struct {
 
 // NewThread returns a fresh thread view.
 func NewThread() *Thread { return &Thread{View: make(View)} }
+
+// Reset clears the thread's view, keeping the allocated map (VM reuse
+// across model-checker executions).
+func (t *Thread) Reset() { clear(t.View) }
 
 // Fork returns a new thread inheriting the parent's view (a spawned
 // thread synchronizes with its creator).
@@ -151,6 +178,7 @@ func (mc *Machine) StoreT(t *Thread, a Addr, v int64, ord AccessOrd) int {
 		m.Rel[a] = m.TS
 	}
 	mc.hist[a] = append(h, m)
+	mc.noteAppend(a, m)
 	t.View[a] = m.TS
 	return m.TS
 }
@@ -235,10 +263,14 @@ func (mc *Machine) Fence(t *Thread, staticOrd int) {
 	case 2: // acquire
 		t.View.Join(mc.scView)
 	case 3: // release
-		mc.scView.Join(t.View)
+		if mc.scView.Join(t.View) {
+			mc.scDirty = true
+		}
 	default: // seq_cst and acq_rel
 		t.View.Join(mc.scView)
-		mc.scView.Join(t.View)
+		if mc.scView.Join(t.View) {
+			mc.scDirty = true
+		}
 	}
 }
 

@@ -122,11 +122,18 @@ type Detector struct {
 	execStart int
 }
 
+// resolveMaxReports applies the default report cap (32) when the
+// caller left MaxReports zero.
+func resolveMaxReports(n int) int {
+	if n == 0 {
+		return 32
+	}
+	return n
+}
+
 // New returns a detector for executions under the given model.
 func New(model memmodel.Model, opts Options) *Detector {
-	if opts.MaxReports == 0 {
-		opts.MaxReports = 32
-	}
+	opts.MaxReports = resolveMaxReports(opts.MaxReports)
 	d := &Detector{model: model, opts: opts, seen: make(map[string]*Report)}
 	d.BeginExec()
 	return d

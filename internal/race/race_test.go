@@ -4,6 +4,7 @@
 package race_test
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -250,5 +251,53 @@ func TestMaxReportsCap(t *testing.T) {
 	}
 	if det.Races() != 1 {
 		t.Fatalf("cap ignored: %d reports with MaxReports=1", det.Races())
+	}
+}
+
+// TestParallelSweepDeterminism: the fanned-out sweep must report the
+// same race keys, violations (in grid order) and execution count as
+// the sequential sweep, for every worker count.
+func TestParallelSweepDeterminism(t *testing.T) {
+	raceKeys := func(res *race.SweepResult) string {
+		keys := make([]string, 0, len(res.Races()))
+		for _, r := range res.Races() {
+			keys = append(keys, r.Key())
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, "\n")
+	}
+	for _, name := range []string{"sb", "seqlock-gap"} {
+		t.Run(name, func(t *testing.T) {
+			p, m := compileProgram(t, name)
+			run := func(workers int) *race.SweepResult {
+				res, err := race.Sweep(m, race.SweepOptions{
+					Model:   memmodel.ModelWMM,
+					Entries: p.MCEntries,
+					Seeds:   3,
+					Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("sweep (workers=%d): %v", workers, err)
+				}
+				return res
+			}
+			seq := run(0)
+			if seq.Detector.Races() == 0 {
+				t.Fatalf("sequential sweep found no races in %s", name)
+			}
+			wantKeys := raceKeys(seq)
+			for _, j := range []int{1, 2, 8} {
+				par := run(j)
+				if got := raceKeys(par); got != wantKeys {
+					t.Errorf("workers=%d race keys drifted:\n got %q\nwant %q", j, got, wantKeys)
+				}
+				if par.Executions != seq.Executions {
+					t.Errorf("workers=%d executions = %d, want %d", j, par.Executions, seq.Executions)
+				}
+				if strings.Join(par.Violations, "\n") != strings.Join(seq.Violations, "\n") {
+					t.Errorf("workers=%d violations drifted:\n got %q\nwant %q", j, par.Violations, seq.Violations)
+				}
+			}
+		})
 	}
 }

@@ -2,6 +2,8 @@ package race
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ir"
 	"repro/internal/memmodel"
@@ -26,6 +28,13 @@ type SweepOptions struct {
 	Detector *Detector
 	// MaxReports configures the fresh detector when Detector is nil.
 	MaxReports int
+	// Workers fans the (mode, seed) grid out across that many
+	// goroutines, each with a private detector; reports merge by
+	// canonical race key (MergeReports) and violations keep grid order,
+	// so the result is identical for every worker count. 0 or 1 runs
+	// sequentially. Ignored when Detector is caller-supplied: an
+	// accumulating detector implies single-owner semantics.
+	Workers int
 }
 
 // SweepResult is the outcome of a race sweep.
@@ -59,6 +68,9 @@ func Sweep(m *ir.Module, opts SweepOptions) (*SweepResult, error) {
 	if seeds == 0 {
 		seeds = 4
 	}
+	if opts.Workers > 1 && opts.Detector == nil {
+		return sweepParallel(m, opts, modes, seeds)
+	}
 	det := opts.Detector
 	if det == nil {
 		det = New(opts.Model, Options{MaxReports: opts.MaxReports})
@@ -83,6 +95,86 @@ func Sweep(m *ir.Module, opts SweepOptions) (*SweepResult, error) {
 				out.Violations = append(out.Violations,
 					fmt.Sprintf("%s seed %d: %s: %s", mode, s+1, res.Status, res.FailMsg))
 			}
+		}
+	}
+	return out, nil
+}
+
+// sweepParallel fans the (mode, seed) grid out across opts.Workers
+// goroutines. Each (mode, seed) cell is independent — the scheduler is
+// seeded per cell and the module is read-only during execution — so the
+// grid is claimed from an atomic counter and the per-cell outcomes are
+// written back by index. Per-worker detectors merge by canonical race
+// key and violations are collected in grid order, making the result
+// worker-count-invariant. On an engine failure the error of the
+// earliest grid cell wins and Executions counts the cells before it,
+// exactly what the sequential sweep would have reported.
+func sweepParallel(m *ir.Module, opts SweepOptions, modes []vm.SchedMode, seeds int) (*SweepResult, error) {
+	type cell struct {
+		violation string // empty when the execution passed
+		err       error
+	}
+	cells := make([]cell, len(modes)*seeds)
+	workers := opts.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	dets := make([]*Detector, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// 4x headroom over the resolved cap so a single saturated
+			// worker does not make the merged (sorted, capped) set
+			// depend on how the grid was partitioned.
+			det := New(opts.Model, Options{MaxReports: 4 * resolveMaxReports(opts.MaxReports)})
+			dets[w] = det
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				mode, seed := modes[i/seeds], i%seeds
+				det.BeginExec()
+				res, err := vm.Run(m, vm.Options{
+					Model:      opts.Model,
+					Entries:    opts.Entries,
+					Controller: vm.NewScheduler(mode, int64(seed)+1),
+					MaxSteps:   opts.MaxSteps,
+					Costs:      vm.DefaultCosts(),
+					Hook:       det,
+				})
+				if err != nil {
+					cells[i].err = fmt.Errorf("race sweep (%s, seed %d): %w", mode, seed+1, err)
+					continue
+				}
+				if res.Status == vm.StatusAssertFailed || res.Status == vm.StatusDeadlock {
+					cells[i].violation = fmt.Sprintf("%s seed %d: %s: %s", mode, seed+1, res.Status, res.FailMsg)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	lists := make([][]*Report, 0, workers)
+	for _, det := range dets {
+		if det != nil {
+			lists = append(lists, det.Reports())
+		}
+	}
+	merged := New(opts.Model, Options{MaxReports: opts.MaxReports})
+	merged.adopt(MergeReports(merged.opts.MaxReports, lists...))
+	out := &SweepResult{Detector: merged}
+	for i := range cells {
+		if cells[i].err != nil {
+			out.Executions = i
+			return out, cells[i].err
+		}
+		out.Executions++
+		if cells[i].violation != "" {
+			out.Violations = append(out.Violations, cells[i].violation)
 		}
 	}
 	return out, nil

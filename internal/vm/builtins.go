@@ -12,13 +12,11 @@ import (
 func (v *VM) call(t *thread, in *ir.Instr) (bool, error) {
 	c := &v.opts.Costs
 	if fn := v.mod.Func(in.Callee); fn != nil {
-		params := make([]int64, len(in.Args))
-		for i, a := range in.Args {
-			params[i] = v.eval(t, a)
-		}
-		nf := &frame{
-			fn: fn, blk: fn.Entry(), regs: make([]int64, fn.NumIDs()),
-			params: params, callInstr: in, savedStack: t.stackNext,
+		// Arguments evaluate in the caller's frame (still t.frame() until
+		// the push below).
+		nf := v.newFrame(fn, in, t.stackNext)
+		for _, a := range in.Args {
+			nf.params = append(nf.params, v.eval(t, a))
 		}
 		t.frames = append(t.frames, nf)
 		t.cycles += c.Call
@@ -40,7 +38,12 @@ func (v *VM) call(t *thread, in *ir.Instr) (bool, error) {
 		if !ok {
 			return false, fmt.Errorf("vm: spawn argument is not a function reference")
 		}
-		child := v.newThread(fr.Fn, t.mm.Fork())
+		// Fork the parent's view into a recycled memmodel thread: joining
+		// into an empty view equals cloning (zero timestamps are absent in
+		// both representations).
+		mm := v.allocMM()
+		mm.View.Join(t.mm.View)
+		child := v.newThread(fr.Fn, mm)
 		if v.hook != nil {
 			v.hook.OnSpawn(t.id, child.id)
 		}
@@ -98,6 +101,7 @@ func (v *VM) call(t *thread, in *ir.Instr) (bool, error) {
 			p := v.threads[id]
 			p.mm.View.Join(joined.View)
 			p.state = tRunnable
+			v.touch(id)
 		}
 		if v.hook != nil {
 			v.hook.OnBarrier(bs.waiting)

@@ -94,6 +94,19 @@ type VM struct {
 	multiWritten map[memmodel.Addr]bool
 	// runBuf is reused by Runnable to avoid a per-step allocation.
 	runBuf []int
+	// Incremental state-hash caches (see hash.go): threadHash[i] is the
+	// cached component hash of threads[i], recomputed when threadDirty[i];
+	// hashBuf is the reusable serialization scratch.
+	threadHash  []uint64
+	threadDirty []bool
+	hashBuf     []byte
+	// Free lists for Reset-based VM reuse: finished frames, thread shells
+	// and memmodel views are recycled instead of reallocated, which is
+	// what makes one VM cheap to drive across millions of model-checker
+	// executions.
+	framePool  []*frame
+	threadPool []*thread
+	mmPool     []*memmodel.Thread
 }
 
 // chargeWrite applies the write cost including the contention surcharge
@@ -197,44 +210,143 @@ func New(m *ir.Module, opts Options) (v *VM, err error) {
 	} else {
 		v.mem = newFlatMem()
 	}
-	// Lay out globals.
+	// Lay out globals; the addresses are a function of the module only
+	// and stay valid across Reset.
 	next := memmodel.Addr(globalBase)
 	for _, g := range m.Globals {
 		v.globals[g.GName] = next
-		for i, val := range g.Init {
-			if val != 0 {
-				v.mem.setInit(next+memmodel.Addr(i), val)
-			}
-		}
 		next += memmodel.Addr(g.Elem.Cells())
 	}
-	// Start entry threads.
-	for _, name := range opts.Entries {
-		fn := m.Func(name)
-		if fn == nil {
-			return nil, fmt.Errorf("vm: entry function @%s not found", name)
-		}
-		if len(fn.Params) != 0 {
-			return nil, fmt.Errorf("vm: entry function @%s must take no parameters", name)
-		}
-		t := v.newThread(fn, memmodel.NewThread())
-		t.entry = true
+	if err := v.start(); err != nil {
+		return nil, err
 	}
 	return v, nil
 }
 
+// start applies the per-execution initial state: global initial values
+// and the entry threads. Shared by New and Reset.
+func (v *VM) start() error {
+	for _, g := range v.mod.Globals {
+		base := v.globals[g.GName]
+		for i, val := range g.Init {
+			if val != 0 {
+				v.mem.setInit(base+memmodel.Addr(i), val)
+			}
+		}
+	}
+	for _, name := range v.opts.Entries {
+		fn := v.mod.Func(name)
+		if fn == nil {
+			return fmt.Errorf("vm: entry function @%s not found", name)
+		}
+		if len(fn.Params) != 0 {
+			return fmt.Errorf("vm: entry function @%s must take no parameters", name)
+		}
+		t := v.newThread(fn, v.allocMM())
+		t.entry = true
+	}
+	return nil
+}
+
+// Reset restores the VM to its pristine pre-execution state — as if
+// freshly built by New with the same module and options — while keeping
+// every allocation: memory maps, thread shells, frames and memmodel
+// views are recycled through the VM's free lists. The model checker
+// drives one VM per worker through millions of executions this way
+// instead of paying an allocation storm per replay.
+func (v *VM) Reset() (err error) {
+	defer diag.Guard("vm.Reset", &err)
+	for _, t := range v.threads {
+		v.recycleThread(t)
+	}
+	v.threads = v.threads[:0]
+	v.threadHash = v.threadHash[:0]
+	v.threadDirty = v.threadDirty[:0]
+	v.res = &Result{}
+	if v.opts.Profile {
+		v.res.FuncCycles = make(map[string]int64)
+	}
+	v.halted = false
+	v.heapNext = heapBase
+	clear(v.barriers)
+	clear(v.lastWriter)
+	clear(v.sharedWith)
+	clear(v.multiWritten)
+	v.mem.reset()
+	return v.start()
+}
+
+// allocMM returns an empty memmodel thread view, recycled when the free
+// list has one.
+func (v *VM) allocMM() *memmodel.Thread {
+	if n := len(v.mmPool); n > 0 {
+		mm := v.mmPool[n-1]
+		v.mmPool = v.mmPool[:n-1]
+		mm.Reset()
+		return mm
+	}
+	return memmodel.NewThread()
+}
+
+// recycleThread returns a thread's frames, view and shell to the free
+// lists.
+func (v *VM) recycleThread(t *thread) {
+	v.framePool = append(v.framePool, t.frames...)
+	if t.mm != nil {
+		v.mmPool = append(v.mmPool, t.mm)
+		t.mm = nil
+	}
+	v.threadPool = append(v.threadPool, t)
+}
+
+// newFrame returns a frame ready to enter fn, recycling a finished
+// frame when possible. Registers are zeroed to match a fresh
+// allocation; params start empty for the caller to fill.
+func (v *VM) newFrame(fn *ir.Func, callInstr *ir.Instr, savedStack memmodel.Addr) *frame {
+	var f *frame
+	if n := len(v.framePool); n > 0 {
+		f = v.framePool[n-1]
+		v.framePool = v.framePool[:n-1]
+	} else {
+		f = &frame{}
+	}
+	n := fn.NumIDs()
+	if cap(f.regs) < n {
+		f.regs = make([]int64, n)
+	} else {
+		f.regs = f.regs[:n]
+		clear(f.regs)
+	}
+	f.fn = fn
+	f.blk = fn.Entry()
+	f.ip = 0
+	f.params = f.params[:0]
+	f.callInstr = callInstr
+	f.savedStack = savedStack
+	return f
+}
+
 func (v *VM) newThread(fn *ir.Func, mm *memmodel.Thread) *thread {
 	id := len(v.threads)
-	t := &thread{
-		id:        id,
-		mm:        mm,
-		stackNext: memmodel.Addr(stackBase + id*stackSize),
+	var t *thread
+	if n := len(v.threadPool); n > 0 {
+		t = v.threadPool[n-1]
+		v.threadPool = v.threadPool[:n-1]
+		frames := t.frames[:0]
+		*t = thread{frames: frames}
+	} else {
+		t = &thread{}
 	}
-	t.frames = []*frame{{fn: fn, blk: fn.Entry(), regs: make([]int64, fn.NumIDs())}}
+	t.id = id
+	t.mm = mm
+	t.stackNext = memmodel.Addr(stackBase + id*stackSize)
+	t.frames = append(t.frames, v.newFrame(fn, nil, 0))
 	if v.opts.Watchdog {
 		t.blockEntries = map[*ir.Block]int64{fn.Entry(): 1}
 	}
 	v.threads = append(v.threads, t)
+	v.threadHash = append(v.threadHash, 0)
+	v.threadDirty = append(v.threadDirty, true)
 	return t
 }
 
@@ -267,6 +379,7 @@ func (v *VM) Runnable() []int {
 					}
 				}
 				t.state = tRunnable
+				v.touch(t.id)
 				run = append(run, t.id)
 			}
 		case tBlockedBarrier:
@@ -412,6 +525,7 @@ func (v *VM) eval(t *thread, val ir.Value) int64 {
 // tracing is enabled, visible operations are appended to the result's
 // trace (used by the model checker to print counterexamples).
 func (v *VM) exec(t *thread) (bool, error) {
+	v.touch(t.id) // every instruction mutates the thread's hashed state
 	var cur *ir.Instr
 	if f := t.frame(); f.ip < len(f.blk.Instrs) {
 		cur = f.blk.Instrs[f.ip]
@@ -598,6 +712,7 @@ func (v *VM) doReturn(t *thread, rv int64) bool {
 	if len(t.frames) == 0 {
 		t.retVal = rv
 		t.state = tDone
+		v.framePool = append(v.framePool, f)
 		return true // thread completion is visible (join/deadlock logic)
 	}
 	// Stack space is reused across calls; stack addresses live in flat
@@ -608,6 +723,7 @@ func (v *VM) doReturn(t *thread, rv int64) bool {
 	if f.callInstr != nil {
 		caller.regs[f.callInstr.ID] = rv
 	}
+	v.framePool = append(v.framePool, f)
 	return false
 }
 

@@ -3,7 +3,6 @@ package vm
 import (
 	"encoding/binary"
 	"hash/fnv"
-	"sort"
 )
 
 // StateHash returns a hash of the complete execution state: every
@@ -12,54 +11,58 @@ import (
 // which in particular collapses spinloop iterations that observed no
 // change (the state after a failed spin retry equals the state before
 // it).
+//
+// The hash is incremental: per-thread component hashes are cached and
+// recomputed only for threads marked dirty since the last call (the
+// stepping thread, spawn children, barrier releases, join resolution),
+// and the memory backends maintain their contribution as mutations
+// happen (memmodel.Machine.StateAcc, flatMem.acc). Between two visible
+// steps only one or two threads move, so the per-step cost drops from
+// serializing the full state to serializing one thread.
 func (v *VM) StateHash() uint64 {
-	buf := make([]byte, 0, 1024)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(v.threads)))
-	for _, t := range v.threads {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.state))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.barrierN))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.stackNext))
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.frames)))
-		for _, fr := range t.frames {
-			buf = append(buf, fr.fn.Name...)
-			buf = append(buf, 0)
-			buf = append(buf, fr.blk.Name...)
-			buf = append(buf, 0)
-			buf = binary.LittleEndian.AppendUint64(buf, uint64(fr.ip))
-			for _, r := range fr.regs {
-				buf = binary.LittleEndian.AppendUint64(buf, uint64(r))
-			}
-			for _, p := range fr.params {
-				buf = binary.LittleEndian.AppendUint64(buf, uint64(p))
-			}
+	h := uint64(14695981039346656037)
+	for i, t := range v.threads {
+		if v.threadDirty[i] {
+			v.threadHash[i] = v.hashThread(t)
+			v.threadDirty[i] = false
 		}
-		if t.mm != nil {
-			buf = t.mm.View.AppendState(buf)
+		h = h*1099511628211 ^ v.threadHash[i]
+	}
+	return h*1099511628211 ^ v.mem.stateAcc()
+}
+
+// touch marks thread ti's cached component hash stale. Every mutation
+// site of thread-visible state must call it: instruction execution,
+// spawn (the child), barrier release (each participant), and the join
+// resolution in Runnable.
+func (v *VM) touch(ti int) { v.threadDirty[ti] = true }
+
+// hashThread serializes one thread's control state, frames and memory
+// view into the reusable buffer and hashes it.
+func (v *VM) hashThread(t *thread) uint64 {
+	buf := v.hashBuf[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.state))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.barrierN))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.stackNext))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.frames)))
+	for _, fr := range t.frames {
+		buf = append(buf, fr.fn.Name...)
+		buf = append(buf, 0)
+		buf = append(buf, fr.blk.Name...)
+		buf = append(buf, 0)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(fr.ip))
+		for _, r := range fr.regs {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(r))
+		}
+		for _, p := range fr.params {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(p))
 		}
 	}
-	switch mem := v.mem.(type) {
-	case *viewMem:
-		buf = mem.mc.AppendState(buf)
-		buf = appendFlat(buf, mem.stack)
-	case *flatMem:
-		buf = appendFlat(buf, mem)
+	if t.mm != nil {
+		buf = binary.LittleEndian.AppendUint64(buf, t.mm.View.StateHash())
 	}
+	v.hashBuf = buf
 	h := fnv.New64a()
 	h.Write(buf)
 	return h.Sum64()
-}
-
-func appendFlat(buf []byte, mem *flatMem) []byte {
-	addrs := make([]uint64, 0, len(mem.cells))
-	for a, val := range mem.cells {
-		if val != 0 {
-			addrs = append(addrs, uint64(a))
-		}
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		buf = binary.LittleEndian.AppendUint64(buf, a)
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(mem.cells[memAddr(a)]))
-	}
-	return buf
 }

@@ -26,21 +26,53 @@ type memory interface {
 	// final reads the newest value at a without memory-model effects
 	// (final-state snapshots for the differential harness).
 	final(a memmodel.Addr) int64
+	// reset restores the backend to its empty initial state, keeping
+	// allocations (VM reuse across model-checker executions).
+	reset()
+	// stateAcc returns the incrementally maintained hash of the memory
+	// contents (the memory contribution to VM.StateHash).
+	stateAcc() uint64
 }
 
-// flatMem is the fast sequentially consistent backend.
+// flatMem is the fast sequentially consistent backend. acc is the
+// incrementally maintained state hash: the XOR of a mixed (addr, value)
+// pair per nonzero cell, updated in set as cells change.
 type flatMem struct {
 	cells map[memmodel.Addr]int64
+	acc   uint64
 }
 
 func newFlatMem() *flatMem { return &flatMem{cells: make(map[memmodel.Addr]int64)} }
+
+// cellHash mixes one nonzero cell into a well-distributed 64-bit value
+// so the XOR multiset combine in flatMem.acc is collision-resistant.
+func cellHash(a memmodel.Addr, v int64) uint64 {
+	return memmodel.Mix64(uint64(a)*0x9e3779b97f4a7c15 ^ uint64(v))
+}
+
+// set writes a cell and maintains the incremental hash. Zero-valued
+// cells contribute nothing, matching the canonical "hash of nonzero
+// cells" semantics regardless of whether a zero is stored explicitly.
+func (m *flatMem) set(a memmodel.Addr, v int64) {
+	old := m.cells[a]
+	if old == v {
+		return
+	}
+	if old != 0 {
+		m.acc ^= cellHash(a, old)
+	}
+	if v != 0 {
+		m.acc ^= cellHash(a, v)
+	}
+	m.cells[a] = v
+}
 
 func (m *flatMem) load(_ *thread, a memmodel.Addr, _ ir.MemOrder) (int64, int) {
 	return m.cells[a], -1
 }
 
 func (m *flatMem) store(_ *thread, a memmodel.Addr, v int64, _ ir.MemOrder) int {
-	m.cells[a] = v
+	m.set(a, v)
 	return -1
 }
 
@@ -49,23 +81,30 @@ func (m *flatMem) cmpxchg(_ *thread, a memmodel.Addr, expected, nv int64, _ ir.M
 	if old != expected {
 		return old, false, -1, -1
 	}
-	m.cells[a] = nv
+	m.set(a, nv)
 	return old, true, -1, -1
 }
 
 func (m *flatMem) rmw(_ *thread, a memmodel.Addr, f func(int64) int64, _ ir.MemOrder) (int64, int, int) {
 	old := m.cells[a]
-	m.cells[a] = f(old)
+	m.set(a, f(old))
 	return old, -1, -1
 }
 
 func (m *flatMem) fence(_ *thread, _ ir.MemOrder) {}
 
-func (m *flatMem) setInit(a memmodel.Addr, v int64) { m.cells[a] = v }
+func (m *flatMem) setInit(a memmodel.Addr, v int64) { m.set(a, v) }
 
-func (m *flatMem) rawset(a memmodel.Addr, v int64) { m.cells[a] = v }
+func (m *flatMem) rawset(a memmodel.Addr, v int64) { m.set(a, v) }
 
 func (m *flatMem) final(a memmodel.Addr) int64 { return m.cells[a] }
+
+func (m *flatMem) reset() {
+	clear(m.cells)
+	m.acc = 0
+}
+
+func (m *flatMem) stateAcc() uint64 { return m.acc }
 
 // viewMem adapts the memmodel view machine to the VM memory interface.
 // Thread-stack addresses are routed to a flat side store: stack slots
@@ -148,5 +187,12 @@ func (m *viewMem) final(a memmodel.Addr) int64 {
 	return m.mc.Final(a)
 }
 
-// memAddr converts a raw uint64 to the address type (hash helper).
-func memAddr(a uint64) memmodel.Addr { return memmodel.Addr(a) }
+func (m *viewMem) reset() {
+	m.mc.Reset()
+	m.stack.reset()
+}
+
+// stateAcc combines the view machine's incremental hash with the stack
+// side store's. The two accumulators hash disjoint address ranges with
+// different mixers, so a plain XOR cannot cancel across them.
+func (m *viewMem) stateAcc() uint64 { return m.mc.StateAcc() ^ m.stack.acc }
