@@ -5,7 +5,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke clean
+.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke obs-smoke clean
 
 
 
@@ -25,7 +25,7 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race bench-mc-smoke
+check: build vet test test-race bench-mc-smoke obs-smoke
 
 # Model-checker scaling sweep (docs/MODEL-CHECKER.md): exhaustive
 # exploration of the litmus+seqlock corpus at 1..8 workers, appending
@@ -51,6 +51,15 @@ race-smoke:
 	bin/atomig-mc -race -stats -port -corpus seqlock-gap
 	bin/atomig-run -race -model wmm -sched reorder -corpus seqlock-gap; test $$? -eq 3
 	bin/atomig-run -race -model wmm -sched reorder -port -corpus seqlock-gap
+
+# End-to-end smoke of the observability exports (docs/OBSERVABILITY.md):
+# a parallel ported check must emit a metrics snapshot and a Chrome
+# trace timeline that the validator accepts. Built binaries, not
+# `go run`, so exit codes survive intact.
+obs-smoke:
+	$(GO) build -o bin/ ./cmd/atomig-mc ./cmd/atomig-bench
+	bin/atomig-mc -port -j 4 -corpus seqlock-gap -metrics bin/obs-metrics.json -trace bin/obs-trace.json
+	bin/atomig-bench -check-metrics bin/obs-metrics.json -check-trace bin/obs-trace.json
 
 # Go allows one -fuzz pattern per invocation, so the targets run
 # sequentially. Crashers are written to testdata/fuzz/ as new

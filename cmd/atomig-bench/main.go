@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // appendJSON appends one JSON line to path, creating it on first use,
@@ -47,7 +48,28 @@ func main() {
 	seed := flag.Int64("seed", 7, "generator seed for t3/t4")
 	budget := flag.Duration("budget", 5*time.Second, "per-check time budget for t2")
 	jsonOut := flag.String("json", "", "append machine-readable results to this file (mc-scaling)")
+	metricsPath := flag.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
+	pprofAddr := flag.String("pprof", "", "serve runtime profiles (net/http/pprof) on this address")
+	checkMetrics := flag.String("check-metrics", "", "validate a -metrics snapshot file and exit")
+	checkTrace := flag.String("check-trace", "", "validate a -trace export file and exit")
 	flag.Parse()
+
+	// Validator mode: check exported observability files (make obs-smoke)
+	// instead of running experiments.
+	if *checkMetrics != "" || *checkTrace != "" {
+		os.Exit(validateFiles(*checkMetrics, *checkTrace))
+	}
+
+	prov := obs.NewCLI(*metricsPath, *tracePath, false)
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atomig-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: listening on http://%s/debug/pprof/\n", addr)
+	}
 
 	run := func(id string) error {
 		switch id {
@@ -108,7 +130,7 @@ func main() {
 			fmt.Print(bench.FormatTable2(rows))
 			return nil
 		case "mc-scaling":
-			rows, err := bench.MCScaling(nil, nil)
+			rows, err := bench.MCScaling(nil, nil, prov)
 			if err != nil {
 				return err
 			}
@@ -165,6 +187,40 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+		fmt.Fprintln(os.Stderr, "atomig-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// validateFiles checks exported observability files against their
+// formats: the versioned metrics schema and the Chrome trace-event
+// well-formedness rules. Either path may be empty. Returns the process
+// exit code.
+func validateFiles(metricsPath, tracePath string) int {
+	check := func(path, kind string, validate func([]byte) error) bool {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = validate(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atomig-bench: %s: %v\n", kind, err)
+			return false
+		}
+		fmt.Printf("%s: %s is valid\n", kind, path)
+		return true
+	}
+	ok := true
+	if metricsPath != "" {
+		ok = check(metricsPath, "check-metrics", obs.ValidateMetrics) && ok
+	}
+	if tracePath != "" {
+		ok = check(tracePath, "check-trace", obs.ValidateTrace) && ok
+	}
+	if !ok {
+		return 1
+	}
+	return 0
 }
 
 // table1 is the paper's qualitative comparison; the three rows this

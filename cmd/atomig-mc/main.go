@@ -30,6 +30,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/memmodel"
 	"repro/internal/minic"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -46,13 +47,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	entries := fs.String("entries", "", "comma-separated thread entry functions (files only)")
 	budget := fs.Duration("budget", 10*time.Second, "exploration time budget")
 	maxExecs := fs.Int("max-execs", 1_000_000, "maximum explored executions")
-	trace := fs.Bool("trace", false, "print a counterexample trace per violation")
+	cex := fs.Bool("cex", false, "print a counterexample trace per violation")
 	detectRaces := fs.Bool("race", false, "attach the happens-before race detector; races become a verdict")
 	stats := fs.Bool("stats", false, "print a human-readable exploration summary")
 	resume := fs.String("resume", "", "resume token(s) from a prior budget-exhausted run (comma-separated)")
 	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel exploration workers (1 = sequential)")
+	metricsPath := fs.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
+	pprofAddr := fs.String("pprof", "", "serve runtime profiles (net/http/pprof) on this address")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// -stats also reads the registry, so it forces a provider even when
+	// no export file was requested.
+	prov := obs.NewCLI(*metricsPath, *tracePath, *stats)
+	if *pprofAddr != "" {
+		addr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "pprof: listening on http://%s/debug/pprof/\n", addr)
 	}
 
 	mod, entryList, err := load(*corpusName, *entries, fs.Args())
@@ -72,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		default:
 			return fail(stderr, fmt.Errorf("unknown level %q", *level))
 		}
+		opts.Obs = prov
 		rep, err := atomig.Port(mod, opts)
 		if err != nil {
 			return fail(stderr, err)
@@ -97,9 +113,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Entries:       entryList,
 		TimeBudget:    *budget,
 		MaxExecutions: *maxExecs,
-		Traces:        *trace,
+		Traces:        *cex,
 		DetectRaces:   *detectRaces,
 		Workers:       *workers,
+		Obs:           prov,
 	}
 	if *workers < 1 {
 		return fail(stderr, fmt.Errorf("-j %d: need at least one worker", *workers))
@@ -123,9 +140,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "reason: %s\n", res.Reason)
 	}
 	if *stats {
-		printStats(stdout, res)
+		printStats(stdout, res, prov.Snapshot())
 	}
-	if *trace {
+	if *cex {
 		for _, ce := range res.Counterexamples {
 			fmt.Fprint(stdout, ce)
 		}
@@ -141,11 +158,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, r := range res.Races {
 			fmt.Fprint(stdout, r)
 		}
-		if *trace {
+		if *cex {
 			for _, w := range res.RaceWitnesses {
 				fmt.Fprint(stdout, w)
 			}
 		}
+	}
+	if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+		return fail(stderr, err)
 	}
 	switch res.Verdict {
 	case mc.VerdictFail:
@@ -169,14 +189,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // printStats renders the exploration summary in prose: what was
 // explored, how much the caches saved, and how complete the claim is.
-func printStats(w io.Writer, res *mc.Result) {
+// The numbers come from the metrics-registry snapshot (the same ones
+// -metrics exports); only wall-clock, worker count and the frontier —
+// which are per-run facts, not metrics — read from the Result.
+func printStats(w io.Writer, res *mc.Result, snap obs.Snapshot) {
+	c := snap.Counters
 	fmt.Fprintf(w, "explored %d executions in %v with %d worker(s)\n",
-		res.Executions, res.Elapsed.Round(time.Millisecond), res.Workers)
-	fmt.Fprintf(w, "  distinct states:    %d\n", res.States)
-	fmt.Fprintf(w, "  pruned re-converging executions: %d\n", res.Pruned)
-	fmt.Fprintf(w, "  step-truncated executions:       %d\n", res.Truncated)
-	fmt.Fprintf(w, "  VM reuse: %d resets / %d fresh allocations\n", res.VMResets, res.VMAllocs)
-	fmt.Fprintf(w, "  contended visited-shard locks:   %d\n", res.ShardContention)
+		c["mc.executions_explored"], res.Elapsed.Round(time.Millisecond), res.Workers)
+	fmt.Fprintf(w, "  distinct states:    %d\n", c["mc.states_recorded"])
+	fmt.Fprintf(w, "  pruned re-converging executions: %d\n", c["mc.executions_pruned"])
+	fmt.Fprintf(w, "  step-truncated executions:       %d\n", c["mc.executions_truncated"])
+	fmt.Fprintf(w, "  VM reuse: %d resets / %d fresh allocations\n", c["mc.vms_reset"], c["mc.vms_allocated"])
+	fmt.Fprintf(w, "  contended visited-shard locks:   %d\n", c["mc.shard_locks_contended"])
 	if res.Frontier > 0 {
 		fmt.Fprintf(w, "  unexplored frontier branches:    %d\n", res.Frontier)
 	} else {

@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/mc"
+	"repro/internal/obs"
 )
 
 func runMC(t *testing.T, args ...string) (int, string, string) {
@@ -147,6 +152,121 @@ func TestRaceVerdictExitCode(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "races: none") {
 		t.Errorf("stdout lacks races: none:\n%s", stdout)
+	}
+}
+
+// End-to-end observability: a ported -j 8 run on seqlock-gap exits 0
+// and exports a valid metrics snapshot carrying both the pipeline
+// tallies and the checker counters, plus a Chrome trace with at least
+// eight distinct worker timelines carrying fragment spans.
+func TestObservabilityExports(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	code, stdout, stderr := runMC(t,
+		"-corpus", "seqlock-gap", "-model", "wmm", "-port", "-j", "8",
+		"-metrics", metricsPath, "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateMetrics(mdata); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mdata, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"pipeline.ports_completed",
+		"pipeline.spinloops_found",
+		"pipeline.buddies_explored",
+		"pipeline.accesses_transformed",
+		"mc.executions_explored",
+		"mc.states_recorded",
+		"mc.fragments_claimed",
+		"mc.vms_allocated",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("metrics counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	// seqlock-gap has no optimistic loops, so this tally is legitimately
+	// zero — but the pipeline must still register it.
+	if _, ok := snap.Counters["pipeline.opt_controls_marked"]; !ok {
+		t.Error("metrics snapshot lacks pipeline.opt_controls_marked")
+	}
+
+	tdata, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(tdata); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tdata, &tf); err != nil {
+		t.Fatal(err)
+	}
+	workerTracks := make(map[string]bool)
+	spans := make(map[string]int)
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if name, _ := ev.Args["name"].(string); strings.HasPrefix(name, "mc.worker-") {
+				workerTracks[name] = true
+			}
+		}
+		if ev.Ph == "B" {
+			spans[ev.Name]++
+		}
+	}
+	if len(workerTracks) < 8 {
+		t.Errorf("trace has %d worker timelines, want >= 8: %v", len(workerTracks), workerTracks)
+	}
+	for _, name := range []string{"mc.worker", "mc.fragment", "pipeline.port"} {
+		if spans[name] == 0 {
+			t.Errorf("trace has no %s spans (got %v)", name, spans)
+		}
+	}
+}
+
+// -stats keeps its exact text format: downstream scripts scrape it, so
+// the registry migration must not move a byte.
+func TestStatsFormat(t *testing.T) {
+	snap := obs.Snapshot{Counters: map[string]int64{
+		"mc.executions_explored":   150,
+		"mc.states_recorded":       42,
+		"mc.executions_pruned":     7,
+		"mc.executions_truncated":  3,
+		"mc.vms_reset":             120,
+		"mc.vms_allocated":         30,
+		"mc.shard_locks_contended": 5,
+	}}
+	res := &mc.Result{Elapsed: 1234 * time.Millisecond, Workers: 4}
+	var b bytes.Buffer
+	printStats(&b, res, snap)
+	want := `explored 150 executions in 1.234s with 4 worker(s)
+  distinct states:    42
+  pruned re-converging executions: 7
+  step-truncated executions:       3
+  VM reuse: 120 resets / 30 fresh allocations
+  contended visited-shard locks:   5
+  state space fully explored
+`
+	if b.String() != want {
+		t.Errorf("stats format drifted:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+	res.Frontier = 9
+	b.Reset()
+	printStats(&b, res, snap)
+	if !strings.Contains(b.String(), "  unexplored frontier branches:    9\n") {
+		t.Errorf("frontier line drifted:\n%s", b.String())
 	}
 }
 

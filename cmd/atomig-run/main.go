@@ -30,6 +30,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/race"
 	"repro/internal/vm"
@@ -57,11 +58,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sweep := fs.Bool("sweep", false, "race-sweep every scheduler mode instead of one seeded run (implies -race)")
 	sweepSeeds := fs.Int("seeds", 4, "seeds per scheduler mode for -sweep")
 	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel workers for -sweep")
+	metricsPath := fs.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	prov := obs.NewCLI(*metricsPath, *tracePath, false)
+	defer func() {
+		if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+			fmt.Fprintln(stderr, "atomig-run:", err)
+		}
+	}()
+
+	sp := prov.Track("pipeline").Begin("pipeline.parse")
 	mod, entryList, maxDefault, err := load(*corpusName, *entries, *mcHarness, fs.Args())
+	sp.End()
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -75,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *port {
 		opts := atomig.DefaultOptions()
 		opts.Optimize = *o2
+		opts.Obs = prov
 		rep, err := atomig.Port(mod, opts)
 		if err != nil {
 			return fail(stderr, err)
@@ -100,17 +113,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *sweep {
-		return runSweep(stdout, stderr, mod, mm, entryList, *sweepSeeds, *maxSteps, *workers)
+		return runSweep(stdout, stderr, mod, mm, entryList, *sweepSeeds, *maxSteps, *workers, prov)
 	}
 
 	var det *race.Detector
 	if *detectRaces {
-		det = race.New(mm, race.Options{})
+		det = race.New(mm, race.Options{Obs: prov})
 	}
 	vopts := vm.Options{
 		Model: mm, Entries: entryList,
 		Controller: vm.NewScheduler(mode, *seed),
 		MaxSteps:   *maxSteps, Profile: *profile, Watchdog: *watchdog,
+		Obs: prov,
 	}
 	if det != nil {
 		vopts.Hook = det
@@ -172,13 +186,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runSweep fans a full race sweep (every scheduler mode x seeds) out
 // across the -j workers; results are worker-count-invariant, so -j only
 // changes the wall-clock time.
-func runSweep(stdout, stderr io.Writer, mod *ir.Module, mm memmodel.Model, entryList []string, seeds int, maxSteps int64, workers int) int {
+func runSweep(stdout, stderr io.Writer, mod *ir.Module, mm memmodel.Model, entryList []string, seeds int, maxSteps int64, workers int, prov *obs.Provider) int {
 	res, err := race.Sweep(mod, race.SweepOptions{
 		Model:    mm,
 		Entries:  entryList,
 		Seeds:    seeds,
 		MaxSteps: maxSteps,
 		Workers:  workers,
+		Obs:      prov,
 	})
 	if err != nil {
 		return fail(stderr, err)

@@ -40,6 +40,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/race"
 	"repro/internal/transform"
 )
@@ -63,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o2 := fs.Bool("O2", false, "run the post-transformation optimizer (Figure 2)")
 	explainRaces := fs.Bool("explain-races", false, "detect races in the un-ported input and explain what to promote")
 	entries := fs.String("entries", "", "comma-separated thread entries for -explain-races on file inputs")
+	metricsPath := fs.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,13 +77,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	prov := obs.NewCLI(*metricsPath, *tracePath, false)
+
+	sp := prov.Track("pipeline").Begin("pipeline.parse")
 	mod, err := loadModule(*corpusName, fs.Args())
+	sp.End()
 	if err != nil {
 		return fail(stderr, err)
 	}
 
 	if *explainRaces {
-		return explain(stdout, stderr, mod, *corpusName, *entries)
+		code := explain(stdout, stderr, mod, *corpusName, *entries, prov)
+		if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+			return fail(stderr, err)
+		}
+		return code
 	}
 	if *emitOrig {
 		fmt.Fprintln(stdout, mod.String())
@@ -111,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, fmt.Errorf("unknown level %q", *level))
 		}
 		opts.Optimize = *o2
+		opts.Obs = prov
 		rep, err := atomig.Port(mod, opts)
 		if err != nil {
 			return fail(stderr, err)
@@ -130,6 +142,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
+	if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+		return fail(stderr, err)
+	}
 	return 0
 }
 
@@ -138,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // promotion advice. This is the migration feedback loop: run it before
 // porting to see what the pipeline must fix, or on a hand-ported tree
 // to find the promotions it missed.
-func explain(stdout, stderr io.Writer, mod *ir.Module, corpusName, entries string) int {
+func explain(stdout, stderr io.Writer, mod *ir.Module, corpusName, entries string, prov *obs.Provider) int {
 	var entryList []string
 	if entries != "" {
 		entryList = strings.Split(entries, ",")
@@ -153,6 +168,7 @@ func explain(stdout, stderr io.Writer, mod *ir.Module, corpusName, entries strin
 	res, err := race.Sweep(mod, race.SweepOptions{
 		Model:   memmodel.ModelWMM,
 		Entries: entryList,
+		Obs:     prov,
 	})
 	if err != nil {
 		return fail(stderr, err)

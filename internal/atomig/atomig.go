@@ -14,6 +14,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/diag"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/transform"
 )
@@ -73,6 +74,10 @@ type Options struct {
 	// "apply any outstanding optimizations" stage). The inserted atomics
 	// are optimization barriers, so porting first keeps -O2 sound.
 	Optimize bool
+	// Obs, when non-nil, records a span per pipeline phase on the
+	// "pipeline" trace track and publishes the Report tallies as
+	// pipeline.* registry metrics (docs/OBSERVABILITY.md).
+	Obs *obs.Provider
 }
 
 // AliasStrategy selects the sticky-buddy mechanism.
@@ -112,6 +117,8 @@ type Report struct {
 
 	// Transformation results.
 	SpinControlsMarked int
+	OptControlsMarked  int // optimistic-loop controls marked
+	BuddiesExplored    int // sticky-buddy candidates alias exploration reached
 	StickyMarked       int
 	ImplicitAdded      int // accesses newly made SC-atomic
 	ExplicitAdded      int // fences inserted
@@ -140,6 +147,19 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 	rep = &Report{Module: m.Name, Level: opts.Level}
 	rep.ExplicitBefore, rep.ImplicitBefore = transform.CountBarriers(m)
 
+	// Every phase gets a span on the shared "pipeline" track, and the
+	// report tallies land in the registry when the port finishes — both
+	// no-ops without a provider.
+	trk := opts.Obs.Track("pipeline")
+	ps := trk.Begin("pipeline.port").Arg("module", m.Name).Arg("level", opts.Level.String())
+	defer func() {
+		ps.End()
+		if err == nil {
+			publishReport(opts.Obs, rep)
+		}
+	}()
+
+	sp := trk.Begin("pipeline.analysis")
 	if opts.Inline {
 		rep.FunctionsInlined = analysis.Inline(m, opts.InlineOptions)
 	}
@@ -176,6 +196,7 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 					}
 					for _, ctl := range info.Controls {
 						ctl.SetMark(ir.MarkOptControl)
+						rep.OptControlsMarked++
 					}
 				}
 			}
@@ -220,8 +241,10 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 			seeds = append(seeds, in)
 		}
 	})
+	sp.Arg("seeds", len(seeds)).End()
 
 	// Phase 3: alias exploration (paper section 3.4) — sticky buddies.
+	sp = trk.Begin("pipeline.alias")
 	am := alias.BuildMap(m)
 	if !opts.SkipAlias {
 		var buddies []*ir.Instr
@@ -230,6 +253,7 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 		} else {
 			buddies = am.Explore(seeds)
 		}
+		rep.BuddiesExplored = len(buddies)
 		for _, buddy := range buddies {
 			if buddy.Ord == ir.SeqCst {
 				continue
@@ -241,12 +265,14 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 			}
 		}
 	}
+	sp.Arg("buddies", rep.BuddiesExplored).End()
 
 	// Phase 4: explicit barriers for optimistic controls. Reads of an
 	// optimistic-control location inside its optimistic loop get a fence
 	// before them; stores to optimistic-control locations get a fence
 	// after them module-wide (the store side of the seqlock protocol can
 	// be anywhere).
+	sp = trk.Begin("pipeline.transform")
 	fences := 0
 	if opts.Level >= LevelFull && len(optLocs) > 0 {
 		// Collect anchors first: inserting fences mutates the block
@@ -292,17 +318,23 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 	rep.ImplicitAdded = implicitAdded
 	rep.ExplicitAdded = fences
 	rep.ExplicitAfter, rep.ImplicitAfter = transform.CountBarriers(m)
+	sp.Arg("fences", fences).End()
 
 	// Phase 5: outstanding optimizations (Figure 2), now that every
 	// synchronization access is atomic and thus barrier to the passes.
 	if opts.Optimize {
+		sp = trk.Begin("pipeline.optimize")
 		ost := opt.Optimize(m)
 		rep.OptFolded = ost.Folded
 		rep.OptHoisted = ost.Hoisted
 		rep.OptRemoved = ost.DeadRemoved + ost.BlocksRemoved
+		sp.End()
 	}
-	if err := ir.Verify(m); err != nil {
-		return nil, fmt.Errorf("atomig: transformed module invalid: %w", err)
+	sp = trk.Begin("pipeline.verify")
+	verr := ir.Verify(m)
+	sp.End()
+	if verr != nil {
+		return nil, fmt.Errorf("atomig: transformed module invalid: %w", verr)
 	}
 	rep.Duration = time.Since(start)
 	return rep, nil

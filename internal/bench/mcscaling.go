@@ -10,6 +10,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mc"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 )
 
 // MCScalingRow is one (program, worker-count) measurement of the
@@ -46,8 +47,10 @@ func DefaultMCScalingWorkers() []int { return []int{1, 2, 4, 8} }
 // and reports throughput and speedup. It fails if any run does not
 // fully explore its state space, or if the verdict or violation set
 // drifts across worker counts — the determinism contract the parallel
-// engine guarantees (docs/MODEL-CHECKER.md).
-func MCScaling(programs []string, workerCounts []int) ([]MCScalingRow, error) {
+// engine guarantees (docs/MODEL-CHECKER.md). A non-nil provider
+// accumulates the sweep's checker metrics and worker timelines
+// (atomig-bench -exp mc-scaling -metrics/-trace).
+func MCScaling(programs []string, workerCounts []int, prov *obs.Provider) ([]MCScalingRow, error) {
 	if len(programs) == 0 {
 		programs = DefaultMCScalingPrograms()
 	}
@@ -70,7 +73,7 @@ func MCScaling(programs []string, workerCounts []int) ([]MCScalingRow, error) {
 		var baseline time.Duration
 		var baseFP string
 		for i, j := range workerCounts {
-			res, err := checkOnce(m, p.MCEntries, j)
+			res, err := checkOnce(m, p.MCEntries, j, prov)
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s -j %d: %w", name, j, err)
 			}
@@ -109,13 +112,14 @@ func MCScaling(programs []string, workerCounts []int) ([]MCScalingRow, error) {
 // checkOnce runs one exhaustive check at the given worker count, under
 // budgets generous enough that the corpus programs complete far below
 // them — elapsed time measures exploration, not the budget.
-func checkOnce(m *ir.Module, entries []string, workers int) (*mc.Result, error) {
+func checkOnce(m *ir.Module, entries []string, workers int, prov *obs.Provider) (*mc.Result, error) {
 	return mc.Check(m, mc.Options{
 		Model:         memmodel.ModelWMM,
 		Entries:       entries,
 		MaxExecutions: 5_000_000,
 		TimeBudget:    2 * time.Minute,
 		Workers:       workers,
+		Obs:           prov,
 	})
 }
 

@@ -13,7 +13,7 @@ import (
 // fully explore every program with byte-identical verdicts and
 // violation sets (MCScaling errors out on any drift).
 func TestMCScalingNoDrift(t *testing.T) {
-	rows, err := MCScaling(nil, []int{1, 2, 8})
+	rows, err := MCScaling(nil, []int{1, 2, 8}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestMCScalingSpeedup(t *testing.T) {
 	if p := runtime.GOMAXPROCS(0); p < 8 {
 		t.Skipf("GOMAXPROCS=%d; the 8-worker speedup claim needs 8 CPUs", p)
 	}
-	rows, err := MCScaling([]string{"seqlock-gap", "lfhash-fig7", "sb"}, []int{1, 8})
+	rows, err := MCScaling([]string{"seqlock-gap", "lfhash-fig7", "sb"}, []int{1, 8}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func BenchmarkMCScaling(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					res, err := checkOnce(m, p.MCEntries, j)
+					res, err := checkOnce(m, p.MCEntries, j, nil)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/mc"
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+)
+
+// ObsOverheadRow reports the model checker's exploration throughput on
+// one corpus program with observability disabled (nil provider — the
+// default for library callers) and fully enabled (shared registry plus
+// span tracing, what -metrics -trace costs). The instrumentation sits
+// on fragment and counter boundaries, not in the per-step interpreter
+// loop, so the two columns should be within measurement noise of each
+// other — docs/OBSERVABILITY.md's zero-cost contract.
+type ObsOverheadRow struct {
+	Program    string
+	Executions int     // executions explored across both configurations
+	NsOffExec  float64 // ns per execution, nil provider
+	NsOnExec   float64 // ns per execution, metrics + tracing provider
+	Slowdown   float64 // NsOnExec / NsOffExec
+}
+
+// ObsOverhead explores each program to completion iters times per
+// configuration under WMM with a single worker (the hot sequential
+// loop) and reports ns per explored execution for each.
+func ObsOverhead(programs []string, iters int) ([]ObsOverheadRow, error) {
+	if iters <= 0 {
+		iters = 3
+	}
+	rows := make([]ObsOverheadRow, 0, len(programs))
+	for _, name := range programs {
+		p := corpus.Get(name)
+		if p == nil {
+			return nil, fmt.Errorf("bench: unknown corpus program %q", name)
+		}
+		if len(p.MCEntries) == 0 {
+			return nil, fmt.Errorf("bench: corpus program %q has no model-checking harness", name)
+		}
+		m, err := p.Compile()
+		if err != nil {
+			return nil, err
+		}
+		run := func(mkProv func() *obs.Provider) (int64, int64, error) {
+			var execs, elapsed int64
+			for i := 0; i < iters; i++ {
+				var prov *obs.Provider
+				if mkProv != nil {
+					prov = mkProv()
+				}
+				t0 := time.Now()
+				res, err := mc.Check(m, mc.Options{
+					Model:         memmodel.ModelWMM,
+					Entries:       p.MCEntries,
+					MaxExecutions: 5_000_000,
+					TimeBudget:    2 * time.Minute,
+					Workers:       1,
+					Obs:           prov,
+				})
+				elapsed += time.Since(t0).Nanoseconds()
+				if err != nil {
+					return 0, 0, err
+				}
+				if res.Verdict == mc.VerdictUnknown {
+					return 0, 0, fmt.Errorf("did not fully explore (%s)", res.Reason)
+				}
+				execs += int64(res.Executions)
+			}
+			return execs, elapsed, nil
+		}
+		execsOff, nsOff, err := run(nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s (obs off): %w", name, err)
+		}
+		execsOn, nsOn, err := run(obs.NewTracing)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s (obs on): %w", name, err)
+		}
+		row := ObsOverheadRow{
+			Program:    name,
+			Executions: int(execsOff + execsOn),
+		}
+		if execsOff > 0 {
+			row.NsOffExec = float64(nsOff) / float64(execsOff)
+		}
+		if execsOn > 0 {
+			row.NsOnExec = float64(nsOn) / float64(execsOn)
+		}
+		if row.NsOffExec > 0 {
+			row.Slowdown = row.NsOnExec / row.NsOffExec
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatObsOverhead renders the overhead table.
+func FormatObsOverhead(rows []ObsOverheadRow) string {
+	out := "observability overhead (model checker, WMM, 1 worker)\n"
+	out += fmt.Sprintf("%-14s %12s %12s %10s\n", "program", "ns/exec off", "ns/exec on", "slowdown")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-14s %12.0f %12.0f %9.2fx\n",
+			r.Program, r.NsOffExec, r.NsOnExec, r.Slowdown)
+	}
+	return out
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/race"
 	"repro/internal/transform"
 	"repro/internal/vm"
@@ -57,6 +58,11 @@ type Options struct {
 	// of the earliest cell in grid order is reported, so the outcome is
 	// identical for every worker count. 0 or 1 runs sequentially.
 	Workers int
+	// Obs, when non-nil, traces the harness stages on the "difftest"
+	// track, counts grid progress (difftest.cells_completed,
+	// difftest.reference_runs_completed), and threads through to the
+	// pipeline, VM and race-sweep metrics.
+	Obs *obs.Provider
 }
 
 // DefaultSeeds is the seed set used when Options.Seeds is empty.
@@ -96,8 +102,16 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 	if opts.Port != nil {
 		port = *opts.Port
 	}
+	if port.Obs == nil {
+		port.Obs = opts.Obs
+	}
+	trk := opts.Obs.Track("difftest")
+	rs := trk.Begin("difftest.run")
+	defer rs.End()
 
+	sp := trk.Begin("difftest.compile")
 	res, err := minic.Compile("difftest", src)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("difftest: compile: %w", err)
 	}
@@ -108,20 +122,26 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 	// its own determinism contract), which is itself a bug worth failing.
 	snaps := make([]map[string][]int64, len(seeds))
 	rets := make([][]int64, len(seeds))
-	if err := gridRun(len(seeds), opts.Workers, func(i int) error {
+	cRef := opts.Obs.Counter("difftest.reference_runs_completed")
+	sp = trk.Begin("difftest.reference")
+	err = gridRun(len(seeds), opts.Workers, func(i int) error {
 		snap, returns, err := execute(res.Module, vm.Options{
 			Model:      memmodel.ModelSC,
 			Entries:    entries,
 			Controller: vm.NewScheduler(vm.SchedRandom, seeds[i]),
 			MaxSteps:   maxSteps,
 			Watchdog:   true,
+			Obs:        opts.Obs,
 		})
 		if err != nil {
 			return fmt.Errorf("difftest: SC reference (seed %d): %w", seeds[i], err)
 		}
 		snaps[i], rets[i] = snap, returns
+		cRef.Inc()
 		return nil
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	ref, refReturns := snaps[0], rets[0]
@@ -137,7 +157,9 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 	}
 
 	cells := len(modes) * len(seeds)
-	if err := gridRun(cells, opts.Workers, func(i int) error {
+	cCells := opts.Obs.Counter("difftest.cells_completed")
+	sp = trk.Begin("difftest.grid").Arg("cells", cells)
+	err = gridRun(cells, opts.Workers, func(i int) error {
 		mode, seed := modes[i/len(seeds)], seeds[i%len(seeds)]
 		snap, returns, err := execute(ported, vm.Options{
 			Model:      memmodel.ModelWMM,
@@ -145,6 +167,7 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 			Controller: vm.NewScheduler(mode, seed),
 			MaxSteps:   maxSteps,
 			Watchdog:   true,
+			Obs:        opts.Obs,
 		})
 		if err != nil {
 			return fmt.Errorf("difftest: ported under WMM, sched=%s seed=%d: %w", mode, seed, err)
@@ -152,14 +175,19 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 		if diff := diffState(ref, refReturns, snap, returns); diff != "" {
 			return fmt.Errorf("difftest: divergence under WMM, sched=%s seed=%d: %s", mode, seed, diff)
 		}
+		cCells.Inc()
 		return nil
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	out := &Result{Reference: ref, Runs: cells}
 
 	if opts.DetectRaces {
-		n, err := checkRaces(res.Module, ported, entries, modes, len(seeds), maxSteps, opts.Workers)
+		sp = trk.Begin("difftest.race_sweep")
+		n, err := checkRaces(res.Module, ported, entries, modes, len(seeds), maxSteps, opts.Workers, opts.Obs)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -217,7 +245,7 @@ func gridRun(n, workers int, fn func(i int) error) error {
 // = the program itself is racy beyond what any porting strategy fixes
 // (reported as an infrastructure error, since difftest inputs are
 // generated to be data-race-free once fully ported).
-func checkRaces(orig, ported *ir.Module, entries []string, modes []vm.SchedMode, seeds int, maxSteps int64, workers int) (int, error) {
+func checkRaces(orig, ported *ir.Module, entries []string, modes []vm.SchedMode, seeds int, maxSteps int64, workers int, p *obs.Provider) (int, error) {
 	sweep := func(m *ir.Module) (*race.SweepResult, error) {
 		return race.Sweep(m, race.SweepOptions{
 			Model:    memmodel.ModelWMM,
@@ -226,6 +254,7 @@ func checkRaces(orig, ported *ir.Module, entries []string, modes []vm.SchedMode,
 			Seeds:    seeds,
 			MaxSteps: maxSteps,
 			Workers:  workers,
+			Obs:      p,
 		})
 	}
 	pres, err := sweep(ported)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/race"
 	"repro/internal/vm"
 )
@@ -75,6 +76,12 @@ type Options struct {
 	// MaxRaceReports caps the distinct race reports retained (0 = the
 	// detector default).
 	MaxRaceReports int
+	// Obs is the observability provider (docs/OBSERVABILITY.md): the
+	// exploration counters land in its metrics registry and, when its
+	// tracer is on, every worker records a fragment-claim/donation
+	// timeline. Nil falls back to a private registry — the counters also
+	// feed Result — with tracing off.
+	Obs *obs.Provider
 }
 
 // Counterexample is a violating execution: the violation message plus
@@ -153,7 +160,7 @@ type Result struct {
 	// that exposed a previously unseen race, when Options.Traces and
 	// Options.DetectRaces are both set.
 	RaceWitnesses []Counterexample
-	Executions      int
+	Executions    int
 	// Pruned counts executions cut short by the visited-state cache.
 	Pruned int
 	// Truncated counts executions stopped by the per-execution step
@@ -350,12 +357,14 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 	deadline := start.Add(opts.TimeBudget)
 	d := &dfs{}
 	res = &Result{Workers: 1}
+	c := newMCCounters(opts.Obs.RegistryOrNew())
+	base := c.baseline()
 	visited := make(mapCache)
 	if opts.Resume != nil {
 		d.seed(append([]choice(nil), opts.Resume.trace...), opts.Resume.floor)
-		res.Executions = opts.Resume.executions
-		res.Pruned = opts.Resume.pruned
-		res.Truncated = opts.Resume.truncated
+		c.execs.Add(int64(opts.Resume.executions))
+		c.pruned.Add(int64(opts.Resume.pruned))
+		c.truncated.Add(int64(opts.Resume.truncated))
 		res.Violations = append(res.Violations, opts.Resume.violations...)
 		res.Counterexamples = append(res.Counterexamples, opts.Resume.counterexamples...)
 		// Copy-on-resume: adopting the token's live map would make the
@@ -367,7 +376,7 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 	}
 	var det *race.Detector
 	if opts.DetectRaces {
-		det = race.New(opts.Model, race.Options{MaxReports: opts.MaxRaceReports})
+		det = race.New(opts.Model, race.Options{MaxReports: opts.MaxRaceReports, Obs: opts.Obs})
 	}
 	fullyExplored := false
 	stopped := ""
@@ -382,9 +391,26 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 	}
 	var v *vm.VM
 
+	// The sequential engine is one worker exploring one fragment: the
+	// whole tree. Its timeline mirrors the parallel engine's so a trace
+	// viewer shows the same span hierarchy either way.
+	trk := opts.Obs.Track("mc.worker-00")
+	c.active.Add(1)
+	defer c.active.Add(-1)
+	ws := trk.Begin("mc.worker")
+	defer ws.End()
+	c.fragsClaim.Inc()
+	fragBase := c.execs.Value()
+	fs := trk.Begin("mc.fragment")
+	defer func() {
+		n := c.execs.Value() - fragBase
+		c.fragExecs.Observe(n)
+		fs.Arg("executions", n).End()
+	}()
+
 	for {
 		switch {
-		case res.Executions >= opts.MaxExecutions:
+		case int(c.execs.Value()-base.execs) >= opts.MaxExecutions:
 			stopped = "execution budget exhausted"
 		case opts.Context != nil && opts.Context.Err() != nil:
 			stopped = "canceled"
@@ -403,23 +429,23 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 			if v, err = vm.New(m, vopts); err != nil {
 				return nil, err
 			}
-			res.VMAllocs++
+			c.vmAllocs.Inc()
 		} else {
 			if err = v.Reset(); err != nil {
 				return nil, err
 			}
-			res.VMResets++
+			c.vmResets.Inc()
 		}
 		violated, truncated, pruned := runOne(v, d, visited, det)
 		if d.corrupt {
 			return nil, fmt.Errorf("mc: resume token does not match this program, model, or harness")
 		}
-		res.Executions++
+		c.execs.Inc()
 		if pruned {
-			res.Pruned++
+			c.pruned.Inc()
 		}
 		if truncated {
-			res.Truncated++
+			c.truncated.Inc()
 		}
 		if violated != "" {
 			res.Violations = append(res.Violations, violated)
@@ -451,8 +477,11 @@ func Check(m *ir.Module, opts Options) (res *Result, err error) {
 			fullyExplored = true
 			break
 		}
+		c.backtracks.Inc()
 	}
 
+	c.states.Add(int64(len(visited)))
+	c.fill(res, base)
 	res.States = len(visited)
 	res.Frontier = d.frontier()
 	res.Elapsed = time.Since(start)

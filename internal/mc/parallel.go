@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/race"
 	"repro/internal/vm"
 )
@@ -146,9 +147,13 @@ func note(m map[string]*vioRec, id, msg string, d *dfs) {
 
 // mcWorker is the per-worker state surviving into the merge.
 type mcWorker struct {
-	det  *race.Detector
-	vios map[string]*vioRec // violation message → earliest exposing trace
-	wits map[string]*vioRec // race key → earliest exposing trace
+	det *race.Detector
+	// track is the worker's trace timeline (nil when tracing is off):
+	// one mc.worker lifecycle span holding an mc.fragment span per
+	// claimed fragment, with donation instants in between.
+	track *obs.Track
+	vios  map[string]*vioRec // violation message → earliest exposing trace
+	wits  map[string]*vioRec // race key → earliest exposing trace
 	// tokens holds the worker's unexplored remainder when a global stop
 	// interrupted it mid-fragment.
 	tokens  []*ResumeToken
@@ -168,11 +173,10 @@ type engine struct {
 	reasonMu sync.Mutex
 	reason   string
 
-	execs     atomic.Int64
-	pruned    atomic.Int64
-	truncated atomic.Int64
-	vmAllocs  atomic.Int64
-	vmResets  atomic.Int64
+	// c holds the shared exploration counters (registry metrics); base
+	// is the baseline for this check's Result deltas.
+	c    *mcCounters
+	base mcBase
 
 	deadline time.Time
 	maxExecs int64
@@ -197,11 +201,18 @@ func fragmentToken(d *dfs) *ResumeToken {
 }
 
 // run is one worker's loop: claim a fragment, explore it depth-first
-// with a private reused VM, donate splits when peers starve.
+// with a private reused VM, donate splits when peers starve. The whole
+// loop runs inside an mc.worker span on the worker's timeline, so the
+// trace viewer shows each worker's lifetime even when it never claims
+// a fragment.
 func (e *engine) run(w *mcWorker) {
+	e.c.active.Add(1)
+	defer e.c.active.Add(-1)
+	ws := w.track.Begin("mc.worker")
+	defer ws.End()
 	d := &dfs{}
 	var v *vm.VM
-	newExec := func() error {
+	newExec := func() (*vm.VM, error) {
 		if w.det != nil {
 			w.det.BeginExec()
 		}
@@ -217,14 +228,14 @@ func (e *engine) run(w *mcWorker) {
 			}
 			nv, err := vm.New(e.m, vopts)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			v = nv
-			e.vmAllocs.Add(1)
-			return nil
+			e.c.vmAllocs.Inc()
+			return v, nil
 		}
-		e.vmResets.Add(1)
-		return v.Reset()
+		e.c.vmResets.Inc()
+		return v, v.Reset()
 	}
 	for {
 		u, ok := e.q.get()
@@ -232,67 +243,90 @@ func (e *engine) run(w *mcWorker) {
 			return
 		}
 		d.seed(u.trace, u.floor)
-		for {
-			if e.stop.Load() {
-				w.tokens = append(w.tokens, fragmentToken(d))
-				return
-			}
-			switch {
-			case e.opts.Context != nil && e.opts.Context.Err() != nil:
-				e.halt("canceled")
-				continue
-			case time.Now().After(e.deadline):
-				e.halt("time budget exhausted")
-				continue
-			}
-			if e.execs.Add(1) > e.maxExecs {
-				e.execs.Add(-1)
-				e.halt("execution budget exhausted")
-				continue
-			}
-			if err := newExec(); err != nil {
-				w.err = err
-				e.halt("internal error")
-				return
-			}
-			violated, truncated, pruned := runOne(v, d, e.visited, w.det)
-			if d.corrupt {
-				w.corrupt = true
-				e.halt("corrupt resume token")
-				return
-			}
-			if pruned {
-				e.pruned.Add(1)
-			}
-			if truncated {
-				e.truncated.Add(1)
-			}
-			if violated != "" {
-				note(w.vios, violated, violated, d)
-				if e.opts.StopAtFirst {
-					e.halt("stopped at violation")
-					return
-				}
-			}
-			if w.det != nil && w.det.ExecFoundNew() {
-				for _, r := range w.det.ExecNewReports() {
-					note(w.wits, r.Key(), "data race: "+r.Loc.String(), d)
-				}
-				if e.opts.StopAtFirst && violated == "" {
-					e.halt("stopped at race")
-					return
-				}
-			}
-			if e.q.starving() {
-				if du, ok := d.split(); ok {
-					e.q.put(du)
-				}
-			}
-			if !d.backtrack() {
-				break
-			}
+		if e.exploreFragment(w, d, newExec) {
+			return
 		}
 		e.q.finish()
+	}
+}
+
+// exploreFragment explores one claimed fragment to exhaustion (false)
+// or until the worker must exit (true: global stop, error, corrupt
+// token). The fragment gets a span on the worker's timeline carrying
+// its execution count, which also feeds the mc.fragment_executions
+// histogram — the donation-balance signal.
+func (e *engine) exploreFragment(w *mcWorker, d *dfs, newExec func() (*vm.VM, error)) (exit bool) {
+	e.c.fragsClaim.Inc()
+	var execs int64
+	fs := w.track.Begin("mc.fragment")
+	defer func() {
+		e.c.fragExecs.Observe(execs)
+		fs.Arg("executions", execs).End()
+	}()
+	for {
+		if e.stop.Load() {
+			w.tokens = append(w.tokens, fragmentToken(d))
+			return true
+		}
+		switch {
+		case e.opts.Context != nil && e.opts.Context.Err() != nil:
+			e.halt("canceled")
+			continue
+		case time.Now().After(e.deadline):
+			e.halt("time budget exhausted")
+			continue
+		}
+		if e.c.execs.AddGet(1)-e.base.execs > e.maxExecs {
+			e.c.execs.Add(-1)
+			e.halt("execution budget exhausted")
+			continue
+		}
+		execs++
+		v, err := newExec()
+		if err != nil {
+			w.err = err
+			e.halt("internal error")
+			return true
+		}
+		violated, truncated, pruned := runOne(v, d, e.visited, w.det)
+		if d.corrupt {
+			w.corrupt = true
+			e.halt("corrupt resume token")
+			return true
+		}
+		if pruned {
+			e.c.pruned.Inc()
+		}
+		if truncated {
+			e.c.truncated.Inc()
+		}
+		if violated != "" {
+			note(w.vios, violated, violated, d)
+			if e.opts.StopAtFirst {
+				e.halt("stopped at violation")
+				return true
+			}
+		}
+		if w.det != nil && w.det.ExecFoundNew() {
+			for _, r := range w.det.ExecNewReports() {
+				note(w.wits, r.Key(), "data race: "+r.Loc.String(), d)
+			}
+			if e.opts.StopAtFirst && violated == "" {
+				e.halt("stopped at race")
+				return true
+			}
+		}
+		if e.q.starving() {
+			if du, ok := d.split(); ok {
+				e.q.put(du)
+				e.c.fragsDonat.Inc()
+				w.track.Instant("mc.fragment_donated")
+			}
+		}
+		if !d.backtrack() {
+			return false
+		}
+		e.c.backtracks.Inc()
 	}
 }
 
@@ -318,11 +352,14 @@ func checkParallel(m *ir.Module, opts Options) (res *Result, err error) {
 		tokens = append([]*ResumeToken{opts.Resume}, opts.ResumeAll...)
 	}
 
+	c := newMCCounters(opts.Obs.RegistryOrNew())
 	e := &engine{
 		m:        m,
 		opts:     opts,
 		q:        newWorkQueue(),
-		visited:  newShardMap(workers),
+		visited:  newShardMap(workers, c.contended),
+		c:        c,
+		base:     c.baseline(),
 		deadline: start.Add(opts.TimeBudget),
 		maxExecs: int64(opts.MaxExecutions),
 	}
@@ -332,9 +369,9 @@ func checkParallel(m *ir.Module, opts Options) (res *Result, err error) {
 	carriedVios := make([]string, 0)
 	carriedCEs := make([]Counterexample, 0)
 	for _, t := range tokens {
-		e.execs.Add(int64(t.executions))
-		e.pruned.Add(int64(t.pruned))
-		e.truncated.Add(int64(t.truncated))
+		c.execs.Add(int64(t.executions))
+		c.pruned.Add(int64(t.pruned))
+		c.truncated.Add(int64(t.truncated))
 		carriedVios = append(carriedVios, t.violations...)
 		carriedCEs = append(carriedCEs, t.counterexamples...)
 		for h := range t.visited {
@@ -352,11 +389,15 @@ func checkParallel(m *ir.Module, opts Options) (res *Result, err error) {
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
-		w := &mcWorker{vios: make(map[string]*vioRec), wits: make(map[string]*vioRec)}
+		w := &mcWorker{
+			track: opts.Obs.Track(fmt.Sprintf("mc.worker-%02d", i)),
+			vios:  make(map[string]*vioRec),
+			wits:  make(map[string]*vioRec),
+		}
 		if opts.DetectRaces {
 			// Per-worker caps are generous; the deterministic cap applies
 			// at the merge.
-			w.det = race.New(opts.Model, race.Options{MaxReports: 4 * resolvedRaceMax})
+			w.det = race.New(opts.Model, race.Options{MaxReports: 4 * resolvedRaceMax, Obs: opts.Obs})
 		}
 		e.workers = append(e.workers, w)
 		wg.Add(1)
@@ -447,13 +488,9 @@ func checkParallel(m *ir.Module, opts Options) (res *Result, err error) {
 		}
 	}
 
-	res.Executions = int(e.execs.Load())
-	res.Pruned = int(e.pruned.Load())
-	res.Truncated = int(e.truncated.Load())
+	c.states.Add(int64(e.visited.size()))
+	c.fill(res, e.base)
 	res.States = e.visited.size()
-	res.ShardContention = e.visited.contended.Load()
-	res.VMAllocs = e.vmAllocs.Load()
-	res.VMResets = e.vmResets.Load()
 	res.Elapsed = time.Since(start)
 
 	e.reasonMu.Lock()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 )
 
 // verdictFingerprint reduces a Result to the parts the determinism
@@ -294,7 +295,7 @@ func TestDecodeResumeV1(t *testing.T) {
 // TestShardMap covers the lock-striped visited cache: insert semantics,
 // flatten, and racing inserts of overlapping hash sets.
 func TestShardMap(t *testing.T) {
-	s := newShardMap(4)
+	s := newShardMap(4, obs.NewRegistry().Counter("mc.shard_locks_contended"))
 	if len(s.shards)&(len(s.shards)-1) != 0 {
 		t.Fatalf("shard count %d not a power of two", len(s.shards))
 	}
@@ -311,7 +312,7 @@ func TestShardMap(t *testing.T) {
 	// Hashes with identical low bits land in different shards (selection
 	// uses the high bits).
 	const workers = 8
-	s = newShardMap(workers)
+	s = newShardMap(workers, obs.NewRegistry().Counter("mc.shard_locks_contended"))
 	var wg sync.WaitGroup
 	newCount := make([]int, workers)
 	for w := 0; w < workers; w++ {

@@ -3,7 +3,8 @@ package mc
 import (
 	"math/bits"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // stateCache is the visited-state set runOne prunes against: the
@@ -45,8 +46,8 @@ type shardMap struct {
 	nolock bool
 	// contended counts lock acquisitions that found the shard already
 	// held (TryLock failed) — the contention signal atomig-mc -stats
-	// surfaces.
-	contended atomic.Int64
+	// surfaces (registry metric mc.shard_locks_contended).
+	contended *obs.Counter
 }
 
 type shard struct {
@@ -58,16 +59,18 @@ type shard struct {
 }
 
 // newShardMap returns a cache with shardsPerWorker power-of-two shards
-// per worker.
-func newShardMap(workers int) *shardMap {
+// per worker; contended is the registry counter the TryLock-fail path
+// feeds.
+func newShardMap(workers int, contended *obs.Counter) *shardMap {
 	n := 1
 	for n < workers*shardsPerWorker {
 		n <<= 1
 	}
 	s := &shardMap{
-		shards: make([]shard, n),
-		shift:  uint(64 - bits.TrailingZeros(uint(n))),
-		nolock: workers <= 1,
+		shards:    make([]shard, n),
+		shift:     uint(64 - bits.TrailingZeros(uint(n))),
+		nolock:    workers <= 1,
+		contended: contended,
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[uint64]bool)
@@ -86,7 +89,7 @@ func (s *shardMap) insert(h uint64) bool {
 		return true
 	}
 	if !sh.mu.TryLock() {
-		s.contended.Add(1)
+		s.contended.Inc()
 		sh.mu.Lock()
 	}
 	seen := sh.m[h]

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceExportGolden drives the tracer with a deterministic clock
+// and compares the Chrome trace-event export byte-for-byte against the
+// checked-in golden file — the stable on-disk contract `-trace`
+// promises (run with -update to regenerate after an intentional
+// format change).
+func TestTraceExportGolden(t *testing.T) {
+	var now int64
+	tr := newTracerAt(func() int64 { now += 1500; return now })
+	worker := tr.Track("mc.worker-00")
+	ws := worker.Begin("mc.worker")
+	fs := worker.Begin("mc.fragment")
+	worker.Instant("mc.fragment_donated")
+	fs.Arg("executions", 3).End()
+	ws.End()
+	pipe := tr.Track("pipeline")
+	pipe.Begin("pipeline.port").Arg("module", "seqlock").End()
+
+	data, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := ValidateTrace(data); err != nil {
+		t.Fatalf("golden trace does not validate: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if string(want) != string(data) {
+		t.Errorf("trace export drifted from golden file %s.\ngot:\n%s\nwant:\n%s", golden, data, want)
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof starts the Go pprof HTTP endpoints on addr (e.g.
+// "localhost:6060", or "localhost:0" for an ephemeral port) in a
+// background goroutine and returns the bound address. The server lives
+// for the remainder of the process — it is meant for the long-running
+// commands (atomig-mc, atomig-bench) whose exploration or measurement
+// loops are worth profiling live.
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		// The listener closes when the process exits; serve errors have
+		// nowhere useful to go.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}

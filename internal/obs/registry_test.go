@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers counters, gauges and histograms from
+// many goroutines while snapshots race the updates — the registry's
+// concurrency contract, meant to run under `go test -race`.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Handles resolved inside the goroutine: resolution itself must
+			// be concurrency-safe, not just the updates.
+			c := r.Counter("test.events_counted")
+			ga := r.Gauge("test.depth_tracked")
+			h := r.Histogram("test.sizes_observed")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				ga.Set(int64(i))
+				h.Observe(int64(g*iters + i))
+				if i%500 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counters["test.events_counted"]; got != goroutines*iters {
+		t.Errorf("counter = %d, want %d", got, goroutines*iters)
+	}
+	h := snap.Histograms["test.sizes_observed"]
+	if h.Count != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*iters)
+	}
+	var total int64
+	for _, b := range h.Buckets {
+		total += b.N
+	}
+	if total != h.Count {
+		t.Errorf("bucket sum %d != count %d", total, h.Count)
+	}
+}
+
+// TestHistogramBuckets pins the log-scale bucket boundaries.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.values_observed")
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, -5} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["test.values_observed"]
+	if hs.Count != 10 || hs.Sum != 2072 {
+		t.Fatalf("count=%d sum=%d, want 10/2072", hs.Count, hs.Sum)
+	}
+	want := map[int64]int64{
+		0:    2, // 0 and -5 (clamped)
+		1:    1, // 1
+		3:    2, // 2, 3
+		7:    2, // 4, 7
+		15:   1, // 8
+		1023: 1,
+		2047: 1, // 1024
+	}
+	got := make(map[int64]int64)
+	for _, b := range hs.Buckets {
+		got[b.Upper] = b.N
+	}
+	for up, n := range want {
+		if got[up] != n {
+			t.Errorf("bucket le=%d: n=%d, want %d (all: %v)", up, got[up], n, hs.Buckets)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("bucket set %v, want %v", got, want)
+	}
+}
+
+// TestNamingConvention: the registry enforces subsystem.noun_verbed.
+func TestNamingConvention(t *testing.T) {
+	for _, ok := range []string{"mc.executions_pruned", "pipeline.spinloops_found", "vm.steps_executed", "a.b"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "noDot", "Upper.case", "mc.", ".pruned", "mc.Pruned", "mc.pruned-states", "mc.pruned_", "mc..x", "two.dots.deep_"} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true, want false", bad)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering an invalid name did not panic")
+		}
+	}()
+	NewRegistry().Counter("BadName")
+}
+
+// TestNilSafety: the disabled-provider path must be a no-op with zero
+// allocations — the zero-cost seam contract (docs/OBSERVABILITY.md).
+func TestNilSafety(t *testing.T) {
+	var p *Provider
+	c := p.Counter("mc.executions_pruned")
+	g := p.Gauge("mc.workers_active")
+	h := p.Histogram("mc.fragment_executions")
+	tk := p.Track("mc.worker-00")
+	if c != nil || g != nil || h != nil || tk != nil {
+		t.Fatal("nil provider handed out non-nil handles")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.Set(7)
+		h.Observe(42)
+		sp := tk.Begin("mc.fragment")
+		sp.Arg("execs", 3)
+		sp.End()
+		tk.Instant("mc.fragment_donated")
+	}); allocs != 0 {
+		t.Errorf("disabled seam allocates %.1f objects per op, want 0", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil handles returned non-zero values")
+	}
+	snap := p.Snapshot()
+	if snap.Schema != SchemaVersion {
+		t.Errorf("nil provider snapshot schema %q", snap.Schema)
+	}
+}

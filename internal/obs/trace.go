@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// The tracer records hierarchical spans onto named tracks and exports
+// them in the Chrome trace_event JSON format (the `traceEvents` array
+// understood by chrome://tracing, Perfetto and speedscope), so a
+// parallel model-checker run renders as one timeline lane per worker.
+//
+// A Track maps to one trace `tid`; spans on a track must be opened and
+// closed in LIFO order by a single goroutine at a time (each model-
+// checker worker owns its track; the pipeline runs its track from the
+// coordinating goroutine). The exporter sorts events by timestamp with
+// a stable sequence tiebreak, and ValidateTrace checks the resulting
+// stream is well formed: matched B/E pairs per track, LIFO nesting,
+// non-decreasing timestamps.
+
+// TraceEvent is one Chrome trace_event entry.
+type TraceEvent struct {
+	Name string `json:"name"`
+	// Ph is the event phase: "B"/"E" bracket a span, "i" is an instant
+	// event, "M" is metadata (track names).
+	Ph  string  `json:"ph"`
+	TS  float64 `json:"ts"` // microseconds since trace start
+	PID int     `json:"pid"`
+	TID int     `json:"tid"`
+	Cat string  `json:"cat,omitempty"`
+	// Scope of an instant event ("t" = thread-scoped).
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+
+	// seq orders events that share a timestamp (B before its children,
+	// children's E before the parent's). Not exported to JSON.
+	seq int64
+}
+
+// Tracer collects trace events. Safe for concurrent use: recording
+// takes one short mutex hold; tracing is an opt-in diagnostic mode, so
+// its cost is not on the zero-cost (nil-provider) path.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	nowNS   func() int64 // test hook: nanoseconds since start
+	events  []TraceEvent
+	tracks  map[string]*Track
+	nextTID int
+	nextSeq int64
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	t := &Tracer{start: time.Now(), tracks: make(map[string]*Track)}
+	t.nowNS = func() int64 { return time.Since(t.start).Nanoseconds() }
+	return t
+}
+
+// newTracerAt returns a tracer driven by an explicit clock —
+// deterministic timestamps for golden-file tests.
+func newTracerAt(nowNS func() int64) *Tracer {
+	return &Tracer{start: time.Now(), nowNS: nowNS, tracks: make(map[string]*Track)}
+}
+
+// record appends one event with the tracer's clock and sequence.
+func (t *Tracer) record(ev TraceEvent) {
+	t.mu.Lock()
+	ev.TS = float64(t.nowNS()) / 1e3
+	ev.seq = t.nextSeq
+	t.nextSeq++
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Track returns the track with the given name, creating it (and its
+// thread_name metadata event) on first use. The same name always maps
+// to the same tid, so sequential phases reuse their lane.
+func (t *Tracer) Track(name string) *Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tk := t.tracks[name]
+	if tk == nil {
+		tk = &Track{t: t, tid: t.nextTID, name: name}
+		t.nextTID++
+		t.tracks[name] = tk
+		t.events = append(t.events, TraceEvent{
+			Name: "thread_name", Ph: "M", TID: tk.tid,
+			Args: map[string]any{"name": name},
+			seq:  t.nextSeq,
+		})
+		t.nextSeq++
+	}
+	t.mu.Unlock()
+	return tk
+}
+
+// Track is one timeline lane. All methods are nil-safe, so a disabled
+// provider's call sites cost a nil check and nothing else.
+type Track struct {
+	t    *Tracer
+	tid  int
+	name string
+}
+
+// Begin opens a span on the track and returns it for End (and Arg).
+// Spans on one track must close in LIFO order.
+func (tk *Track) Begin(name string) *Span {
+	if tk == nil {
+		return nil
+	}
+	tk.t.record(TraceEvent{Name: name, Ph: "B", TID: tk.tid})
+	return &Span{tk: tk, name: name}
+}
+
+// Instant records a point event on the track.
+func (tk *Track) Instant(name string) {
+	if tk == nil {
+		return
+	}
+	tk.t.record(TraceEvent{Name: name, Ph: "i", TID: tk.tid, Scope: "t"})
+}
+
+// Span is an open trace span; close it with End.
+type Span struct {
+	tk   *Track
+	name string
+	mu   sync.Mutex
+	args map[string]any
+}
+
+// Arg attaches a key/value to the span (rendered on the closing event;
+// trace viewers merge B/E args). Returns the span for chaining.
+// Nil-safe.
+func (s *Span) Arg(key string, v any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.args == nil {
+		s.args = make(map[string]any)
+	}
+	s.args[key] = v
+	s.mu.Unlock()
+	return s
+}
+
+// End closes the span. Nil-safe; calling End twice records a spurious
+// E event, so don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	args := s.args
+	s.args = nil
+	s.mu.Unlock()
+	s.tk.t.record(TraceEvent{Name: s.name, Ph: "E", TID: s.tk.tid, Args: args})
+}
+
+// Events returns a copy of the recorded events sorted by timestamp
+// (stable: recording order breaks ties), with metadata events first.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	evs := make([]TraceEvent, len(t.events))
+	copy(evs, t.events)
+	t.mu.Unlock()
+	// Insertion sort on (isMeta desc, TS, seq); traces are small and
+	// mostly ordered already (one mutex serializes recording).
+	less := func(a, b TraceEvent) bool {
+		am, bm := a.Ph == "M", b.Ph == "M"
+		if am != bm {
+			return am
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return a.seq < b.seq
+	}
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && less(evs[j], evs[j-1]); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	return evs
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/alias"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -73,6 +74,10 @@ type Options struct {
 	// (further occurrences of known site pairs still bump their Count).
 	// 0 selects 32.
 	MaxReports int
+	// Obs, when non-nil, publishes the detector's event stream to the
+	// metrics registry (race.accesses_observed, race.reports_recorded).
+	// Nil keeps the hot path free of counter updates.
+	Obs *obs.Provider
 }
 
 // accessRec is the detector's record of one access: the FastTrack epoch
@@ -120,6 +125,9 @@ type Detector struct {
 	// execStart is len(reports) at the last BeginExec, so callers can
 	// tell whether the current execution contributed new findings.
 	execStart int
+	// Registry counters (nil — a free no-op — without Options.Obs).
+	cAccesses *obs.Counter
+	cReports  *obs.Counter
 }
 
 // resolveMaxReports applies the default report cap (32) when the
@@ -134,7 +142,11 @@ func resolveMaxReports(n int) int {
 // New returns a detector for executions under the given model.
 func New(model memmodel.Model, opts Options) *Detector {
 	opts.MaxReports = resolveMaxReports(opts.MaxReports)
-	d := &Detector{model: model, opts: opts, seen: make(map[string]*Report)}
+	d := &Detector{
+		model: model, opts: opts, seen: make(map[string]*Report),
+		cAccesses: opts.Obs.Counter("race.accesses_observed"),
+		cReports:  opts.Obs.Counter("race.reports_recorded"),
+	}
 	d.BeginExec()
 	return d
 }
@@ -219,6 +231,7 @@ func (d *Detector) acquire(t int, l *locState, readTS int) {
 
 // OnAccess implements vm.Hook.
 func (d *Detector) OnAccess(ev vm.AccessEvent) {
+	d.cAccesses.Inc()
 	d.ensure(ev.Thread)
 	switch ev.Kind {
 	case vm.AccessLoad:
@@ -367,6 +380,7 @@ func (d *Detector) report(a memmodel.Addr, prior, cur accessRec) {
 	}
 	d.seen[key] = r
 	d.reports = append(d.reports, r)
+	d.cReports.Inc()
 }
 
 func (d *Detector) clockOf(t int) VC {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -35,6 +36,10 @@ type SweepOptions struct {
 	// sequentially. Ignored when Detector is caller-supplied: an
 	// accumulating detector implies single-owner semantics.
 	Workers int
+	// Obs, when non-nil, counts swept executions in the metrics
+	// registry (race.executions_swept) and feeds the detectors'
+	// race.accesses_observed / race.reports_recorded counters.
+	Obs *obs.Provider
 }
 
 // SweepResult is the outcome of a race sweep.
@@ -73,8 +78,9 @@ func Sweep(m *ir.Module, opts SweepOptions) (*SweepResult, error) {
 	}
 	det := opts.Detector
 	if det == nil {
-		det = New(opts.Model, Options{MaxReports: opts.MaxReports})
+		det = New(opts.Model, Options{MaxReports: opts.MaxReports, Obs: opts.Obs})
 	}
+	cSwept := opts.Obs.Counter("race.executions_swept")
 	out := &SweepResult{Detector: det}
 	for _, mode := range modes {
 		for s := 0; s < seeds; s++ {
@@ -91,6 +97,7 @@ func Sweep(m *ir.Module, opts SweepOptions) (*SweepResult, error) {
 				return out, fmt.Errorf("race sweep (%s, seed %d): %w", mode, s+1, err)
 			}
 			out.Executions++
+			cSwept.Inc()
 			if res.Status == vm.StatusAssertFailed || res.Status == vm.StatusDeadlock {
 				out.Violations = append(out.Violations,
 					fmt.Sprintf("%s seed %d: %s: %s", mode, s+1, res.Status, res.FailMsg))
@@ -119,6 +126,7 @@ func sweepParallel(m *ir.Module, opts SweepOptions, modes []vm.SchedMode, seeds 
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	cSwept := opts.Obs.Counter("race.executions_swept")
 	dets := make([]*Detector, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -129,7 +137,7 @@ func sweepParallel(m *ir.Module, opts SweepOptions, modes []vm.SchedMode, seeds 
 			// 4x headroom over the resolved cap so a single saturated
 			// worker does not make the merged (sorted, capped) set
 			// depend on how the grid was partitioned.
-			det := New(opts.Model, Options{MaxReports: 4 * resolveMaxReports(opts.MaxReports)})
+			det := New(opts.Model, Options{MaxReports: 4 * resolveMaxReports(opts.MaxReports), Obs: opts.Obs})
 			dets[w] = det
 			for {
 				i := int(next.Add(1)) - 1
@@ -150,6 +158,7 @@ func sweepParallel(m *ir.Module, opts SweepOptions, modes []vm.SchedMode, seeds 
 					cells[i].err = fmt.Errorf("race sweep (%s, seed %d): %w", mode, seed+1, err)
 					continue
 				}
+				cSwept.Inc()
 				if res.Status == vm.StatusAssertFailed || res.Status == vm.StatusDeadlock {
 					cells[i].violation = fmt.Sprintf("%s seed %d: %s: %s", mode, seed+1, res.Status, res.FailMsg)
 				}

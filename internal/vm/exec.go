@@ -444,6 +444,11 @@ func (v *VM) finish() {
 			v.res.Returns = append(v.res.Returns, t.retVal)
 		}
 	}
+	if p := v.opts.Obs; p != nil {
+		p.Counter("vm.executions_completed").Inc()
+		p.Counter("vm.steps_executed").Add(v.res.Steps)
+		p.Histogram("vm.execution_steps").Observe(v.res.Steps)
+	}
 }
 
 // StepThread executes instructions of thread index ti until a visible

@@ -18,6 +18,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
+	"repro/internal/obs"
 )
 
 // Controller resolves all nondeterminism of an execution: which thread
@@ -154,6 +155,11 @@ type Options struct {
 	// every event site is behind a nil check, so a disabled hook costs
 	// one predictable branch.
 	Hook Hook
+	// Obs, when non-nil, publishes end-of-run tallies to the metrics
+	// registry (vm.executions_completed, vm.steps_executed, the
+	// vm.execution_steps histogram). The interpreter loop is untouched:
+	// publication happens once when the run finishes.
+	Obs *obs.Provider
 }
 
 // TraceEvent is one visible operation in an execution trace.
