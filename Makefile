@@ -5,7 +5,11 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke obs-smoke clean
+.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline pipeline-smoke obs-smoke clean
+
+# Module size for the pipeline byte-identical-output smoke. Big enough
+# to exercise the parallel fan-out, small enough for `make check`.
+PIPELINE_SMOKE_SLOC ?= 20000
 
 
 
@@ -25,7 +29,7 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race bench-mc-smoke obs-smoke
+check: build vet test test-race bench-mc-smoke obs-smoke pipeline-smoke
 
 # Model-checker scaling sweep (docs/MODEL-CHECKER.md): exhaustive
 # exploration of the litmus+seqlock corpus at 1..8 workers, appending
@@ -33,6 +37,23 @@ check: build vet test test-race bench-mc-smoke obs-smoke
 # BENCH_mc.json.
 bench-mc:
 	$(GO) run ./cmd/atomig-bench -exp mc-scaling -json BENCH_mc.json
+
+# Porting-pipeline scaling sweep (docs/PIPELINE.md): port the generated
+# >= 100k-line module at 1..8 workers, appending throughput, speedup vs
+# -j 1 and the ported-output hash to BENCH_pipeline.json. The sweep
+# itself fails on any cross-worker output drift.
+bench-pipeline:
+	$(GO) run ./cmd/atomig-bench -exp pipeline-scaling -json BENCH_pipeline.json
+
+# End-to-end determinism smoke of the parallel pipeline
+# (docs/PIPELINE.md): generate a large module, port it through the CLI
+# at -j 1 and -j 8, and require byte-identical output.
+pipeline-smoke:
+	$(GO) build -o bin/ ./cmd/atomig ./cmd/atomig-bench
+	bin/atomig-bench -gen-module bin/pipeline-smoke.c -sloc $(PIPELINE_SMOKE_SLOC)
+	bin/atomig -j 1 -o bin/pipeline-smoke-j1.air bin/pipeline-smoke.c
+	bin/atomig -j 8 -o bin/pipeline-smoke-j8.air bin/pipeline-smoke.c
+	cmp bin/pipeline-smoke-j1.air bin/pipeline-smoke-j8.air
 
 # One-iteration smoke of the same sweep so `make check` notices a
 # broken or drifting parallel engine without paying for a full
@@ -67,6 +88,7 @@ obs-smoke:
 fuzz-smoke:
 	$(GO) test -run none -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/minic
 	$(GO) test -run none -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME) ./internal/ir
+	$(GO) test -run none -fuzz FuzzAliasExplore -fuzztime $(FUZZTIME) ./internal/alias
 
 clean:
 	$(GO) clean ./...

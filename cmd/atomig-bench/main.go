@@ -43,9 +43,11 @@ func appendJSON(path string, v any) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, mc-scaling, all")
+	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, mc-scaling, pipeline-scaling, all")
 	scale := flag.Int("scale", 20, "application scale divisor for t3 (1 = paper-sized)")
-	seed := flag.Int64("seed", 7, "generator seed for t3/t4")
+	seed := flag.Int64("seed", 7, "generator seed for t3/t4 and the pipeline-scaling module")
+	sloc := flag.Int("sloc", bench.DefaultPipelineScalingSLOC, "generated module size for pipeline-scaling / -gen-module")
+	genModule := flag.String("gen-module", "", "write the pipeline-scaling module's MiniC source to this file and exit")
 	budget := flag.Duration("budget", 5*time.Second, "per-check time budget for t2")
 	jsonOut := flag.String("json", "", "append machine-readable results to this file (mc-scaling)")
 	metricsPath := flag.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
@@ -59,6 +61,19 @@ func main() {
 	// instead of running experiments.
 	if *checkMetrics != "" || *checkTrace != "" {
 		os.Exit(validateFiles(*checkMetrics, *checkTrace))
+	}
+
+	// Generator mode: emit the pipeline-scaling module source for
+	// out-of-process consumers (make pipeline-smoke ports it through the
+	// atomig CLI at several -j values and diffs the outputs).
+	if *genModule != "" {
+		src := bench.GenerateLargeSource(*sloc, *seed)
+		if err := os.WriteFile(*genModule, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "atomig-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *genModule, len(src))
+		return
 	}
 
 	prov := obs.NewCLI(*metricsPath, *tracePath, false)
@@ -138,6 +153,24 @@ func main() {
 			if *jsonOut != "" {
 				if err := appendJSON(*jsonOut, map[string]any{
 					"experiment": "mc-scaling",
+					"when":       time.Now().UTC().Format(time.RFC3339),
+					"gomaxprocs": runtime.GOMAXPROCS(0),
+					"rows":       rows,
+				}); err != nil {
+					return err
+				}
+				fmt.Printf("appended results to %s\n", *jsonOut)
+			}
+			return nil
+		case "pipeline-scaling":
+			rows, err := bench.PipelineScaling(*sloc, *seed, nil, prov)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatPipelineScaling(rows))
+			if *jsonOut != "" {
+				if err := appendJSON(*jsonOut, map[string]any{
+					"experiment": "pipeline-scaling",
 					"when":       time.Now().UTC().Format(time.RFC3339),
 					"gomaxprocs": runtime.GOMAXPROCS(0),
 					"rows":       rows,

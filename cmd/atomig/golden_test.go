@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// portingTimeRE matches the only non-deterministic report line; golden
+// comparison replaces the measured duration with a fixed token.
+var portingTimeRE = regexp.MustCompile(`(porting time: +)\S+`)
+
+func normalizeReport(s string) string {
+	return portingTimeRE.ReplaceAllString(s, "${1}<elapsed>")
+}
+
+// TestGoldenOutput pins the CLI's user-facing text — the pipeline
+// report (including the opt-control, buddy-exploration and alias-merge
+// counters) and the -explain-races diagnosis — against golden files.
+// The report must also be stable across -j, so the mp report is
+// rendered at both 1 and 4 workers against one golden. Regenerate with
+// `go test ./cmd/atomig -run TestGoldenOutput -update`.
+func TestGoldenOutput(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"report_mp.golden", []string{"-corpus", "mp"}},
+		{"report_mp.golden", []string{"-corpus", "mp", "-j", "4"}},
+		{"report_seqlock.golden", []string{"-corpus", "seqlock"}},
+		{"report_ticket_spin.golden", []string{"-corpus", "ck_spinlock_ticket", "-level", "spin"}},
+		{"explain_races_seqlock_gap.golden", []string{"-explain-races", "-corpus", "seqlock-gap"}},
+		{"explain_races_mp.golden", []string{"-explain-races", "-corpus", "mp"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.golden, func(t *testing.T) {
+			code, stdout, stderr := runCLI(t, tc.args...)
+			if code != 0 {
+				t.Fatalf("exit %d\nstderr: %s", code, stderr)
+			}
+			got := normalizeReport(stdout)
+			path := filepath.Join("testdata", tc.golden)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -15,6 +15,8 @@
 //	-emit                   print the transformed module IR
 //	-emit-orig              print the original module IR
 //	-no-inline              disable the pre-analysis inliner
+//	-j N                    pipeline worker count; the ported output is
+//	                        byte-identical for every N (docs/PIPELINE.md)
 //	-explain-races          run the race detector on the UN-ported input
 //	                        and map each race back to the global or
 //	                        struct field the port should promote
@@ -64,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o2 := fs.Bool("O2", false, "run the post-transformation optimizer (Figure 2)")
 	explainRaces := fs.Bool("explain-races", false, "detect races in the un-ported input and explain what to promote")
 	entries := fs.String("entries", "", "comma-separated thread entries for -explain-races on file inputs")
+	jobs := fs.Int("j", 1, "pipeline worker count (output is byte-identical for every value)")
 	metricsPath := fs.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		opts.Optimize = *o2
 		opts.Obs = prov
+		opts.Workers = *jobs
 		rep, err := atomig.Port(mod, opts)
 		if err != nil {
 			return fail(stderr, err)
@@ -213,6 +217,9 @@ func printReport(w io.Writer, rep *atomig.Report) {
 	fmt.Fprintf(w, "  volatile accesses -> SC:   %d\n", rep.VolatileConverted)
 	fmt.Fprintf(w, "  atomics upgraded to SC:    %d\n", rep.AtomicUpgraded)
 	fmt.Fprintf(w, "  spin controls marked:      %d\n", rep.SpinControlsMarked)
+	fmt.Fprintf(w, "  opt controls marked:       %d\n", rep.OptControlsMarked)
+	fmt.Fprintf(w, "  sticky buddies explored:   %d\n", rep.BuddiesExplored)
+	fmt.Fprintf(w, "  alias classes merged:      %d\n", rep.AliasMerges)
 	fmt.Fprintf(w, "  sticky buddies converted:  %d\n", rep.StickyMarked)
 	fmt.Fprintf(w, "  implicit barriers added:   %d (%d -> %d)\n",
 		rep.ImplicitAdded, rep.ImplicitBefore, rep.ImplicitAfter)

@@ -106,67 +106,114 @@ func pathString(path []ir.GEPStep) string {
 	return strings.Join(parts, ".")
 }
 
-// Map is the module-wide index from location descriptor to all memory
-// accesses of that location. It is built once (paper section 3.5: "we
-// only have to populate this map once during initialization") and makes
-// buddy lookup a constant-time map access.
-type Map struct {
-	accesses map[Loc][]*ir.Instr
-	locs     map[*ir.Instr]Loc
-}
-
-// BuildMap scans the module and indexes every memory access.
-func BuildMap(m *ir.Module) *Map {
-	am := &Map{
-		accesses: make(map[Loc][]*ir.Instr),
-		locs:     make(map[*ir.Instr]Loc),
+// Reprs returns the primary descriptor of addr (identical to LocOf)
+// plus every additional descriptor that provably names the same cell
+// and that other code may be using instead:
+//
+//   - suffix paths through nested named structs: a single GEP
+//     "%outer, field 1, field 0" yields %outer:1.0 while the two-GEP
+//     lowering of the same C expression yields %inner:0 — one cell,
+//     two names;
+//   - composed getelementptr chains: the full constant path from the
+//     chain root re-expressed at every named struct type it passes;
+//   - trailing array steps stripped: %node:1.[] (an element of the
+//     array field) and %node:1 (the field's base cell) overlap.
+//
+// The sticky-buddy map unions all representations of an address into
+// one equivalence class, so exploration reaches an access no matter
+// which spelling its getelementptr used (a known false-negative of
+// pure final-GEP matching).
+func Reprs(addr ir.Value) (Loc, []Loc) {
+	primary := LocOf(addr)
+	g, ok := addr.(*ir.Instr)
+	if !ok || g.Op != ir.OpGEP {
+		return primary, nil
 	}
-	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
-		if !in.IsMemAccess() {
+	// Collect the GEP chain from the final address back to its root.
+	var chain []*ir.Instr
+	v := addr
+	for {
+		in, isInstr := v.(*ir.Instr)
+		if !isInstr || in.Op != ir.OpGEP {
+			break
+		}
+		chain = append(chain, in)
+		v = in.Args[0]
+	}
+	// Reverse: chain[0] is closest to the root value.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	seen := map[Loc]bool{primary: true}
+	var extras []Loc
+	emit := func(l Loc) {
+		if !l.Shared() || seen[l] {
 			return
 		}
-		loc := LocOf(in.Addr())
-		am.locs[in] = loc
-		if loc.Shared() {
-			am.accesses[loc] = append(am.accesses[loc], in)
-		}
-	})
-	return am
-}
-
-// Loc returns the cached descriptor of a memory access.
-func (am *Map) Loc(in *ir.Instr) Loc { return am.locs[in] }
-
-// Buddies returns every access in the module sharing the descriptor.
-func (am *Map) Buddies(loc Loc) []*ir.Instr {
-	if !loc.Shared() {
-		return nil
+		seen[l] = true
+		extras = append(extras, l)
 	}
-	return am.accesses[loc]
+	// Walk the composed path starting at every GEP's base type: each
+	// named struct encountered with at least one field step remaining
+	// is another valid spelling of the final cell.
+	for i, gi := range chain {
+		rest := suffixPath(chain[i:])
+		cur := gi.GEPBase
+		for {
+			if st, isStruct := cur.(*ir.StructType); isStruct && hasFieldStep(rest) {
+				emit(Loc{Kind: LocField, Name: st.TypeName + ":" + pathString(rest)})
+				if t := trimTrailingIndexes(rest); len(t) < len(rest) && hasFieldStep(t) {
+					emit(Loc{Kind: LocField, Name: st.TypeName + ":" + pathString(t)})
+				}
+			}
+			if len(rest) == 0 {
+				break
+			}
+			cur = childType(cur, rest[0])
+			rest = rest[1:]
+			if cur == nil {
+				break
+			}
+		}
+	}
+	return primary, extras
 }
 
-// SharedLocs returns all shared descriptors present in the module.
-func (am *Map) SharedLocs() []Loc {
-	out := make([]Loc, 0, len(am.accesses))
-	for l := range am.accesses {
-		out = append(out, l)
+// suffixPath concatenates the paths of the chain GEPs.
+func suffixPath(chain []*ir.Instr) []ir.GEPStep {
+	n := 0
+	for _, g := range chain {
+		n += len(g.Path)
+	}
+	out := make([]ir.GEPStep, 0, n)
+	for _, g := range chain {
+		out = append(out, g.Path...)
 	}
 	return out
 }
 
-// Explore returns all sticky buddies of the seed accesses: every access
-// in the module whose descriptor matches the descriptor of any seed.
-// Seeds with unknown or local descriptors contribute nothing.
-func (am *Map) Explore(seeds []*ir.Instr) []*ir.Instr {
-	seen := make(map[Loc]bool)
-	var out []*ir.Instr
-	for _, s := range seeds {
-		loc := am.locs[s]
-		if !loc.Shared() || seen[loc] {
-			continue
-		}
-		seen[loc] = true
-		out = append(out, am.accesses[loc]...)
+// trimTrailingIndexes drops trailing array-index steps from the path.
+func trimTrailingIndexes(path []ir.GEPStep) []ir.GEPStep {
+	end := len(path)
+	for end > 0 && path[end-1].Field < 0 {
+		end--
 	}
-	return out
+	return path[:end]
+}
+
+// childType navigates one GEP step through a type, or nil when the
+// step does not fit the type (malformed input; Reprs degrades to the
+// descriptors found so far rather than guessing).
+func childType(t ir.Type, st ir.GEPStep) ir.Type {
+	switch x := t.(type) {
+	case *ir.StructType:
+		if st.Field >= 0 && st.Field < len(x.Fields) {
+			return x.Fields[st.Field].Type
+		}
+	case *ir.ArrayType:
+		if st.Field < 0 {
+			return x.Elem
+		}
+	}
+	return nil
 }

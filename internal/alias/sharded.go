@@ -1,0 +1,273 @@
+// Sharded concurrent construction of the module-wide alias map. The
+// map is built once per port (paper section 3.5) and, for the
+// million-line modules of Table 3, that build is on the pipeline's
+// critical path — so it fans out across a worker pool: workers claim
+// functions from an atomic cursor, push each memory access into a
+// lock-striped shard keyed by its location descriptor, and feed every
+// alternate descriptor of the address (alias.Reprs) into the
+// lock-striped union-find. A final freeze step groups the per-location
+// access lists into canonical equivalence classes and sorts each class
+// by (function index, instruction position), so lookups and
+// exploration return identical, deterministically ordered results for
+// every worker count (docs/PIPELINE.md).
+package alias
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/ir"
+)
+
+// Map is the module-wide index from location descriptor to all memory
+// accesses of that location, closed under the union-find's equivalence
+// classes. After BuildMap returns the structure is immutable and safe
+// for concurrent readers.
+type Map struct {
+	shards    []mapShard
+	shift     uint
+	nolock    bool
+	uf        *UnionFind
+	instrLocs []instrLocShard
+	// classes maps each canonical root to the ordered accesses of the
+	// whole class (built by freeze).
+	classes map[Loc][]*ir.Instr
+}
+
+// accessRec carries the deterministic sort key assigned during the
+// parallel build: accesses are ordered by where they appear in the
+// module, not by which worker indexed them first.
+type accessRec struct {
+	in  *ir.Instr
+	seq uint64
+}
+
+type mapShard struct {
+	mu sync.Mutex
+	m  map[Loc][]accessRec
+	_  [40]byte
+}
+
+type instrLocShard struct {
+	mu sync.Mutex
+	m  map[*ir.Instr]Loc
+	_  [40]byte
+}
+
+const mapShardsPerWorker = 8
+
+// BuildMap scans the module and indexes every memory access with a
+// single worker. See BuildMapParallel.
+func BuildMap(m *ir.Module) *Map { return BuildMapParallel(m, 1) }
+
+// BuildMapParallel builds the alias map with the given number of
+// workers. The resulting map — classes, canonical representatives,
+// and the order of every access list — is identical for every worker
+// count.
+func BuildMapParallel(m *ir.Module, workers int) *Map {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(m.Funcs) && len(m.Funcs) > 0 {
+		workers = len(m.Funcs)
+	}
+	n := 1
+	for n < workers*mapShardsPerWorker {
+		n <<= 1
+	}
+	am := &Map{
+		shards:    make([]mapShard, n),
+		shift:     uint(64 - bits.TrailingZeros(uint(n))),
+		nolock:    workers <= 1,
+		uf:        NewUnionFind(workers),
+		instrLocs: make([]instrLocShard, n),
+	}
+	for i := range am.shards {
+		am.shards[i].m = make(map[Loc][]accessRec)
+	}
+	for i := range am.instrLocs {
+		am.instrLocs[i].m = make(map[*ir.Instr]Loc)
+	}
+	forEachFuncIndexed(workers, m.Funcs, am.indexFunc)
+	am.freeze()
+	return am
+}
+
+// forEachFuncIndexed fans fn out over the functions: workers claim
+// indices from a shared cursor so a few huge functions do not stall
+// the pool.
+func forEachFuncIndexed(workers int, fns []*ir.Func, fn func(fi int, f *ir.Func)) {
+	if workers <= 1 || len(fns) <= 1 {
+		for i, f := range fns {
+			fn(i, f)
+		}
+		return
+	}
+	var cursor atomicCursor
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := cursor.next()
+				if i >= len(fns) {
+					return
+				}
+				fn(i, fns[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// indexFunc indexes one function's memory accesses.
+func (am *Map) indexFunc(fi int, f *ir.Func) {
+	pos := 0
+	f.Instrs(func(in *ir.Instr) {
+		pos++
+		if !in.IsMemAccess() {
+			return
+		}
+		primary, extras := Reprs(in.Addr())
+		am.setLoc(in, primary)
+		if !primary.Shared() {
+			return
+		}
+		am.append(primary, accessRec{in: in, seq: uint64(fi)<<32 | uint64(pos)})
+		am.uf.Add(primary)
+		for _, e := range extras {
+			am.uf.Union(primary, e)
+		}
+	})
+}
+
+func (am *Map) setLoc(in *ir.Instr, loc Loc) {
+	sh := &am.instrLocs[hashPtr(in)>>am.shift]
+	if am.nolock {
+		sh.m[in] = loc
+		return
+	}
+	sh.mu.Lock()
+	sh.m[in] = loc
+	sh.mu.Unlock()
+}
+
+func (am *Map) append(loc Loc, rec accessRec) {
+	sh := &am.shards[hashLoc(loc)>>am.shift]
+	if am.nolock {
+		sh.m[loc] = append(sh.m[loc], rec)
+		return
+	}
+	sh.mu.Lock()
+	sh.m[loc] = append(sh.m[loc], rec)
+	sh.mu.Unlock()
+}
+
+// hashPtr mixes an instruction pointer for stripe selection.
+func hashPtr(in *ir.Instr) uint64 {
+	h := uint64(uintptr(unsafe.Pointer(in)))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// atomicCursor hands out work-list indices to the pool.
+type atomicCursor struct{ n atomic.Int64 }
+
+func (c *atomicCursor) next() int { return int(c.n.Add(1)) - 1 }
+
+// freeze groups every location's accesses into its canonical class and
+// sorts each class by module position. Runs once, after all workers
+// have quiesced.
+func (am *Map) freeze() {
+	byRoot := make(map[Loc][]accessRec)
+	for i := range am.shards {
+		for loc, recs := range am.shards[i].m {
+			rt := am.uf.Find(loc)
+			byRoot[rt] = append(byRoot[rt], recs...)
+		}
+	}
+	am.classes = make(map[Loc][]*ir.Instr, len(byRoot))
+	for rt, recs := range byRoot {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+		ins := make([]*ir.Instr, len(recs))
+		for i, r := range recs {
+			ins[i] = r.in
+		}
+		am.classes[rt] = ins
+	}
+}
+
+// Loc returns the cached primary descriptor of a memory access.
+func (am *Map) Loc(in *ir.Instr) Loc {
+	sh := &am.instrLocs[hashPtr(in)>>am.shift]
+	if am.nolock {
+		return sh.m[in]
+	}
+	sh.mu.Lock()
+	loc := sh.m[in]
+	sh.mu.Unlock()
+	return loc
+}
+
+// Canon returns the canonical representative of loc's sticky class:
+// the lexicographically smallest descriptor the union-find merged it
+// with (loc itself when nothing aliases it).
+func (am *Map) Canon(loc Loc) Loc { return am.uf.Find(loc) }
+
+// Same reports whether two descriptors are in one sticky class.
+func (am *Map) Same(a, b Loc) bool { return am.uf.Find(a) == am.uf.Find(b) }
+
+// Merges returns how many distinct descriptor classes the union-find
+// joined during the build.
+func (am *Map) Merges() int64 { return am.uf.Merges() }
+
+// Buddies returns every access in the module whose descriptor is in
+// the same class as loc, in deterministic module order.
+func (am *Map) Buddies(loc Loc) []*ir.Instr {
+	if !loc.Shared() {
+		return nil
+	}
+	return am.classes[am.uf.Find(loc)]
+}
+
+// SharedLocs returns all shared primary descriptors present in the
+// module, sorted.
+func (am *Map) SharedLocs() []Loc {
+	var out []Loc
+	for i := range am.shards {
+		for l := range am.shards[i].m {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return locLess(out[i], out[j]) })
+	return out
+}
+
+// Explore returns all sticky buddies of the seed accesses: every
+// access in the module whose descriptor is in the same class as the
+// descriptor of any seed. Seeds with unknown or local descriptors
+// contribute nothing. Output order is deterministic: classes appear in
+// first-seed order, accesses within a class in module order.
+func (am *Map) Explore(seeds []*ir.Instr) []*ir.Instr {
+	seen := make(map[Loc]bool)
+	var out []*ir.Instr
+	for _, s := range seeds {
+		loc := am.Loc(s)
+		if !loc.Shared() {
+			continue
+		}
+		rt := am.uf.Find(loc)
+		if seen[rt] {
+			continue
+		}
+		seen[rt] = true
+		out = append(out, am.classes[rt]...)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package alias
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// UnionFind is the concurrent equivalence relation over location
+// descriptors that closes sticky-buddy exploration under "same cell,
+// different descriptor" representations (nested-struct suffix paths,
+// composed getelementptr chains, trailing array steps). Nodes are
+// interned in lock-striped shards (the mc/shardmap.go pattern); the
+// union/find operations themselves are lock-free, using CAS on parent
+// pointers with path halving.
+//
+// The winner of every union is the lexicographically smaller Loc
+// (LocKind, then Name), so the canonical representative of a class —
+// and therefore everything derived from it — is independent of both
+// operation order and worker count. That order-independence is what
+// lets the pipeline build the relation from many goroutines and still
+// guarantee byte-identical ported output for every -j
+// (docs/PIPELINE.md).
+type UnionFind struct {
+	shards []ufShard
+	shift  uint
+	// nolock skips the interning mutexes when a single goroutine owns
+	// the structure (BuildMap with one worker pays no synchronization).
+	nolock bool
+	// merges counts the unions that actually joined two classes.
+	merges atomic.Int64
+}
+
+type ufShard struct {
+	mu sync.Mutex
+	m  map[Loc]*ufNode
+	// Pad past a cache line so neighbouring shard locks do not
+	// false-share.
+	_ [40]byte
+}
+
+type ufNode struct {
+	loc Loc
+	// parent is nil for a class root.
+	parent atomic.Pointer[ufNode]
+}
+
+// ufShardsPerWorker oversizes the shard count relative to the worker
+// count so concurrent interning rarely contends (see mc/shardmap.go).
+const ufShardsPerWorker = 8
+
+// NewUnionFind returns a union-find sized for the given worker count.
+func NewUnionFind(workers int) *UnionFind {
+	if workers < 1 {
+		workers = 1
+	}
+	n := 1
+	for n < workers*ufShardsPerWorker {
+		n <<= 1
+	}
+	u := &UnionFind{
+		shards: make([]ufShard, n),
+		shift:  uint(64 - bits.TrailingZeros(uint(n))),
+		nolock: workers <= 1,
+	}
+	for i := range u.shards {
+		u.shards[i].m = make(map[Loc]*ufNode)
+	}
+	return u
+}
+
+// hashLoc mixes a location descriptor into a well-distributed 64-bit
+// hash (FNV-1a over kind and name, splitmix64 finalizer so the high
+// bits used for shard selection are uniform).
+func hashLoc(l Loc) uint64 {
+	h := uint64(1469598103934665603)
+	h ^= uint64(l.Kind)
+	h *= 1099511628211
+	for i := 0; i < len(l.Name); i++ {
+		h ^= uint64(l.Name[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// intern returns the node for loc, creating it if needed.
+func (u *UnionFind) intern(loc Loc) *ufNode {
+	sh := &u.shards[hashLoc(loc)>>u.shift]
+	if u.nolock {
+		n := sh.m[loc]
+		if n == nil {
+			n = &ufNode{loc: loc}
+			sh.m[loc] = n
+		}
+		return n
+	}
+	sh.mu.Lock()
+	n := sh.m[loc]
+	if n == nil {
+		n = &ufNode{loc: loc}
+		sh.m[loc] = n
+	}
+	sh.mu.Unlock()
+	return n
+}
+
+// lookup returns the node for loc, or nil.
+func (u *UnionFind) lookup(loc Loc) *ufNode {
+	sh := &u.shards[hashLoc(loc)>>u.shift]
+	if u.nolock {
+		return sh.m[loc]
+	}
+	sh.mu.Lock()
+	n := sh.m[loc]
+	sh.mu.Unlock()
+	return n
+}
+
+// root chases parent pointers to the class root, halving the path with
+// CAS as it goes. Safe under concurrent unions: parents only ever move
+// closer to a root.
+func root(n *ufNode) *ufNode {
+	for {
+		p := n.parent.Load()
+		if p == nil {
+			return n
+		}
+		if gp := p.parent.Load(); gp != nil {
+			n.parent.CompareAndSwap(p, gp)
+		}
+		n = p
+	}
+}
+
+// locLess is the deterministic total order that picks union winners.
+func locLess(a, b Loc) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Name < b.Name
+}
+
+// Add ensures loc is present as (at least) a singleton class.
+func (u *UnionFind) Add(loc Loc) { u.intern(loc) }
+
+// Union joins the classes of a and b, reporting whether they were
+// previously distinct. The class keeps the lexicographically smaller
+// root regardless of argument or interleaving order.
+func (u *UnionFind) Union(a, b Loc) bool {
+	na, nb := u.intern(a), u.intern(b)
+	for {
+		ra, rb := root(na), root(nb)
+		if ra == rb {
+			return false
+		}
+		if locLess(rb.loc, ra.loc) {
+			ra, rb = rb, ra
+		}
+		if rb.parent.CompareAndSwap(nil, ra) {
+			u.merges.Add(1)
+			return true
+		}
+		// rb gained a parent concurrently; retry from the new roots.
+	}
+}
+
+// Find returns the canonical representative of loc's class: the
+// lexicographically smallest member. Descriptors never interned are
+// their own class.
+func (u *UnionFind) Find(loc Loc) Loc {
+	n := u.lookup(loc)
+	if n == nil {
+		return loc
+	}
+	return root(n).loc
+}
+
+// Merges returns the number of unions that joined two distinct classes.
+func (u *UnionFind) Merges() int64 { return u.merges.Load() }

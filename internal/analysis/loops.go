@@ -69,7 +69,13 @@ func collectLoopBody(l *Loop, tail *ir.Block, preds map[*ir.Block][]*ir.Block) {
 }
 
 func findExitBranches(l *Loop) {
-	for b := range l.Blocks {
+	// Walk the function's block list rather than the membership set so the
+	// branch order (and everything downstream: control order, seed order,
+	// ported output) is deterministic.
+	for _, b := range l.Header.Fn.Blocks {
+		if !l.Blocks[b] {
+			continue
+		}
 		t := b.Terminator()
 		if t == nil || t.Op != ir.OpBr || t.Else == nil {
 			continue

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sort"
+
 	"repro/internal/alias"
 	"repro/internal/ir"
 )
@@ -101,9 +103,14 @@ func classifyLoop(f *ir.Func, loop *Loop, inf *Influence) *SpinloopInfo {
 	// other threads' writes and need no transformation here; alias
 	// exploration still reaches their locations.)
 	info := &SpinloopInfo{Fn: f, Loop: loop}
-	seenLoc := make(map[alias.Loc]bool)
 	for in := range union.NonLocalReads {
 		info.Controls = append(info.Controls, in)
+	}
+	// The slice union is a set; order the controls by instruction ID so
+	// marking, seeding, and the ported output are deterministic.
+	sort.Slice(info.Controls, func(i, j int) bool { return info.Controls[i].ID < info.Controls[j].ID })
+	seenLoc := make(map[alias.Loc]bool)
+	for _, in := range info.Controls {
 		loc := alias.LocOf(in.Addr())
 		if loc.Shared() && !seenLoc[loc] {
 			seenLoc[loc] = true
@@ -124,7 +131,10 @@ func detectOptimistic(f *ir.Func, info *SpinloopInfo, inf *Influence, controlLoc
 		controlSet[c] = true
 	}
 	var candidates []*ir.Instr
-	for b := range info.Loop.Blocks {
+	for _, b := range f.Blocks {
+		if !info.Loop.Blocks[b] {
+			continue
+		}
 		for _, in := range b.Instrs {
 			if !in.Reads() || controlSet[in] {
 				continue

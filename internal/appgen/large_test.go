@@ -1,0 +1,62 @@
+package appgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+// TestGenerateLargeDeterministic pins GenerateLarge: identical specs
+// yield identical source AND identical ground truth; a different seed
+// changes the source (the pipeline-scaling benchmark and the
+// promotion-contract tests both depend on this).
+func TestGenerateLargeDeterministic(t *testing.T) {
+	spec := LargeSpec("det", 6000, 9)
+	srcA, gtA := GenerateLarge(spec)
+	srcB, gtB := GenerateLarge(spec)
+	if srcA != srcB {
+		t.Fatal("GenerateLarge is not deterministic")
+	}
+	if len(gtA.Promoted) != len(gtB.Promoted) || len(gtA.Fenced) != len(gtB.Fenced) {
+		t.Fatal("ground truth differs between identical specs")
+	}
+	for i := range gtA.Promoted {
+		if gtA.Promoted[i] != gtB.Promoted[i] {
+			t.Fatalf("Promoted[%d] differs: %s vs %s", i, gtA.Promoted[i], gtB.Promoted[i])
+		}
+	}
+	other := spec
+	other.Seed = 10
+	if srcC, _ := GenerateLarge(other); srcC == srcA {
+		t.Fatal("different seeds produced identical source")
+	}
+}
+
+// TestLargeSpecSizing checks that the derived spec actually produces a
+// module of roughly the requested size, that it compiles, and that the
+// ground truth is non-degenerate (every site kind planted).
+func TestLargeSpecSizing(t *testing.T) {
+	for _, sloc := range []int{5_000, 20_000} {
+		spec := LargeSpec("sizing", sloc, 3)
+		src, gt := GenerateLarge(spec)
+		lines := strings.Count(src, "\n")
+		if lines < sloc {
+			t.Errorf("sloc %d: generated %d lines, want >= %d", sloc, lines, sloc)
+		}
+		if lines > sloc*3 {
+			t.Errorf("sloc %d: generated %d lines, more than 3x the request", sloc, lines)
+		}
+		if len(gt.Promoted) == 0 || len(gt.Fenced) == 0 {
+			t.Errorf("sloc %d: degenerate ground truth (%d promoted, %d fenced)",
+				sloc, len(gt.Promoted), len(gt.Fenced))
+		}
+		if spec.SpinSites == 0 || spec.StructSpinSites == 0 || spec.NestedSpinSites == 0 ||
+			spec.SeqlockSites == 0 || spec.VolatileVars == 0 || spec.AtomicVars == 0 {
+			t.Errorf("sloc %d: spec leaves a site kind empty: %+v", sloc, spec)
+		}
+		if _, err := minic.Compile(spec.Name+".c", src); err != nil {
+			t.Errorf("sloc %d: generated source does not compile: %v", sloc, err)
+		}
+	}
+}

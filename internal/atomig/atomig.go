@@ -78,6 +78,11 @@ type Options struct {
 	// "pipeline" trace track and publishes the Report tallies as
 	// pipeline.* registry metrics (docs/OBSERVABILITY.md).
 	Obs *obs.Provider
+	// Workers sets the pipeline fan-out: per-function detection, the
+	// alias-map build, and the fence pass run on this many goroutines
+	// (0 or 1 means sequential). The ported module is byte-identical for
+	// every value — see docs/PIPELINE.md for the determinism contract.
+	Workers int
 }
 
 // AliasStrategy selects the sticky-buddy mechanism.
@@ -103,6 +108,9 @@ func DefaultOptions() Options {
 type Report struct {
 	Module string
 	Level  Level
+	// Workers is the fan-out the port ran with (always >= 1). It never
+	// influences the ported module, only the wall-clock Duration.
+	Workers int
 
 	// Detection counts.
 	Spinloops        int
@@ -117,8 +125,9 @@ type Report struct {
 
 	// Transformation results.
 	SpinControlsMarked int
-	OptControlsMarked  int // optimistic-loop controls marked
-	BuddiesExplored    int // sticky-buddy candidates alias exploration reached
+	OptControlsMarked  int   // optimistic-loop controls marked
+	BuddiesExplored    int   // sticky-buddy candidates alias exploration reached
+	AliasMerges        int64 // descriptor classes the union-find joined
 	StickyMarked       int
 	ImplicitAdded      int // accesses newly made SC-atomic
 	ExplicitAdded      int // fences inserted
@@ -144,14 +153,19 @@ type Report struct {
 func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 	defer diag.Guard("atomig.Port", &err)
 	start := time.Now()
-	rep = &Report{Module: m.Name, Level: opts.Level}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	rep = &Report{Module: m.Name, Level: opts.Level, Workers: workers}
 	rep.ExplicitBefore, rep.ImplicitBefore = transform.CountBarriers(m)
 
 	// Every phase gets a span on the shared "pipeline" track, and the
 	// report tallies land in the registry when the port finishes — both
 	// no-ops without a provider.
 	trk := opts.Obs.Track("pipeline")
-	ps := trk.Begin("pipeline.port").Arg("module", m.Name).Arg("level", opts.Level.String())
+	ps := trk.Begin("pipeline.port").Arg("module", m.Name).
+		Arg("level", opts.Level.String()).Arg("workers", workers)
 	defer func() {
 		ps.End()
 		if err == nil {
@@ -160,92 +174,103 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 	}()
 
 	sp := trk.Begin("pipeline.analysis")
+	// Inlining stays sequential: clones of one callee body land in many
+	// callers, so concurrent inlining would race on the callee.
 	if opts.Inline {
 		rep.FunctionsInlined = analysis.Inline(m, opts.InlineOptions)
 	}
 
-	// Phase 1: explicit annotations (paper section 3.2).
-	implicitAdded := 0
-	est := transform.UpgradeExplicitAnnotations(m)
-	rep.VolatileConverted = est.VolatileConverted
-	rep.AtomicUpgraded = est.AtomicUpgraded
-	implicitAdded += est.VolatileConverted // upgrades were already atomic
+	// Phases 1+2, detection (paper sections 3.2–3.3): workers claim
+	// functions from a shared cursor and fill a per-function result slot.
+	// Each worker mutates only the function it holds (the explicit
+	// upgrades); everything cross-function — marking, counting, seed
+	// collection — happens in the in-order merge below, so the results
+	// are identical for every worker count.
+	det := make([]funcDetect, len(m.Funcs))
+	forEachFunc(workers, m.Funcs, func(fi int, f *ir.Func) {
+		d := &det[fi]
+		d.expl = transform.UpgradeExplicitAnnotationsFunc(f)
+		if opts.Level >= LevelSpin {
+			d.spin = analysis.DetectSpinloops(f)
+			if opts.DetectPolling {
+				d.polling = analysis.DetectPollingLoops(f)
+			}
+		}
+		if opts.BarrierSeeds {
+			d.barrier = analysis.CompilerBarrierSeeds(f)
+		}
+		// Accesses that are already atomic (pre-existing or just upgraded)
+		// seed exploration too: "any atomic operations already found in
+		// the program invariably indicate the presence of concurrent
+		// accesses".
+		f.Instrs(func(in *ir.Instr) {
+			if in.IsMemAccess() && in.Ord.Atomic() {
+				d.atomics = append(d.atomics, in)
+			}
+		})
+	})
 
-	// Phase 2: implicit synchronization patterns (paper section 3.3).
+	implicitAdded := 0
 	var seeds []*ir.Instr
 	optLocs := make(map[alias.Loc]bool)
 	var optLoops []*analysis.SpinloopInfo
-	if opts.Level >= LevelSpin {
-		for _, f := range m.Funcs {
-			infos := analysis.DetectSpinloops(f)
-			for _, info := range infos {
-				rep.Spinloops++
-				for _, ctl := range info.Controls {
-					ctl.SetMark(ir.MarkSpinControl)
-					if transform.MakeAccessSC(ctl, ir.MarkSpinControl) {
-						implicitAdded++
-					}
-					rep.SpinControlsMarked++
-					seeds = append(seeds, ctl)
-				}
-				if opts.Level >= LevelFull && info.Optimistic {
-					rep.Optiloops++
-					optLoops = append(optLoops, info)
-					for _, loc := range info.ControlLocs {
-						optLocs[loc] = true
-					}
-					for _, ctl := range info.Controls {
-						ctl.SetMark(ir.MarkOptControl)
-						rep.OptControlsMarked++
-					}
-				}
-			}
-		}
-	}
-
-	// Extension: polling loops with wait hints (paper section 6).
-	if opts.DetectPolling && opts.Level >= LevelSpin {
-		for _, f := range m.Funcs {
-			for _, info := range analysis.DetectPollingLoops(f) {
-				rep.PollingLoops++
-				for _, ctl := range info.Controls {
-					ctl.SetMark(ir.MarkSpinControl)
-					if transform.MakeAccessSC(ctl, ir.MarkSpinControl) {
-						implicitAdded++
-					}
-					seeds = append(seeds, ctl)
-				}
-			}
-		}
-	}
-
-	// Extension: compiler-barrier-adjacent accesses as seeds.
-	if opts.BarrierSeeds {
-		for _, f := range m.Funcs {
-			for _, in := range analysis.CompilerBarrierSeeds(f) {
-				rep.BarrierSeeded++
-				in.SetMark(ir.MarkFromAsm)
-				if transform.MakeAccessSC(in, ir.MarkFromAsm) {
+	for fi := range det {
+		d := &det[fi]
+		rep.VolatileConverted += d.expl.VolatileConverted
+		rep.AtomicUpgraded += d.expl.AtomicUpgraded
+		implicitAdded += d.expl.VolatileConverted // upgrades were already atomic
+		for _, info := range d.spin {
+			rep.Spinloops++
+			for _, ctl := range info.Controls {
+				ctl.SetMark(ir.MarkSpinControl)
+				if transform.MakeAccessSC(ctl, ir.MarkSpinControl) {
 					implicitAdded++
 				}
-				seeds = append(seeds, in)
+				rep.SpinControlsMarked++
+				seeds = append(seeds, ctl)
+			}
+			if opts.Level >= LevelFull && info.Optimistic {
+				rep.Optiloops++
+				optLoops = append(optLoops, info)
+				for _, loc := range info.ControlLocs {
+					optLocs[loc] = true
+				}
+				for _, ctl := range info.Controls {
+					ctl.SetMark(ir.MarkOptControl)
+					rep.OptControlsMarked++
+				}
 			}
 		}
-	}
-
-	// Every access that is already atomic (pre-existing or upgraded) is
-	// also a seed: "any atomic operations already found in the program
-	// invariably indicate the presence of concurrent accesses".
-	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
-		if in.IsMemAccess() && in.Ord.Atomic() {
+		// Extension: polling loops with wait hints (paper section 6).
+		for _, info := range d.polling {
+			rep.PollingLoops++
+			for _, ctl := range info.Controls {
+				ctl.SetMark(ir.MarkSpinControl)
+				if transform.MakeAccessSC(ctl, ir.MarkSpinControl) {
+					implicitAdded++
+				}
+				seeds = append(seeds, ctl)
+			}
+		}
+		// Extension: compiler-barrier-adjacent accesses as seeds.
+		for _, in := range d.barrier {
+			rep.BarrierSeeded++
+			in.SetMark(ir.MarkFromAsm)
+			if transform.MakeAccessSC(in, ir.MarkFromAsm) {
+				implicitAdded++
+			}
 			seeds = append(seeds, in)
 		}
-	})
+		seeds = append(seeds, d.atomics...)
+	}
 	sp.Arg("seeds", len(seeds)).End()
 
 	// Phase 3: alias exploration (paper section 3.4) — sticky buddies.
+	// The map build is the sharded concurrent worklist; exploration and
+	// marking are deterministic-order consumers of its frozen classes.
 	sp = trk.Begin("pipeline.alias")
-	am := alias.BuildMap(m)
+	am := alias.BuildMapParallel(m, workers)
+	rep.AliasMerges = am.Merges()
 	if !opts.SkipAlias {
 		var buddies []*ir.Instr
 		if opts.AliasStrategy == AliasPointsTo {
@@ -265,53 +290,37 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 			}
 		}
 	}
-	sp.Arg("buddies", rep.BuddiesExplored).End()
+	sp.Arg("buddies", rep.BuddiesExplored).Arg("merges", rep.AliasMerges).End()
 
 	// Phase 4: explicit barriers for optimistic controls. Reads of an
 	// optimistic-control location inside its optimistic loop get a fence
 	// before them; stores to optimistic-control locations get a fence
 	// after them module-wide (the store side of the seqlock protocol can
-	// be anywhere).
+	// be anywhere). Fence IDs come from each function's own counter, so
+	// the pass fans out per function without losing determinism.
 	sp = trk.Begin("pipeline.transform")
 	fences := 0
 	if opts.Level >= LevelFull && len(optLocs) > 0 {
-		// Collect anchors first: inserting fences mutates the block
-		// instruction lists being traversed.
-		fenced := make(map[*ir.Instr]bool)
-		var fenceBefore, fenceAfter []*ir.Instr
+		// Key both location sets by canonical representative so every
+		// descriptor spelling of a control cell matches.
+		canonOpt := make(map[alias.Loc]bool, len(optLocs))
+		for loc := range optLocs {
+			canonOpt[am.Canon(loc)] = true
+		}
+		byFn := make(map[*ir.Func][]optLoopCtl)
 		for _, info := range optLoops {
-			ctlLocs := make(map[alias.Loc]bool, len(info.ControlLocs))
+			ctl := make(map[alias.Loc]bool, len(info.ControlLocs))
 			for _, loc := range info.ControlLocs {
-				ctlLocs[loc] = true
+				ctl[am.Canon(loc)] = true
 			}
-			for b := range info.Loop.Blocks {
-				for _, in := range b.Instrs {
-					if !in.Reads() || fenced[in] {
-						continue
-					}
-					if ctlLocs[am.Loc(in)] {
-						fenced[in] = true
-						fenceBefore = append(fenceBefore, in)
-					}
-				}
-			}
+			byFn[info.Fn] = append(byFn[info.Fn], optLoopCtl{loop: info.Loop, ctl: ctl})
 		}
-		m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
-			if !in.Writes() || fenced[in] {
-				return
-			}
-			if optLocs[am.Loc(in)] {
-				fenced[in] = true
-				fenceAfter = append(fenceAfter, in)
-			}
+		fenceCount := make([]int, len(m.Funcs))
+		forEachFunc(workers, m.Funcs, func(fi int, f *ir.Func) {
+			fenceCount[fi] = insertOptFences(f, byFn[f], canonOpt, am)
 		})
-		for _, in := range fenceBefore {
-			transform.InsertFenceBefore(in)
-			fences++
-		}
-		for _, in := range fenceAfter {
-			transform.InsertFenceAfter(in)
-			fences++
+		for _, n := range fenceCount {
+			fences += n
 		}
 	}
 

@@ -21,6 +21,7 @@ func publishReport(p *obs.Provider, rep *Report) {
 	p.Counter("pipeline.spin_controls_marked").Add(int64(rep.SpinControlsMarked))
 	p.Counter("pipeline.opt_controls_marked").Add(int64(rep.OptControlsMarked))
 	p.Counter("pipeline.buddies_explored").Add(int64(rep.BuddiesExplored))
+	p.Counter("pipeline.alias_classes_merged").Add(rep.AliasMerges)
 	p.Counter("pipeline.sticky_marked").Add(int64(rep.StickyMarked))
 	p.Counter("pipeline.accesses_transformed").Add(int64(rep.ImplicitAdded))
 	p.Counter("pipeline.fences_inserted").Add(int64(rep.ExplicitAdded))

@@ -1,0 +1,181 @@
+package atomig
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/appgen"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// compileLarge generates and compiles one spec.
+func compileLarge(t *testing.T, spec appgen.ModuleSpec) (*ir.Module, appgen.GroundTruth) {
+	t.Helper()
+	src, gt := appgen.GenerateLarge(spec)
+	res, err := minic.Compile(spec.Name+".c", src)
+	if err != nil {
+		t.Fatalf("compile %s: %v", spec.Name, err)
+	}
+	return res.Module, gt
+}
+
+// groundTruthSpecs is the shape grid for the promotion-contract test:
+// every site kind alone, pairwise mixes, and full mixes at several
+// sizes and seeds (>= 10 shapes, per the acceptance criteria).
+func groundTruthSpecs() []appgen.ModuleSpec {
+	return []appgen.ModuleSpec{
+		{Name: "spin-only", Seed: 1, SpinSites: 6, DataGlobals: 4, FillerFuncs: 8},
+		{Name: "struct-only", Seed: 2, StructSpinSites: 5, StructKinds: 2, DataGlobals: 4, FillerFuncs: 8},
+		{Name: "nested-only", Seed: 3, NestedSpinSites: 4, DataGlobals: 4, FillerFuncs: 8},
+		{Name: "seqlock-only", Seed: 4, SeqlockSites: 5, DataGlobals: 4, FillerFuncs: 8},
+		{Name: "explicit-only", Seed: 5, VolatileVars: 4, AtomicVars: 4, DataGlobals: 4, FillerFuncs: 8},
+		{Name: "spin-seqlock", Seed: 6, SpinSites: 4, SeqlockSites: 4, DataGlobals: 6, FillerFuncs: 12},
+		{Name: "struct-nested", Seed: 7, StructSpinSites: 6, StructKinds: 3, NestedSpinSites: 3, DataGlobals: 6, FillerFuncs: 12},
+		{Name: "spin-explicit", Seed: 8, SpinSites: 5, VolatileVars: 3, AtomicVars: 2, DataGlobals: 6, FillerFuncs: 12},
+		{Name: "mix-small", Seed: 9, SpinSites: 3, StructSpinSites: 2, StructKinds: 1,
+			NestedSpinSites: 2, SeqlockSites: 2, VolatileVars: 2, AtomicVars: 2, DataGlobals: 8, FillerFuncs: 16},
+		{Name: "mix-medium", Seed: 10, SpinSites: 8, StructSpinSites: 6, StructKinds: 4,
+			NestedSpinSites: 4, SeqlockSites: 6, VolatileVars: 4, AtomicVars: 4, DataGlobals: 12, FillerFuncs: 40},
+		{Name: "mix-reseeded", Seed: 77, SpinSites: 8, StructSpinSites: 6, StructKinds: 4,
+			NestedSpinSites: 4, SeqlockSites: 6, VolatileVars: 4, AtomicVars: 4, DataGlobals: 12, FillerFuncs: 40},
+		appgen.LargeSpec("derived-8k", 8000, 11),
+	}
+}
+
+// TestGroundTruthPromotions checks the pipeline against the generator's
+// promotion contract on every shape: the set of canonical locations
+// with seq_cst accesses after the port equals GroundTruth.Promoted
+// exactly — nothing missing, nothing extra — and every location in
+// GroundTruth.Fenced gained at least one inserted fence adjacent to one
+// of its accesses.
+func TestGroundTruthPromotions(t *testing.T) {
+	for _, spec := range groundTruthSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m, gt := compileLarge(t, spec)
+			if _, err := Port(m, DefaultOptions()); err != nil {
+				t.Fatalf("port: %v", err)
+			}
+			am := alias.BuildMap(m)
+			want := make(map[alias.Loc]bool, len(gt.Promoted))
+			for _, l := range gt.Promoted {
+				want[am.Canon(l)] = true
+			}
+			got := make(map[alias.Loc]bool)
+			m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+				if in.IsMemAccess() && in.Ord == ir.SeqCst {
+					got[am.Canon(am.Loc(in))] = true
+				}
+			})
+			for l := range want {
+				if !got[l] {
+					t.Errorf("location %s should be promoted but has no seq_cst access", l)
+				}
+			}
+			for l := range got {
+				if !want[l] {
+					t.Errorf("location %s promoted but not in the ground truth", l)
+				}
+			}
+			checkFenced(t, m, am, gt)
+		})
+	}
+}
+
+// checkFenced verifies the fence side of the contract: each Fenced
+// location has an inserted fence adjacent to one of its accesses, and
+// every inserted fence sits next to an access of some Fenced location.
+func checkFenced(t *testing.T, m *ir.Module, am *alias.Map, gt appgen.GroundTruth) {
+	t.Helper()
+	fencedLocs := make(map[alias.Loc]bool, len(gt.Fenced))
+	for _, l := range gt.Fenced {
+		fencedLocs[am.Canon(l)] = true
+	}
+	seen := make(map[alias.Loc]bool)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i, in := range b.Instrs {
+				if in.Op != ir.OpFence || !in.HasMark(ir.MarkInsertedFence) {
+					continue
+				}
+				ok := false
+				for _, adj := range []int{i - 1, i + 1} {
+					if adj < 0 || adj >= len(b.Instrs) {
+						continue
+					}
+					n := b.Instrs[adj]
+					if !n.IsMemAccess() {
+						continue
+					}
+					loc := am.Canon(am.Loc(n))
+					if fencedLocs[loc] {
+						seen[loc] = true
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("inserted fence in %s not adjacent to any ground-truth fenced access", f.Name)
+				}
+			}
+		}
+	}
+	for l := range fencedLocs {
+		if !seen[l] {
+			t.Errorf("location %s should be fenced but no inserted fence is adjacent to it", l)
+		}
+	}
+}
+
+// TestPortIdempotent checks port(port(p)) == port(p): re-porting a
+// ported module changes nothing, byte for byte.
+func TestPortIdempotent(t *testing.T) {
+	for _, spec := range groundTruthSpecs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m, _ := compileLarge(t, spec)
+			if _, err := Port(m, DefaultOptions()); err != nil {
+				t.Fatalf("first port: %v", err)
+			}
+			once := m.String()
+			rep, err := Port(m, DefaultOptions())
+			if err != nil {
+				t.Fatalf("second port: %v", err)
+			}
+			if twice := m.String(); twice != once {
+				t.Errorf("port is not idempotent: output changed on re-port")
+			}
+			if rep.ExplicitAdded != 0 {
+				t.Errorf("re-port inserted %d fences, want 0", rep.ExplicitAdded)
+			}
+		})
+	}
+}
+
+// TestPortDeterministicAcrossWorkers ports clones of one module at
+// every worker count and requires byte-identical output — the
+// determinism contract of docs/PIPELINE.md.
+func TestPortDeterministicAcrossWorkers(t *testing.T) {
+	spec := appgen.LargeSpec("det", 12000, 42)
+	base, _ := compileLarge(t, spec)
+	var ref string
+	for _, j := range []int{1, 2, 4, 8} {
+		opts := DefaultOptions()
+		opts.Workers = j
+		ported, _, err := PortClone(base, opts)
+		if err != nil {
+			t.Fatalf("port -j %d: %v", j, err)
+		}
+		out := ported.String()
+		if j == 1 {
+			ref = out
+			continue
+		}
+		if out != ref {
+			t.Fatalf("ported output differs between -j 1 and -j %d", j)
+		}
+	}
+	if ref == "" {
+		t.Fatal("no reference output")
+	}
+}

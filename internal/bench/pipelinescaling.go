@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/appgen"
+	"repro/internal/atomig"
+	"repro/internal/minic"
+	"repro/internal/obs"
+)
+
+// PipelineScalingRow is one (module, worker-count) measurement of the
+// porting pipeline. Speedup is wall-clock relative to the first worker
+// count in the sweep (canonically 1); OutputHash is the SHA-256 of the
+// ported module text, which must be identical for every worker count.
+type PipelineScalingRow struct {
+	Module      string  `json:"module"`
+	SLOC        int     `json:"sloc"`
+	Funcs       int     `json:"funcs"`
+	Workers     int     `json:"workers"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	LinesPerSec float64 `json:"lines_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	Spinloops   int     `json:"spinloops"`
+	Optiloops   int     `json:"optiloops"`
+	StickyMark  int     `json:"sticky_marked"`
+	Fences      int     `json:"fences"`
+	AliasMerges int64   `json:"alias_merges"`
+	OutputHash  string  `json:"output_hash"`
+}
+
+// DefaultPipelineScalingSLOC is the generated-module size the scaling
+// claim is measured on (>= 100k lines, acceptance criteria).
+const DefaultPipelineScalingSLOC = 100_000
+
+// DefaultPipelineScalingWorkers is the worker sweep (1 first: it is
+// the speedup baseline).
+func DefaultPipelineScalingWorkers() []int { return []int{1, 2, 4, 8} }
+
+// PipelineScaling generates one large module (appgen.LargeSpec), then
+// ports a fresh clone of it at every worker count, reporting throughput
+// and speedup. It fails if the ported output is not byte-identical
+// across worker counts — the determinism contract of docs/PIPELINE.md.
+// A non-nil provider accumulates pipeline.* metrics and phase spans
+// (atomig-bench -exp pipeline-scaling -metrics/-trace).
+func PipelineScaling(sloc int, seed int64, workerCounts []int, prov *obs.Provider) ([]PipelineScalingRow, error) {
+	if sloc <= 0 {
+		sloc = DefaultPipelineScalingSLOC
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultPipelineScalingWorkers()
+	}
+	spec := appgen.LargeSpec("pipeline-scaling", sloc, seed)
+	src, _ := appgen.GenerateLarge(spec)
+	lines := strings.Count(src, "\n")
+	res, err := minic.Compile(spec.Name+".c", src)
+	if err != nil {
+		return nil, fmt.Errorf("bench: generate %d-line module: %w", sloc, err)
+	}
+	base := res.Module
+
+	var rows []PipelineScalingRow
+	var baseline time.Duration
+	var baseHash string
+	for i, j := range workerCounts {
+		opts := atomig.DefaultOptions()
+		opts.Workers = j
+		opts.Obs = prov
+		ported, rep, err := atomig.PortClone(base, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: port -j %d: %w", j, err)
+		}
+		sum := sha256.Sum256([]byte(ported.String()))
+		hash := hex.EncodeToString(sum[:8])
+		if i == 0 {
+			baseline, baseHash = rep.Duration, hash
+		} else if hash != baseHash {
+			return nil, fmt.Errorf("bench: ported output drift between -j %d and -j %d (hash %s vs %s)",
+				workerCounts[0], j, baseHash, hash)
+		}
+		row := PipelineScalingRow{
+			Module:      spec.Name,
+			SLOC:        lines,
+			Funcs:       len(base.Funcs),
+			Workers:     j,
+			ElapsedMS:   float64(rep.Duration) / float64(time.Millisecond),
+			Spinloops:   rep.Spinloops,
+			Optiloops:   rep.Optiloops,
+			StickyMark:  rep.StickyMarked,
+			Fences:      rep.ExplicitAdded,
+			AliasMerges: rep.AliasMerges,
+			OutputHash:  hash,
+		}
+		if rep.Duration > 0 {
+			row.LinesPerSec = float64(lines) / rep.Duration.Seconds()
+			row.Speedup = float64(baseline) / float64(rep.Duration)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPipelineScaling renders the sweep.
+func FormatPipelineScaling(rows []PipelineScalingRow) string {
+	var b strings.Builder
+	b.WriteString("Pipeline scaling (parallel detection, sharded alias worklist, per-function fences)\n")
+	fmt.Fprintf(&b, "%-18s %8s %6s %3s %12s %12s %8s %6s %6s %8s %s\n",
+		"module", "sloc", "funcs", "j", "elapsed", "lines/sec", "speedup", "spins", "fences", "merges", "output")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %8d %6d %3d %11.1fms %12.0f %7.2fx %6d %6d %8d %s\n",
+			r.Module, r.SLOC, r.Funcs, r.Workers, r.ElapsedMS, r.LinesPerSec,
+			r.Speedup, r.Spinloops, r.Fences, r.AliasMerges, r.OutputHash)
+	}
+	return b.String()
+}
+
+// GenerateLargeSource writes the pipeline-scaling module's MiniC source
+// (used by `make pipeline-smoke` to port the same module through the
+// atomig CLI at several worker counts).
+func GenerateLargeSource(sloc int, seed int64) string {
+	src, _ := appgen.GenerateLarge(appgen.LargeSpec("pipeline-scaling", sloc, seed))
+	return src
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/atomig"
+	"repro/internal/minic"
+)
+
+// TestPipelineScalingNoDrift is the determinism gate for the parallel
+// pipeline: porting the generated module at 1, 2 and 8 workers must
+// produce byte-identical output (PipelineScaling errors out on any hash
+// drift). A smaller module than the headline run keeps this inside the
+// regular test budget.
+func TestPipelineScalingNoDrift(t *testing.T) {
+	rows, err := PipelineScaling(12_000, 7, []int{1, 2, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.OutputHash != rows[0].OutputHash {
+			t.Errorf("-j %d output hash %s differs from baseline %s", r.Workers, r.OutputHash, rows[0].OutputHash)
+		}
+		if r.Spinloops == 0 || r.Optiloops == 0 || r.Fences == 0 {
+			t.Errorf("-j %d: degenerate module (spins %d, optiloops %d, fences %d)",
+				r.Workers, r.Spinloops, r.Optiloops, r.Fences)
+		}
+	}
+}
+
+// TestPipelineScalingSpeedup asserts the acceptance criterion — at
+// least 2.5x wall-clock speedup at -j 8 over -j 1 on a >= 100k-line
+// module — on machines that can actually run 8 workers in parallel. On
+// smaller hosts the determinism half of the claim is still covered by
+// TestPipelineScalingNoDrift.
+func TestPipelineScalingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 8 {
+		t.Skipf("GOMAXPROCS=%d; the 8-worker speedup claim needs 8 CPUs", p)
+	}
+	rows, err := PipelineScaling(DefaultPipelineScalingSLOC, 7, []int{1, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base, par float64
+	for _, r := range rows {
+		if r.SLOC < 100_000 {
+			t.Fatalf("generated module is %d lines, want >= 100k", r.SLOC)
+		}
+		switch r.Workers {
+		case 1:
+			base = r.ElapsedMS
+		case 8:
+			par = r.ElapsedMS
+		}
+	}
+	if par <= 0 {
+		t.Fatal("no 8-worker measurement")
+	}
+	if speedup := base / par; speedup < 2.5 {
+		t.Errorf("pipeline speedup at -j 8 is %.2fx, want >= 2.5x (1-worker %.1fms, 8-worker %.1fms)",
+			speedup, base, par)
+	}
+}
+
+// BenchmarkPipelinePort times one full port of a mid-sized generated
+// module per iteration, one sub-benchmark per worker count — the `go
+// test -bench` view of `atomig-bench -exp pipeline-scaling`.
+func BenchmarkPipelinePort(b *testing.B) {
+	src := GenerateLargeSource(30_000, 7)
+	res, err := minic.Compile("bench.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := atomig.DefaultOptions()
+				opts.Workers = j
+				if _, _, err := atomig.PortClone(res.Module, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package corpus
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atomig"
+	"repro/internal/ir"
+	"repro/internal/mc"
+	"repro/internal/memmodel"
+	"repro/internal/vm"
+)
+
+// conformanceCase pins the model-checker verdict of one litmus program
+// under WMM before and after porting. The cases where porting does NOT
+// repair the program are as load-bearing as the ones where it does:
+// plain litmus shapes with no synchronization pattern (SB, IRIW) are
+// the paper's documented detection boundary, and a port that suddenly
+// "fixed" them would mean the pipeline started promoting accesses it
+// has no business touching.
+type conformanceCase struct {
+	program string
+	// detectRaces turns on the happens-before detector; the expected
+	// verdicts then use VerdictRace rather than assertion violations.
+	detectRaces bool
+	// stopAtFirst cuts exploration at the first violation — used for
+	// programs whose full state space is too large to enumerate but
+	// whose expected violation is found quickly.
+	stopAtFirst   bool
+	before, after mc.Verdict
+	note          string
+}
+
+func conformanceCases() []conformanceCase {
+	return []conformanceCase{
+		{program: "mp", before: mc.VerdictFail, after: mc.VerdictPass,
+			note: "spin on flag detected; msg promoted via sticky exploration"},
+		{program: "sb", before: mc.VerdictFail, after: mc.VerdictFail,
+			note: "no synchronization pattern: out of AtoMig's scope by design"},
+		{program: "lb", before: mc.VerdictPass, after: mc.VerdictPass,
+			note: "the model forbids load buffering even unported"},
+		{program: "iriw", detectRaces: true, stopAtFirst: true,
+			before: mc.VerdictRace, after: mc.VerdictRace,
+			note: "plain IRIW reads: nothing to detect, races remain"},
+		{program: "corr", before: mc.VerdictPass, after: mc.VerdictPass,
+			note: "per-location coherence holds under WMM already"},
+		{program: "seqlock", before: mc.VerdictFail, after: mc.VerdictPass,
+			note: "optimistic loop detected: seq promoted + fenced"},
+		{program: "seqlock-gap", detectRaces: true,
+			before: mc.VerdictRace, after: mc.VerdictPass,
+			note: "Figure 6 gap variant: only the race detector sees the bug"},
+	}
+}
+
+// checkConformance runs one mc check at the given worker count.
+func checkConformance(t *testing.T, m *mcModule, c conformanceCase, workers int) mc.Verdict {
+	t.Helper()
+	res, err := mc.Check(m.mod, mc.Options{
+		Model:       memmodel.ModelWMM,
+		Entries:     m.entries,
+		TimeBudget:  time.Minute,
+		Workers:     workers,
+		DetectRaces: c.detectRaces,
+		StopAtFirst: c.stopAtFirst,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", c.program, err)
+	}
+	return res.Verdict
+}
+
+type mcModule struct {
+	mod     *ir.Module
+	entries []string
+}
+
+// TestLitmusConformance asserts the expected verdict for every litmus
+// case, before and after porting, at -j 1 and -j 4 — both the port
+// itself (pipeline workers) and the checker (frontier workers) must
+// leave the verdict untouched.
+func TestLitmusConformance(t *testing.T) {
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.program, func(t *testing.T) {
+			p := Get(c.program)
+			if p == nil {
+				t.Fatalf("program %q not in corpus", c.program)
+			}
+			orig, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pipelineJ := range []int{1, 4} {
+				opts := atomig.DefaultOptions()
+				opts.Workers = pipelineJ
+				ported, _, err := atomig.PortClone(orig, opts)
+				if err != nil {
+					t.Fatalf("port -j %d: %v", pipelineJ, err)
+				}
+				for _, checkerJ := range []int{1, 4} {
+					got := checkConformance(t, &mcModule{orig, p.MCEntries}, c, checkerJ)
+					if got != c.before {
+						t.Errorf("before port (pipeline -j %d, checker -j %d): verdict %s, want %s (%s)",
+							pipelineJ, checkerJ, got, c.before, c.note)
+					}
+					got = checkConformance(t, &mcModule{ported, p.MCEntries}, c, checkerJ)
+					if got != c.after {
+						t.Errorf("after port (pipeline -j %d, checker -j %d): verdict %s, want %s (%s)",
+							pipelineJ, checkerJ, got, c.after, c.note)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLitmusConformanceSchedModes runs every conformance program's
+// ported module under each fault-injection scheduler mode. For cases
+// the port repairs (after == VerdictPass), no seed in any mode may
+// fail an assertion; unrepaired cases are skipped — their violations
+// are schedule-dependent by nature.
+func TestLitmusConformanceSchedModes(t *testing.T) {
+	for _, c := range conformanceCases() {
+		if c.after != mc.VerdictPass {
+			continue
+		}
+		c := c
+		t.Run(c.program, func(t *testing.T) {
+			p := Get(c.program)
+			orig, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ported, _, err := atomig.PortClone(orig, atomig.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range vm.AllSchedModes() {
+				for seed := int64(0); seed < 20; seed++ {
+					res, err := vm.Run(ported, vm.Options{
+						Model:      memmodel.ModelWMM,
+						Entries:    p.MCEntries,
+						Controller: vm.NewScheduler(mode, seed),
+						Seed:       seed,
+					})
+					if err != nil {
+						t.Fatalf("mode %s seed %d: %v", mode, seed, err)
+					}
+					if res.Status == vm.StatusAssertFailed {
+						t.Fatalf("mode %s seed %d: ported %s failed: %s",
+							mode, seed, c.program, res.FailMsg)
+					}
+				}
+			}
+		})
+	}
+}

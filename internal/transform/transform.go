@@ -75,7 +75,20 @@ type ExplicitStats struct {
 // builtins/fences by the frontend.
 func UpgradeExplicitAnnotations(m *ir.Module) ExplicitStats {
 	var st ExplicitStats
-	m.EachInstr(func(_ *ir.Func, in *ir.Instr) {
+	for _, f := range m.Funcs {
+		fst := UpgradeExplicitAnnotationsFunc(f)
+		st.VolatileConverted += fst.VolatileConverted
+		st.AtomicUpgraded += fst.AtomicUpgraded
+	}
+	return st
+}
+
+// UpgradeExplicitAnnotationsFunc is the per-function unit of the
+// explicit-annotation pass. It touches only instructions of f, so the
+// pipeline may run it on distinct functions concurrently.
+func UpgradeExplicitAnnotationsFunc(f *ir.Func) ExplicitStats {
+	var st ExplicitStats
+	f.Instrs(func(in *ir.Instr) {
 		if !in.IsMemAccess() {
 			return
 		}
