@@ -5,11 +5,15 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline pipeline-smoke obs-smoke clean
+.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline pipeline-smoke obs-smoke serve-smoke clean
 
 # Module size for the pipeline byte-identical-output smoke. Big enough
 # to exercise the parallel fan-out, small enough for `make check`.
 PIPELINE_SMOKE_SLOC ?= 20000
+
+# Module size for the daemon smoke (cold port, one-function edit,
+# warm re-port — all byte-compared against the CLI).
+SERVE_SMOKE_SLOC ?= 8000
 
 
 
@@ -29,7 +33,7 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race bench-mc-smoke obs-smoke pipeline-smoke
+check: build vet test test-race bench-mc-smoke obs-smoke pipeline-smoke serve-smoke
 
 # Model-checker scaling sweep (docs/MODEL-CHECKER.md): exhaustive
 # exploration of the litmus+seqlock corpus at 1..8 workers, appending
@@ -54,6 +58,15 @@ pipeline-smoke:
 	bin/atomig -j 1 -o bin/pipeline-smoke-j1.air bin/pipeline-smoke.c
 	bin/atomig -j 8 -o bin/pipeline-smoke-j8.air bin/pipeline-smoke.c
 	cmp bin/pipeline-smoke-j1.air bin/pipeline-smoke-j8.air
+
+# End-to-end smoke of the incremental porting daemon (docs/SERVE.md):
+# drive `atomig -serve` through load → port → one-function edit →
+# re-port over the JSON protocol, byte-comparing both ports against
+# the CLI and requiring the re-port to re-analyze exactly one
+# function. Built binaries, not `go run`, so exit codes survive intact.
+serve-smoke:
+	$(GO) build -o bin/ ./cmd/atomig ./cmd/atomig-bench
+	sh scripts/serve-smoke.sh bin/atomig bin/atomig-bench bin $(SERVE_SMOKE_SLOC)
 
 # One-iteration smoke of the same sweep so `make check` notices a
 # broken or drifting parallel engine without paying for a full

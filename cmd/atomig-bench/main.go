@@ -152,10 +152,11 @@ func main() {
 			fmt.Print(bench.FormatMCScaling(rows))
 			if *jsonOut != "" {
 				if err := appendJSON(*jsonOut, map[string]any{
-					"experiment": "mc-scaling",
-					"when":       time.Now().UTC().Format(time.RFC3339),
-					"gomaxprocs": runtime.GOMAXPROCS(0),
-					"rows":       rows,
+					"experiment":        "mc-scaling",
+					"when":              time.Now().UTC().Format(time.RFC3339),
+					"gomaxprocs_pinned": bench.SweepProcs(nil),
+					"num_cpu":           runtime.NumCPU(),
+					"rows":              rows,
 				}); err != nil {
 					return err
 				}
@@ -170,10 +171,11 @@ func main() {
 			fmt.Print(bench.FormatPipelineScaling(rows))
 			if *jsonOut != "" {
 				if err := appendJSON(*jsonOut, map[string]any{
-					"experiment": "pipeline-scaling",
-					"when":       time.Now().UTC().Format(time.RFC3339),
-					"gomaxprocs": runtime.GOMAXPROCS(0),
-					"rows":       rows,
+					"experiment":        "pipeline-scaling",
+					"when":              time.Now().UTC().Format(time.RFC3339),
+					"gomaxprocs_pinned": bench.SweepProcs(nil),
+					"num_cpu":           runtime.NumCPU(),
+					"rows":              rows,
 				}); err != nil {
 					return err
 				}

@@ -23,11 +23,16 @@
 //	-entries a,b            thread entry functions for -explain-races on
 //	                        file inputs (corpus programs use their
 //	                        model-checking harness)
+//	-serve                  run the incremental porting daemon on
+//	                        stdin/stdout (docs/SERVE.md); -socket adds
+//	                        a Unix socket listener, -queue bounds
+//	                        admission, -deadline/-grace bound requests
 //
 // Exit codes: 0 success, 2 usage or internal error (malformed input,
-// port failure). Exit code 1 is reserved for tools that report analysis
-// verdicts (atomig-run, atomig-mc); -explain-races is diagnostic output,
-// not a verdict, and exits 0 whether or not races were found.
+// port failure, -serve startup failure). Exit code 1 is reserved for
+// tools that report analysis verdicts (atomig-run, atomig-mc);
+// -explain-races is diagnostic output, not a verdict, and exits 0
+// whether or not races were found.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/atomig"
 	"repro/internal/corpus"
@@ -44,14 +50,15 @@ import (
 	"repro/internal/minic"
 	"repro/internal/obs"
 	"repro/internal/race"
+	"repro/internal/serve"
 	"repro/internal/transform"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("atomig", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	level := fs.String("level", "full", "pipeline level: expl, spin, or full")
@@ -69,8 +76,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 1, "pipeline worker count (output is byte-identical for every value)")
 	metricsPath := fs.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
+	serveMode := fs.Bool("serve", false, "run the incremental porting daemon on stdin/stdout (docs/SERVE.md)")
+	socket := fs.String("socket", "", "with -serve: also listen on this Unix socket path")
+	queue := fs.Int("queue", 8, "with -serve: admission queue depth (requests beyond it are shed)")
+	deadline := fs.Duration("deadline", 30*time.Second, "with -serve: per-request deadline")
+	grace := fs.Duration("grace", 2*time.Second, "with -serve: watchdog grace past the deadline")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *serveMode {
+		return runServe(stdin, stdout, stderr, fs.Args(), serveConfig{
+			socket: *socket, queue: *queue, deadline: *deadline, grace: *grace,
+			jobs: *jobs, metricsPath: *metricsPath, tracePath: *tracePath,
+		})
 	}
 
 	if *list {
@@ -231,4 +250,73 @@ func printReport(w io.Writer, rep *atomig.Report) {
 func fail(stderr io.Writer, err error) int {
 	fmt.Fprintln(stderr, "atomig:", err)
 	return 2
+}
+
+// serveConfig carries the -serve flag group.
+type serveConfig struct {
+	socket      string
+	queue       int
+	deadline    time.Duration
+	grace       time.Duration
+	jobs        int
+	metricsPath string
+	tracePath   string
+}
+
+// runServe runs the incremental porting daemon: the JSON protocol on
+// stdin/stdout, plus an optional Unix socket. Startup failures
+// (invalid flags, un-bindable socket, stray positional arguments) exit
+// 2 before any request is served; a clean drain exits 0.
+func runServe(stdin io.Reader, stdout, stderr io.Writer, args []string, cfg serveConfig) int {
+	if len(args) != 0 {
+		return fail(stderr, fmt.Errorf("-serve takes no positional arguments (got %q); load modules via the protocol", args))
+	}
+	if cfg.queue <= 0 {
+		return fail(stderr, fmt.Errorf("-serve: -queue must be positive, got %d", cfg.queue))
+	}
+	if cfg.deadline <= 0 || cfg.grace <= 0 {
+		return fail(stderr, fmt.Errorf("-serve: -deadline and -grace must be positive"))
+	}
+	prov := obs.NewCLI(cfg.metricsPath, cfg.tracePath, false)
+	srv := serve.New(serve.Options{
+		QueueDepth: cfg.queue,
+		Deadline:   cfg.deadline,
+		Grace:      cfg.grace,
+		Workers:    cfg.jobs,
+		Obs:        prov,
+	})
+
+	listenErr := make(chan error, 1)
+	if cfg.socket != "" {
+		l, err := serve.ListenUnix(cfg.socket)
+		if err != nil {
+			return fail(stderr, fmt.Errorf("-serve: %w", err))
+		}
+		go func() { listenErr <- srv.ServeListener(l) }()
+	}
+
+	// The stdio connection drives the daemon's lifetime: EOF or a
+	// shutdown op drains and exits.
+	err := srv.ServeConn(stdioConn{stdin, stdout})
+	srv.Shutdown()
+	srv.Drain()
+	if cfg.socket != "" {
+		if lerr := <-listenErr; lerr != nil && err == nil {
+			err = lerr
+		}
+		os.Remove(cfg.socket)
+	}
+	if ferr := prov.Flush(cfg.metricsPath, cfg.tracePath); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	return 0
+}
+
+// stdioConn glues stdin/stdout into the io.ReadWriter ServeConn wants.
+type stdioConn struct {
+	io.Reader
+	io.Writer
 }

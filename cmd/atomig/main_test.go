@@ -10,8 +10,13 @@ import (
 
 func runCLI(t *testing.T, args ...string) (int, string, string) {
 	t.Helper()
+	return runCLIStdin(t, "", args...)
+}
+
+func runCLIStdin(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
 	var stdout, stderr bytes.Buffer
-	code := run(args, &stdout, &stderr)
+	code := run(args, strings.NewReader(stdin), &stdout, &stderr)
 	return code, stdout.String(), stderr.String()
 }
 
@@ -113,5 +118,61 @@ void reader(void) { while (flag == 0) { } int m = msg; msg = m; }
 	code, _, stderr := runCLI(t, "-explain-races", path)
 	if code != 2 || !strings.Contains(stderr, "entries") {
 		t.Errorf("missing entries: exit %d stderr %q, want usage error", code, stderr)
+	}
+}
+
+// -serve startup failures must exit 2 with a structured error before
+// any request is served — the same contract as malformed port inputs.
+func TestServeStartupFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional arg", []string{"-serve", "leftover.c"}, "no positional arguments"},
+		{"zero queue", []string{"-serve", "-queue", "0"}, "-queue must be positive"},
+		{"negative deadline", []string{"-serve", "-deadline", "-1s"}, "must be positive"},
+		{"zero grace", []string{"-serve", "-grace", "0s"}, "must be positive"},
+		{"unbindable socket", []string{"-serve", "-socket", filepath.Join(t.TempDir(), "no", "such", "dir.sock")}, "serve"},
+	}
+	for _, tc := range cases {
+		code, _, stderr := runCLIStdin(t, "", tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, stderr)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%s: stderr %q lacks %q", tc.name, stderr, tc.want)
+		}
+		if strings.Contains(stderr, "goroutine") {
+			t.Errorf("%s: stderr looks like a panic:\n%s", tc.name, stderr)
+		}
+	}
+}
+
+// A -serve session driven to a clean drain — by the shutdown op or by
+// stdin EOF — exits 0 with well-formed protocol output. Requests on
+// one connection execute concurrently, so this script only pipelines
+// load before shutdown (which drains in-flight work before replying);
+// order-dependent sequences like load-then-port must wait for each
+// response (docs/SERVE.md), which scripts/serve-smoke.sh exercises.
+func TestServeCleanDrain(t *testing.T) {
+	stdin := `{"id":"a","op":"load","name":"t.c","source":"int x; void f(void) { x = 1; }"}` + "\n" +
+		`{"id":"c","op":"shutdown"}` + "\n"
+	code, stdout, stderr := runCLIStdin(t, stdin, "-serve")
+	if code != 0 {
+		t.Fatalf("shutdown drain: exit %d, want 0\nstderr: %s", code, stderr)
+	}
+	for _, id := range []string{`"id":"a"`, `"id":"c"`} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("stdout lacks a response for %s:\n%s", id, stdout)
+		}
+	}
+	if strings.Contains(stdout, `"ok":false`) {
+		t.Errorf("unexpected error response:\n%s", stdout)
+	}
+
+	code, _, stderr = runCLIStdin(t, `{"id":"only","op":"stats"}`+"\n", "-serve")
+	if code != 0 {
+		t.Errorf("EOF drain: exit %d, want 0\nstderr: %s", code, stderr)
 	}
 }

@@ -13,7 +13,9 @@
 package alias
 
 import (
+	"fmt"
 	"math/bits"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -68,6 +70,47 @@ func BuildMap(m *ir.Module) *Map { return BuildMapParallel(m, 1) }
 // and the order of every access list — is identical for every worker
 // count.
 func BuildMapParallel(m *ir.Module, workers int) *Map {
+	return BuildMapFromAccesses(m, workers, nil)
+}
+
+// Access is one memory access's contribution to the alias map: the
+// access instruction, its 1-based position in the function's
+// block-order instruction walk, and the descriptors of its address
+// (Reprs). PrepareFunc computes contributions per function; a cached
+// slice replayed onto an instruction-identical function instance feeds
+// BuildMapFromAccesses exactly as a fresh scan would.
+type Access struct {
+	In      *ir.Instr
+	Pos     int
+	Primary Loc
+	Extras  []Loc
+}
+
+// PrepareFunc computes one function's alias contributions: every
+// memory access, in block order, with its descriptors. The position
+// counter advances over every instruction (not just accesses), so a
+// contribution can be re-anchored positionally on another instance of
+// the same function.
+func PrepareFunc(f *ir.Func) []Access {
+	var out []Access
+	pos := 0
+	f.Instrs(func(in *ir.Instr) {
+		pos++
+		if !in.IsMemAccess() {
+			return
+		}
+		primary, extras := Reprs(in.Addr())
+		out = append(out, Access{In: in, Pos: pos, Primary: primary, Extras: extras})
+	})
+	return out
+}
+
+// BuildMapFromAccesses builds the alias map from per-function access
+// contributions supplied by get (fi is the function's index in
+// m.Funcs). A nil get scans each function in place (PrepareFunc). The
+// resulting map is identical for every worker count and identical to a
+// direct BuildMapParallel of the same module.
+func BuildMapFromAccesses(m *ir.Module, workers int, get func(fi int, f *ir.Func) []Access) *Map {
 	if workers < 1 {
 		workers = 1
 	}
@@ -91,14 +134,24 @@ func BuildMapParallel(m *ir.Module, workers int) *Map {
 	for i := range am.instrLocs {
 		am.instrLocs[i].m = make(map[*ir.Instr]Loc)
 	}
-	forEachFuncIndexed(workers, m.Funcs, am.indexFunc)
+	forEachFuncIndexed(workers, m.Funcs, func(fi int, f *ir.Func) {
+		var accs []Access
+		if get != nil {
+			accs = get(fi, f)
+		} else {
+			accs = PrepareFunc(f)
+		}
+		am.indexAccesses(fi, accs)
+	})
 	am.freeze()
 	return am
 }
 
 // forEachFuncIndexed fans fn out over the functions: workers claim
 // indices from a shared cursor so a few huge functions do not stall
-// the pool.
+// the pool. A panic in fn is captured on the worker, the pool drains,
+// and the first panic is re-raised on the calling goroutine — never on
+// a pool goroutine, where it would be unrecoverable for the caller.
 func forEachFuncIndexed(workers int, fns []*ir.Func, fn func(fi int, f *ir.Func)) {
 	if workers <= 1 || len(fns) <= 1 {
 		for i, f := range fns {
@@ -108,11 +161,22 @@ func forEachFuncIndexed(workers int, fns []*ir.Func, fn func(fi int, f *ir.Func)
 	}
 	var cursor atomicCursor
 	var wg sync.WaitGroup
+	var failed atomic.Bool
+	var first atomic.Pointer[poolPanic]
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					failed.Store(true)
+					first.CompareAndSwap(nil, &poolPanic{val: r, stack: debug.Stack()})
+				}
+			}()
 			for {
+				if failed.Load() {
+					return
+				}
 				i := cursor.next()
 				if i >= len(fns) {
 					return
@@ -122,27 +186,35 @@ func forEachFuncIndexed(workers int, fns []*ir.Func, fn func(fi int, f *ir.Func)
 		}()
 	}
 	wg.Wait()
+	if p := first.Load(); p != nil {
+		panic(p)
+	}
 }
 
-// indexFunc indexes one function's memory accesses.
-func (am *Map) indexFunc(fi int, f *ir.Func) {
-	pos := 0
-	f.Instrs(func(in *ir.Instr) {
-		pos++
-		if !in.IsMemAccess() {
-			return
+// poolPanic carries a worker panic (with the worker's stack) to the
+// goroutine that owns the pool.
+type poolPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p *poolPanic) String() string {
+	return fmt.Sprintf("worker panic: %v\n%s", p.val, p.stack)
+}
+
+// indexAccesses records one function's prepared contributions.
+func (am *Map) indexAccesses(fi int, accs []Access) {
+	for _, a := range accs {
+		am.setLoc(a.In, a.Primary)
+		if !a.Primary.Shared() {
+			continue
 		}
-		primary, extras := Reprs(in.Addr())
-		am.setLoc(in, primary)
-		if !primary.Shared() {
-			return
+		am.append(a.Primary, accessRec{in: a.In, seq: uint64(fi)<<32 | uint64(a.Pos)})
+		am.uf.Add(a.Primary)
+		for _, e := range a.Extras {
+			am.uf.Union(a.Primary, e)
 		}
-		am.append(primary, accessRec{in: in, seq: uint64(fi)<<32 | uint64(pos)})
-		am.uf.Add(primary)
-		for _, e := range extras {
-			am.uf.Union(primary, e)
-		}
-	})
+	}
 }
 
 func (am *Map) setLoc(in *ir.Instr, loc Loc) {

@@ -7,7 +7,9 @@
 package atomig
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alias"
@@ -83,6 +85,24 @@ type Options struct {
 	// (0 or 1 means sequential). The ported module is byte-identical for
 	// every value — see docs/PIPELINE.md for the determinism contract.
 	Workers int
+	// Context, when non-nil, cancels the port early: workers stop
+	// claiming functions and Port returns the context's error. The
+	// module is left partially transformed — callers that may cancel
+	// should port a clone (PortClone), as the serving daemon does.
+	Context context.Context
+	// Detect, when non-nil, caches per-function detection verdicts
+	// content-addressed by function-body hash (FuncKey), so re-porting a
+	// module after a small edit re-analyzes only the changed functions.
+	// The ported output is byte-identical with or without a cache; see
+	// incremental.go and docs/SERVE.md.
+	Detect DetectCache
+	// FuncHashes optionally supplies precomputed FuncKey values aligned
+	// with m.Funcs, sparing the per-port hashing cost for callers that
+	// own a stable module (the daemon recomputes them once per delta).
+	// Entries must equal FuncKey(CacheSalt(m, opts), f) for the function
+	// at the same index; empty strings (and a wrong-length slice) fall
+	// back to hashing in place. Ignored without Detect.
+	FuncHashes []string
 }
 
 // AliasStrategy selects the sticky-buddy mechanism.
@@ -101,6 +121,18 @@ const (
 // DefaultOptions returns the full pipeline configuration.
 func DefaultOptions() Options {
 	return Options{Level: LevelFull, Inline: true, InlineOptions: analysis.DefaultInlineOptions()}
+}
+
+// ctxErr reports the cancellation state of the port's context, wrapped
+// so callers can tell a canceled port from a pipeline failure.
+func (o Options) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	if err := o.Context.Err(); err != nil {
+		return fmt.Errorf("atomig: port canceled: %w", err)
+	}
+	return nil
 }
 
 // Report summarizes a porting run; its counters correspond to the
@@ -140,6 +172,11 @@ type Report struct {
 	OptFolded  int
 	OptHoisted int
 	OptRemoved int
+
+	// Detection-cache statistics (when Options.Detect is set): functions
+	// whose analyses were replayed from the cache vs. re-analyzed.
+	CacheHits   int
+	CacheMisses int
 
 	// Duration is the wall-clock time of the port (Table 3's build-time
 	// comparison measures this against plain compilation).
@@ -185,30 +222,47 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 	// Each worker mutates only the function it holds (the explicit
 	// upgrades); everything cross-function — marking, counting, seed
 	// collection — happens in the in-order merge below, so the results
-	// are identical for every worker count.
+	// are identical for every worker count. A DetectCache replays the
+	// expensive analyses for unchanged function bodies (incremental.go);
+	// the alias contributions each function prepares here feed the
+	// phase-3 map build. Accesses that are already atomic (pre-existing
+	// or just upgraded) seed exploration too: "any atomic operations
+	// already found in the program invariably indicate the presence of
+	// concurrent accesses".
+	var salt string
+	if opts.Detect != nil {
+		salt = CacheSalt(m, opts)
+	}
+	hashes := opts.FuncHashes
+	if len(hashes) != len(m.Funcs) {
+		hashes = nil
+	}
 	det := make([]funcDetect, len(m.Funcs))
-	forEachFunc(workers, m.Funcs, func(fi int, f *ir.Func) {
-		d := &det[fi]
-		d.expl = transform.UpgradeExplicitAnnotationsFunc(f)
-		if opts.Level >= LevelSpin {
-			d.spin = analysis.DetectSpinloops(f)
-			if opts.DetectPolling {
-				d.polling = analysis.DetectPollingLoops(f)
+	accs := make([][]alias.Access, len(m.Funcs))
+	var hits, misses atomic.Int64
+	forEachFunc(opts.Context, workers, m.Funcs, func(fi int, f *ir.Func) {
+		key := ""
+		if opts.Detect != nil {
+			if hashes != nil && hashes[fi] != "" {
+				key = hashes[fi]
+			} else {
+				key = FuncKey(salt, f)
 			}
 		}
-		if opts.BarrierSeeds {
-			d.barrier = analysis.CompilerBarrierSeeds(f)
-		}
-		// Accesses that are already atomic (pre-existing or just upgraded)
-		// seed exploration too: "any atomic operations already found in
-		// the program invariably indicate the presence of concurrent
-		// accesses".
-		f.Instrs(func(in *ir.Instr) {
-			if in.IsMemAccess() && in.Ord.Atomic() {
-				d.atomics = append(d.atomics, in)
+		d, a, hit := detectFunc(f, opts, key)
+		det[fi], accs[fi] = d, a
+		if opts.Detect != nil {
+			if hit {
+				hits.Add(1)
+			} else {
+				misses.Add(1)
 			}
-		})
+		}
 	})
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
+	rep.CacheHits, rep.CacheMisses = int(hits.Load()), int(misses.Load())
 
 	implicitAdded := 0
 	var seeds []*ir.Instr
@@ -269,7 +323,9 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 	// The map build is the sharded concurrent worklist; exploration and
 	// marking are deterministic-order consumers of its frozen classes.
 	sp = trk.Begin("pipeline.alias")
-	am := alias.BuildMapParallel(m, workers)
+	am := alias.BuildMapFromAccesses(m, workers, func(fi int, f *ir.Func) []alias.Access {
+		return accs[fi]
+	})
 	rep.AliasMerges = am.Merges()
 	if !opts.SkipAlias {
 		var buddies []*ir.Instr
@@ -316,9 +372,12 @@ func Port(m *ir.Module, opts Options) (rep *Report, err error) {
 			byFn[info.Fn] = append(byFn[info.Fn], optLoopCtl{loop: info.Loop, ctl: ctl})
 		}
 		fenceCount := make([]int, len(m.Funcs))
-		forEachFunc(workers, m.Funcs, func(fi int, f *ir.Func) {
+		forEachFunc(opts.Context, workers, m.Funcs, func(fi int, f *ir.Func) {
 			fenceCount[fi] = insertOptFences(f, byFn[f], canonOpt, am)
 		})
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		for _, n := range fenceCount {
 			fences += n
 		}

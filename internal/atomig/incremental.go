@@ -1,0 +1,440 @@
+// Incremental detection: per-function analysis verdicts content-addressed
+// by function-body hash. The whole detection phase — dominator trees,
+// natural-loop discovery, influence slices, alias descriptor computation
+// (alias.Reprs), barrier-seed and atomic-access collection, and the
+// explicit-annotation upgrade mutations — is a pure function of the
+// function body (plus the module's struct layouts, global annotations,
+// and the pipeline options, all folded into the cache-key salt), so a
+// long-lived service can cache its outcome and replay it onto a fresh
+// clone of the same function in a single walk. The upgrade mutations
+// replay through the same transform.MakeAccessSC calls the cold path
+// makes, and every ordinal is validated before anything mutates, so a
+// summary that does not fit falls back to full re-analysis and the
+// ported output is byte-identical either way (docs/SERVE.md covers the
+// invalidation rules).
+package atomig
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/alias"
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/transform"
+)
+
+// DetectCache is the seam a long-lived caller (internal/serve) plugs
+// into Options.Detect. Keys are FuncKey hashes; values are immutable
+// after Put. Implementations must be safe for concurrent use — the
+// detection phase calls Get/Put from every pipeline worker.
+type DetectCache interface {
+	Get(key string) (*FuncSummary, bool)
+	Put(key string, s *FuncSummary)
+}
+
+// MemCache is the reference DetectCache: a mutex-guarded map with a
+// wipe switch for poisoning recovery (a request that panicked mid-port
+// may have published summaries computed from corrupted state, so the
+// daemon clears the whole cache — correctness never depends on cache
+// contents, only speed does).
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string]*FuncSummary
+}
+
+// NewMemCache returns an empty cache.
+func NewMemCache() *MemCache {
+	return &MemCache{m: make(map[string]*FuncSummary)}
+}
+
+// Get implements DetectCache.
+func (c *MemCache) Get(key string) (*FuncSummary, bool) {
+	c.mu.RLock()
+	s, ok := c.m[key]
+	c.mu.RUnlock()
+	return s, ok
+}
+
+// Put implements DetectCache.
+func (c *MemCache) Put(key string, s *FuncSummary) {
+	c.mu.Lock()
+	c.m[key] = s
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached summaries.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return n
+}
+
+// Clear evicts every entry.
+func (c *MemCache) Clear() {
+	c.mu.Lock()
+	c.m = make(map[string]*FuncSummary)
+	c.mu.Unlock()
+}
+
+// CacheSalt fingerprints everything outside the function body that a
+// cached detection verdict depends on: the detection options, the
+// module's named struct layouts (alias.Reprs navigates struct fields, so
+// two textually identical functions analyze differently under different
+// layouts), and the globals' volatile/atomic annotations (the upgrade
+// mutations replayed from a summary must not leak across modules that
+// annotate the same global differently). Ports of modules sharing a
+// salt may share a DetectCache.
+func CacheSalt(m *ir.Module, opts Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "atomig.detect/v2|level=%d|polling=%t|barrier=%t\n",
+		opts.Level, opts.DetectPolling, opts.BarrierSeeds)
+	names := make([]string, 0, len(m.Structs))
+	for n := range m.Structs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		io.WriteString(h, m.Structs[n].Layout())
+		io.WriteString(h, "\n")
+	}
+	names = names[:0]
+	anns := make(map[string]string, len(m.Globals))
+	for _, g := range m.Globals {
+		if g.Volatile || g.Atomic {
+			names = append(names, g.GName)
+			anns[g.GName] = fmt.Sprintf("@%s|%t|%t\n", g.GName, g.Volatile, g.Atomic)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		io.WriteString(h, anns[n])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FuncKey is the detection-cache key of f under salt: a content hash of
+// the (un-ported) function body. Callers that own a stable module may
+// precompute keys once and pass them via Options.FuncHashes.
+func FuncKey(salt string, f *ir.Func) string {
+	h := sha256.New()
+	io.WriteString(h, salt)
+	io.WriteString(h, ir.FuncString(f))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FuncSummary is one function's cached detection verdict, encoded
+// positionally (instruction ordinals within the block-order walk, block
+// indices within f.Blocks) so it can be replayed onto any instruction-
+// identical instance of the function. It captures the complete
+// detection-phase result — loop analyses, alias contributions, barrier
+// seeds, pre-annotated atomics, and the explicit-annotation upgrades
+// (the phase's only mutations) — so a cache hit replays the whole
+// phase in a single walk.
+type FuncSummary struct {
+	spin     []loopSummary
+	polling  []loopSummary
+	accesses []accessSummary
+	upgrades []upgradeSummary
+	barriers []int32 // ordinals of compiler-barrier seed accesses
+	atomics  []int32 // ordinals of post-upgrade atomic accesses
+}
+
+// upgradeSummary position-encodes one explicit-annotation upgrade: the
+// mutation MakeAccessSC applies to the access at ordinal pos, either
+// from a volatile annotation or from a weaker atomic ordering.
+type upgradeSummary struct {
+	pos      int32
+	volatile bool
+}
+
+// loopSummary position-encodes one analysis.SpinloopInfo.
+type loopSummary struct {
+	controls    []int32
+	controlLocs []alias.Loc
+	optimistic  bool
+	header      int32
+	blocks      []int32
+}
+
+// accessSummary position-encodes one memory access's alias
+// contribution (alias.Access without the instruction pointer).
+type accessSummary struct {
+	pos     int32
+	primary alias.Loc
+	extras  []alias.Loc
+}
+
+// funcScan is the positional index of one function instance: the
+// block-order instruction array (ordinal -> instruction) and its
+// inverses. Only the cold path (summarize) needs the inverse maps; the
+// replay path works from the flat array alone.
+type funcScan struct {
+	instrs   []*ir.Instr
+	index    map[*ir.Instr]int
+	blockIdx map[*ir.Block]int
+}
+
+// flatInstrs returns f's instructions in block order — the positional
+// coordinate system every summary ordinal refers to.
+func flatInstrs(f *ir.Func) []*ir.Instr {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	out := make([]*ir.Instr, 0, n)
+	for _, b := range f.Blocks {
+		out = append(out, b.Instrs...)
+	}
+	return out
+}
+
+func newFuncScan(f *ir.Func) *funcScan {
+	sc := &funcScan{
+		instrs:   flatInstrs(f),
+		blockIdx: make(map[*ir.Block]int, len(f.Blocks)),
+	}
+	for bi, b := range f.Blocks {
+		sc.blockIdx[b] = bi
+	}
+	sc.index = make(map[*ir.Instr]int, len(sc.instrs))
+	for i, in := range sc.instrs {
+		sc.index[in] = i
+	}
+	return sc
+}
+
+// summarize encodes the complete detection result against the function
+// instance it was computed on. It runs after the upgrade pass, so the
+// upgraded accesses are identified by their marks.
+func summarize(f *ir.Func, d funcDetect, accs []alias.Access) *FuncSummary {
+	sc := newFuncScan(f)
+	s := &FuncSummary{
+		spin:    summarizeLoops(d.spin, sc),
+		polling: summarizeLoops(d.polling, sc),
+	}
+	for _, a := range accs {
+		s.accesses = append(s.accesses, accessSummary{
+			pos:     int32(a.Pos),
+			primary: a.Primary,
+			extras:  a.Extras,
+		})
+	}
+	for i, in := range sc.instrs {
+		switch {
+		case in.HasMark(ir.MarkFromVolatile):
+			s.upgrades = append(s.upgrades, upgradeSummary{pos: int32(i), volatile: true})
+		case in.HasMark(ir.MarkFromAtomic):
+			s.upgrades = append(s.upgrades, upgradeSummary{pos: int32(i)})
+		}
+	}
+	for _, in := range d.barrier {
+		s.barriers = append(s.barriers, int32(sc.index[in]))
+	}
+	for _, in := range d.atomics {
+		s.atomics = append(s.atomics, int32(sc.index[in]))
+	}
+	return s
+}
+
+func summarizeLoops(infos []*analysis.SpinloopInfo, sc *funcScan) []loopSummary {
+	out := make([]loopSummary, 0, len(infos))
+	for _, info := range infos {
+		ls := loopSummary{
+			controlLocs: append([]alias.Loc(nil), info.ControlLocs...),
+			optimistic:  info.Optimistic,
+			header:      -1,
+		}
+		for _, ctl := range info.Controls {
+			ls.controls = append(ls.controls, int32(sc.index[ctl]))
+		}
+		if info.Loop != nil {
+			if hi, ok := sc.blockIdx[info.Loop.Header]; ok {
+				ls.header = int32(hi)
+			}
+			for b := range info.Loop.Blocks {
+				ls.blocks = append(ls.blocks, int32(sc.blockIdx[b]))
+			}
+			sort.Slice(ls.blocks, func(i, j int) bool { return ls.blocks[i] < ls.blocks[j] })
+		}
+		out = append(out, ls)
+	}
+	return out
+}
+
+// replay materializes the complete detection result — including the
+// upgrade mutations — against a fresh instance of the same function.
+// Every ordinal is validated before anything is mutated, so a rejected
+// summary (hash collision, corrupted cache entry) leaves the function
+// untouched and ok false — the caller falls back to full re-analysis,
+// the safe degradation mode.
+func (s *FuncSummary) replay(f *ir.Func) (d funcDetect, accs []alias.Access, ok bool) {
+	instrs := flatInstrs(f)
+	if d.spin, ok = replayLoops(s.spin, f, instrs); !ok {
+		return funcDetect{}, nil, false
+	}
+	if d.polling, ok = replayLoops(s.polling, f, instrs); !ok {
+		return funcDetect{}, nil, false
+	}
+	// The i-th cached access must be the i-th memory access of the walk;
+	// the recorded position double-checks the pairing.
+	pos, ai := 0, 0
+	for _, in := range instrs {
+		pos++
+		if !in.IsMemAccess() {
+			continue
+		}
+		if ai >= len(s.accesses) || int(s.accesses[ai].pos) != pos {
+			return funcDetect{}, nil, false
+		}
+		a := s.accesses[ai]
+		accs = append(accs, alias.Access{In: in, Pos: pos, Primary: a.primary, Extras: a.extras})
+		ai++
+	}
+	if ai != len(s.accesses) {
+		return funcDetect{}, nil, false
+	}
+	// Validate the mutation and seed ordinals against the pre-upgrade
+	// instruction state. An atomics entry may name an access that only
+	// becomes atomic via an upgrade, so those are cross-checked against
+	// the upgrade list.
+	for _, u := range s.upgrades {
+		if int(u.pos) >= len(instrs) || !instrs[u.pos].IsMemAccess() {
+			return funcDetect{}, nil, false
+		}
+		in := instrs[u.pos]
+		if in.Ord == ir.SeqCst {
+			return funcDetect{}, nil, false
+		}
+		if u.volatile && !in.Volatile {
+			return funcDetect{}, nil, false
+		}
+		if !u.volatile && !in.Ord.Atomic() {
+			return funcDetect{}, nil, false
+		}
+	}
+	for _, ord := range s.barriers {
+		if int(ord) >= len(instrs) || !instrs[ord].IsMemAccess() {
+			return funcDetect{}, nil, false
+		}
+	}
+	for _, ord := range s.atomics {
+		if int(ord) >= len(instrs) || !instrs[ord].IsMemAccess() {
+			return funcDetect{}, nil, false
+		}
+		if !instrs[ord].Ord.Atomic() && !upgradedAt(s.upgrades, ord) {
+			return funcDetect{}, nil, false
+		}
+	}
+	// Everything fits; apply the mutations and resolve the seed lists.
+	for _, u := range s.upgrades {
+		if u.volatile {
+			transform.MakeAccessSC(instrs[u.pos], ir.MarkFromVolatile)
+			d.expl.VolatileConverted++
+		} else {
+			transform.MakeAccessSC(instrs[u.pos], ir.MarkFromAtomic)
+			d.expl.AtomicUpgraded++
+		}
+	}
+	if len(s.barriers) > 0 {
+		d.barrier = make([]*ir.Instr, len(s.barriers))
+		for i, ord := range s.barriers {
+			d.barrier[i] = instrs[ord]
+		}
+	}
+	if len(s.atomics) > 0 {
+		d.atomics = make([]*ir.Instr, len(s.atomics))
+		for i, ord := range s.atomics {
+			d.atomics[i] = instrs[ord]
+		}
+	}
+	return d, accs, true
+}
+
+// upgradedAt reports whether the upgrade list touches ordinal ord.
+func upgradedAt(ups []upgradeSummary, ord int32) bool {
+	for _, u := range ups {
+		if u.pos == ord {
+			return true
+		}
+	}
+	return false
+}
+
+func replayLoops(sums []loopSummary, f *ir.Func, instrs []*ir.Instr) ([]*analysis.SpinloopInfo, bool) {
+	if len(sums) == 0 {
+		return nil, true
+	}
+	out := make([]*analysis.SpinloopInfo, 0, len(sums))
+	for _, ls := range sums {
+		info := &analysis.SpinloopInfo{
+			Fn:          f,
+			Optimistic:  ls.optimistic,
+			ControlLocs: append([]alias.Loc(nil), ls.controlLocs...),
+		}
+		for _, ord := range ls.controls {
+			if int(ord) >= len(instrs) {
+				return nil, false
+			}
+			info.Controls = append(info.Controls, instrs[ord])
+		}
+		loop := &analysis.Loop{Blocks: make(map[*ir.Block]bool, len(ls.blocks))}
+		if ls.header >= 0 {
+			if int(ls.header) >= len(f.Blocks) {
+				return nil, false
+			}
+			loop.Header = f.Blocks[ls.header]
+		}
+		for _, bi := range ls.blocks {
+			if int(bi) >= len(f.Blocks) {
+				return nil, false
+			}
+			loop.Blocks[f.Blocks[bi]] = true
+		}
+		info.Loop = loop
+		out = append(out, info)
+	}
+	return out, true
+}
+
+// detectFunc is the per-function unit of the detection phase. A cache
+// hit replays the entire phase — analyses, seeds, and the upgrade
+// mutations — from the summary in one walk; a miss (or a summary that
+// fails validation) runs the real analyses and publishes a fresh
+// summary. Returns the function's result slot, its prepared alias
+// contributions, and whether the cache served the phase.
+func detectFunc(f *ir.Func, opts Options, key string) (d funcDetect, accs []alias.Access, hit bool) {
+	if opts.Detect != nil && key != "" {
+		if sum, found := opts.Detect.Get(key); found {
+			if d, accs, ok := sum.replay(f); ok {
+				return d, accs, true
+			}
+		}
+	}
+
+	d.expl = transform.UpgradeExplicitAnnotationsFunc(f)
+	if opts.Level >= LevelSpin {
+		d.spin = analysis.DetectSpinloops(f)
+		if opts.DetectPolling {
+			d.polling = analysis.DetectPollingLoops(f)
+		}
+	}
+	accs = alias.PrepareFunc(f)
+	if opts.BarrierSeeds {
+		d.barrier = analysis.CompilerBarrierSeeds(f)
+	}
+	f.Instrs(func(in *ir.Instr) {
+		if in.IsMemAccess() && in.Ord.Atomic() {
+			d.atomics = append(d.atomics, in)
+		}
+	})
+	if opts.Detect != nil && key != "" {
+		opts.Detect.Put(key, summarize(f, d, accs))
+	}
+	return d, accs, false
+}

@@ -6,6 +6,9 @@
 package atomig
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -24,26 +27,59 @@ type funcDetect struct {
 	atomics []*ir.Instr
 }
 
+// workerPanic carries a panic out of a pool goroutine to the goroutine
+// that owns the pool, preserving the worker's stack. The coordinator
+// re-panics with it so the caller's diag guard turns it into a
+// structured error on the right goroutine — an uncontained panic on a
+// pool goroutine would kill the whole process (fatal for the daemon).
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p *workerPanic) String() string {
+	return fmt.Sprintf("worker panic: %v\n%s", p.val, p.stack)
+}
+
 // forEachFunc fans fn out over the module's functions. Workers claim
 // indices from a shared cursor so a few huge functions do not stall the
-// pool; fn must touch only the function it was handed.
-func forEachFunc(workers int, fns []*ir.Func, fn func(fi int, f *ir.Func)) {
+// pool; fn must touch only the function it was handed. A non-nil ctx
+// makes workers stop claiming once it is canceled (the caller checks
+// ctx.Err() after the pool drains). Every worker goroutine exits before
+// forEachFunc returns — on completion, cancellation, and panic alike —
+// and the first panic is re-raised on the calling goroutine.
+func forEachFunc(ctx context.Context, workers int, fns []*ir.Func, fn func(fi int, f *ir.Func)) {
+	canceled := func() bool { return ctx != nil && ctx.Err() != nil }
 	if workers > len(fns) {
 		workers = len(fns)
 	}
 	if workers <= 1 {
 		for i, f := range fns {
+			if canceled() {
+				return
+			}
 			fn(i, f)
 		}
 		return
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	var failed atomic.Bool
+	var first atomic.Pointer[workerPanic]
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					failed.Store(true)
+					first.CompareAndSwap(nil, &workerPanic{val: r, stack: debug.Stack()})
+				}
+			}()
 			for {
+				if failed.Load() || canceled() {
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= len(fns) {
 					return
@@ -53,6 +89,9 @@ func forEachFunc(workers int, fns []*ir.Func, fn func(fi int, f *ir.Func)) {
 		}()
 	}
 	wg.Wait()
+	if p := first.Load(); p != nil {
+		panic(p)
+	}
 }
 
 // optLoopCtl pairs an optimistic loop with the canonical descriptors of

@@ -57,6 +57,7 @@ func MCScaling(programs []string, workerCounts []int, prov *obs.Provider) ([]MCS
 	if len(workerCounts) == 0 {
 		workerCounts = DefaultMCScalingWorkers()
 	}
+	defer pinProcs(workerCounts)()
 	var rows []MCScalingRow
 	for _, name := range programs {
 		p := corpus.Get(name)

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +42,34 @@ const DefaultPipelineScalingSLOC = 100_000
 // the speedup baseline).
 func DefaultPipelineScalingWorkers() []int { return []int{1, 2, 4, 8} }
 
+// SweepProcs reports the GOMAXPROCS value the scaling sweeps pin: at
+// least the widest worker count in the sweep, never below the ambient
+// setting. Without the pin, a sweep run where the runtime default
+// (NumCPU) is below max(-j) silently serializes the wider worker
+// counts onto too few Ps and reports scheduling overhead as if it were
+// parallel scaling — the recorded "-j 8 cliff" on a 1-CPU host was
+// exactly that (EXPERIMENTS.md). Recording the pin next to
+// runtime.NumCPU in the JSON envelope makes such runs identifiable.
+func SweepProcs(workerCounts []int) int {
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultPipelineScalingWorkers()
+	}
+	p := runtime.GOMAXPROCS(0)
+	for _, j := range workerCounts {
+		if j > p {
+			p = j
+		}
+	}
+	return p
+}
+
+// pinProcs pins GOMAXPROCS to SweepProcs for the duration of one sweep;
+// the returned func restores the previous value.
+func pinProcs(workerCounts []int) func() {
+	prev := runtime.GOMAXPROCS(SweepProcs(workerCounts))
+	return func() { runtime.GOMAXPROCS(prev) }
+}
+
 // PipelineScaling generates one large module (appgen.LargeSpec), then
 // ports a fresh clone of it at every worker count, reporting throughput
 // and speedup. It fails if the ported output is not byte-identical
@@ -54,6 +83,7 @@ func PipelineScaling(sloc int, seed int64, workerCounts []int, prov *obs.Provide
 	if len(workerCounts) == 0 {
 		workerCounts = DefaultPipelineScalingWorkers()
 	}
+	defer pinProcs(workerCounts)()
 	spec := appgen.LargeSpec("pipeline-scaling", sloc, seed)
 	src, _ := appgen.GenerateLarge(spec)
 	lines := strings.Count(src, "\n")

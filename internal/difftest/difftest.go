@@ -15,12 +15,14 @@ package difftest
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/atomig"
+	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 	"repro/internal/minic"
@@ -216,6 +218,18 @@ func gridRun(n, workers int, fn func(i int) error) error {
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	// A panic in fn is contained as that index's error (stack attached),
+	// not left to kill the process from a pool goroutine.
+	runIdx := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &diag.InternalError{
+					Stage: "difftest.grid", Value: r, Stack: string(debug.Stack()),
+				}
+			}
+		}()
+		return fn(i)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -225,7 +239,7 @@ func gridRun(n, workers int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = runIdx(i)
 			}
 		}()
 	}

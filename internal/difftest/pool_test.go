@@ -1,0 +1,54 @@
+package difftest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/leakcheck"
+)
+
+// TestGridRunPanicContained: a panic in one grid cell becomes that
+// cell's error — lowest index wins, pool drains, no process abort.
+func TestGridRunPanicContained(t *testing.T) {
+	leakcheck.Check(t)
+	err := gridRun(32, 4, func(i int) error {
+		if i == 5 {
+			panic("injected cell failure")
+		}
+		if i == 20 {
+			return errors.New("late error")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("gridRun swallowed the panic")
+	}
+	ie, ok := diag.AsInternal(err)
+	if !ok {
+		t.Fatalf("want diag.InternalError, got %T: %v", err, err)
+	}
+	if !strings.Contains(ie.Diagnostics(), "injected cell failure") {
+		t.Errorf("diagnostics lost the panic value: %s", ie.Error())
+	}
+}
+
+// TestGridRunLowestErrorWins: the reported error is the lowest failing
+// index, matching what a sequential loop would report.
+func TestGridRunLowestErrorWins(t *testing.T) {
+	leakcheck.Check(t)
+	want := errors.New("cell 3")
+	err := gridRun(16, 4, func(i int) error {
+		switch i {
+		case 3:
+			return want
+		case 9:
+			return errors.New("cell 9")
+		}
+		return nil
+	})
+	if err != want {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}

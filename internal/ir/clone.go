@@ -60,7 +60,13 @@ func cloneFuncBody(outMod *Module, src, dst *Func) {
 	for _, b := range src.Blocks {
 		blockMap[b] = dst.NewBlock(b.Name)
 	}
-	instrMap := make(map[*Instr]*Instr, src.NumInstrs())
+	// Instruction IDs are unique within a function (builder and parser
+	// both guarantee it), so the old->new mapping is an ID-indexed
+	// slice — clones are on the daemon's per-request hot path, and a
+	// map here costs more than the rest of the copy. instrMap is the
+	// fallback for out-of-range IDs only.
+	byID := make([]*Instr, src.nextID)
+	var instrMap map[*Instr]*Instr
 	paramMap := make(map[*Param]*Param, len(src.Params))
 	for i, p := range src.Params {
 		paramMap[p] = dst.Params[i]
@@ -76,17 +82,36 @@ func cloneFuncBody(outMod *Module, src, dst *Func) {
 		case *FuncRef:
 			return &FuncRef{Fn: outMod.Func(x.Fn.Name)}
 		case *Instr:
+			if x.ID >= 0 && x.ID < len(byID) && byID[x.ID] != nil {
+				return byID[x.ID]
+			}
 			return instrMap[x]
 		}
 		return v
 	}
+	// Instructions and their operand slices come out of two per-function
+	// arenas: a clone-heavy caller (the porting daemon clones a module
+	// per request) otherwise pays one allocation per instruction, and
+	// the resulting GC churn costs more than the copy itself.
+	nInstr, nArg := 0, 0
+	for _, b := range src.Blocks {
+		nInstr += len(b.Instrs)
+		for _, in := range b.Instrs {
+			nArg += len(in.Args)
+		}
+	}
+	arena := make([]Instr, nInstr)
+	argBuf := make([]Value, nArg)
 	// Two passes: create instruction shells first so forward references
 	// (uses of results defined later in block order, which cannot happen,
 	// but branch targets can) resolve; operands are filled in pass two.
+	k := 0
 	for _, b := range src.Blocks {
 		nb := blockMap[b]
 		for _, in := range b.Instrs {
-			ni := &Instr{
+			ni := &arena[k]
+			k++
+			*ni = Instr{
 				Op: in.Op, ID: in.ID, Blk: nb, Ty: in.Ty,
 				AllocElem: in.AllocElem, Ord: in.Ord, Volatile: in.Volatile,
 				BinKind: in.BinKind, Pred: in.Pred, RMW: in.RMW,
@@ -101,16 +126,25 @@ func cloneFuncBody(outMod *Module, src, dst *Func) {
 			if in.Else != nil {
 				ni.Else = blockMap[in.Else]
 			}
-			instrMap[in] = ni
+			if in.ID >= 0 && in.ID < len(byID) {
+				byID[in.ID] = ni
+			} else {
+				if instrMap == nil {
+					instrMap = make(map[*Instr]*Instr)
+				}
+				instrMap[in] = ni
+			}
 			nb.Instrs = append(nb.Instrs, ni)
 		}
 	}
+	off := 0
 	for _, b := range src.Blocks {
 		nb := blockMap[b]
 		for i, in := range b.Instrs {
 			ni := nb.Instrs[i]
 			if len(in.Args) > 0 {
-				ni.Args = make([]Value, len(in.Args))
+				ni.Args = argBuf[off : off+len(in.Args) : off+len(in.Args)]
+				off += len(in.Args)
 				for j, a := range in.Args {
 					ni.Args[j] = mapVal(a)
 				}

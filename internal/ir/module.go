@@ -180,28 +180,55 @@ func (m *Module) AddFunc(f *Func) error {
 // Func looks up a function by name.
 func (m *Module) Func(name string) *Func { return m.funcIdx[name] }
 
-// EachInstr calls fn for every instruction in the module.
-func (m *Module) EachInstr(fn func(*Func, *Instr)) {
-	for _, f := range m.Funcs {
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				fn(f, in)
+// ReplaceFunc installs a copy of src (a function owned by another
+// module, e.g. one parsed from a delta against a synthetic header) in
+// place of m's like-named function, remapping global and function
+// references into m by name. A function with a new name is appended.
+// This is the module-mutation primitive of the incremental porting
+// service: the daemon applies deltas to a clone and swaps it in only
+// when the whole batch verifies.
+func (m *Module) ReplaceFunc(src *Func) error {
+	nf := &Func{Name: src.Name, RetTy: src.RetTy, NoInline: src.NoInline, nextID: src.nextID}
+	for _, p := range src.Params {
+		nf.Params = append(nf.Params, &Param{PName: p.PName, Ty: p.Ty, Index: p.Index})
+	}
+	nf.Mod = m
+	if old := m.funcIdx[src.Name]; old != nil {
+		for i, f := range m.Funcs {
+			if f == old {
+				m.Funcs[i] = nf
+				break
 			}
 		}
+	} else {
+		m.Funcs = append(m.Funcs, nf)
 	}
+	m.funcIdx[src.Name] = nf
+	cloneFuncBody(m, src, nf)
+	return nil
 }
 
-// NumInstrs returns the total instruction count of the module.
-func (m *Module) NumInstrs() int {
-	n := 0
-	for _, f := range m.Funcs {
-		n += f.NumInstrs()
+// RemoveFunc deletes the named function, reporting whether it existed.
+// Dangling references in remaining functions (calls, FuncRefs) are the
+// caller's responsibility to reject — Verify reports them.
+func (m *Module) RemoveFunc(name string) bool {
+	old := m.funcIdx[name]
+	if old == nil {
+		return false
 	}
-	return n
+	delete(m.funcIdx, name)
+	for i, f := range m.Funcs {
+		if f == old {
+			m.Funcs = append(m.Funcs[:i], m.Funcs[i+1:]...)
+			break
+		}
+	}
+	return true
 }
 
-// String renders the whole module in AIR textual syntax.
-func (m *Module) String() string {
+// HeaderString renders the module's struct layouts and globals without
+// any functions — the parse context for a function-level delta.
+func (m *Module) HeaderString() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "; module %s\n", m.Name)
 	names := make([]string, 0, len(m.Structs))
@@ -226,6 +253,33 @@ func (m *Module) String() string {
 		}
 		b.WriteString("\n")
 	}
+	return b.String()
+}
+
+// EachInstr calls fn for every instruction in the module.
+func (m *Module) EachInstr(fn func(*Func, *Instr)) {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				fn(f, in)
+			}
+		}
+	}
+}
+
+// NumInstrs returns the total instruction count of the module.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// String renders the whole module in AIR textual syntax.
+func (m *Module) String() string {
+	var b strings.Builder
+	b.WriteString(m.HeaderString())
 	for _, f := range m.Funcs {
 		b.WriteString("\n")
 		writeFunc(&b, f)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/leakcheck"
 	"repro/internal/memmodel"
 )
 
@@ -88,22 +89,29 @@ func TestTimeBudgetIsUnknown(t *testing.T) {
 }
 
 // TestContextCancellation: a canceled context degrades to Unknown with
-// the work so far, instead of being lost.
+// the work so far, instead of being lost — and the worker pool drains
+// completely on the cancel path (no leaked goroutines), at every
+// fan-out.
 func TestContextCancellation(t *testing.T) {
+	leakcheck.Check(t)
 	m := compile(t, explosiveSrc)
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	res, err := Check(m, Options{
-		Model:      memmodel.ModelWMM,
-		Entries:    []string{"t0", "t1", "t2"},
-		TimeBudget: time.Minute,
-		Context:    ctx,
-	})
-	if err != nil {
-		t.Fatalf("Check: %v", err)
-	}
-	if res.Verdict != VerdictUnknown || res.Reason != "canceled" {
-		t.Fatalf("verdict = %s reason = %q, want unknown/canceled", res.Verdict, res.Reason)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := Check(m, Options{
+			Model:      memmodel.ModelWMM,
+			Entries:    []string{"t0", "t1", "t2"},
+			TimeBudget: time.Minute,
+			Context:    ctx,
+			Workers:    workers,
+		})
+		if err != nil {
+			t.Fatalf("Check (workers=%d): %v", workers, err)
+		}
+		if res.Verdict != VerdictUnknown || res.Reason != "canceled" {
+			t.Fatalf("workers=%d: verdict = %s reason = %q, want unknown/canceled",
+				workers, res.Verdict, res.Reason)
+		}
 	}
 }
 

@@ -2,11 +2,13 @@ package mc
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/race"
@@ -403,6 +405,19 @@ func checkParallel(m *ir.Module, opts Options) (res *Result, err error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic on a worker goroutine would be unrecoverable for
+			// Check's diag guard (which lives on the calling goroutine)
+			// and kill the process. Contain it here: record a structured
+			// error and halt the queue, so blocked peers wake up and the
+			// pool drains instead of deadlocking.
+			defer func() {
+				if r := recover(); r != nil {
+					w.err = &diag.InternalError{
+						Stage: "mc.worker", Value: r, Stack: string(debug.Stack()),
+					}
+					e.halt("internal error")
+				}
+			}()
 			e.run(w)
 		}()
 	}

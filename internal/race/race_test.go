@@ -11,6 +11,7 @@ import (
 	"repro/internal/atomig"
 	"repro/internal/corpus"
 	"repro/internal/ir"
+	"repro/internal/leakcheck"
 	"repro/internal/memmodel"
 	"repro/internal/race"
 	"repro/internal/transform"
@@ -258,6 +259,7 @@ func TestMaxReportsCap(t *testing.T) {
 // same race keys, violations (in grid order) and execution count as
 // the sequential sweep, for every worker count.
 func TestParallelSweepDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	raceKeys := func(res *race.SweepResult) string {
 		keys := make([]string, 0, len(res.Races()))
 		for _, r := range res.Races() {

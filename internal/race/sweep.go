@@ -2,9 +2,11 @@ package race
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/diag"
 	"repro/internal/ir"
 	"repro/internal/memmodel"
 	"repro/internal/obs"
@@ -139,11 +141,18 @@ func sweepParallel(m *ir.Module, opts SweepOptions, modes []vm.SchedMode, seeds 
 			// depend on how the grid was partitioned.
 			det := New(opts.Model, Options{MaxReports: 4 * resolveMaxReports(opts.MaxReports), Obs: opts.Obs})
 			dets[w] = det
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cells) {
-					return
-				}
+			// The detector hook runs on this goroutine outside vm.Run's
+			// own panic guard; contain a panicking cell as that cell's
+			// error instead of killing the process, and record it
+			// per-cell so the earliest-grid-cell error still wins.
+			runCell := func(i int) {
+				defer func() {
+					if r := recover(); r != nil {
+						cells[i].err = &diag.InternalError{
+							Stage: "race.Sweep", Value: r, Stack: string(debug.Stack()),
+						}
+					}
+				}()
 				mode, seed := modes[i/seeds], i%seeds
 				det.BeginExec()
 				res, err := vm.Run(m, vm.Options{
@@ -156,12 +165,19 @@ func sweepParallel(m *ir.Module, opts SweepOptions, modes []vm.SchedMode, seeds 
 				})
 				if err != nil {
 					cells[i].err = fmt.Errorf("race sweep (%s, seed %d): %w", mode, seed+1, err)
-					continue
+					return
 				}
 				cSwept.Inc()
 				if res.Status == vm.StatusAssertFailed || res.Status == vm.StatusDeadlock {
 					cells[i].violation = fmt.Sprintf("%s seed %d: %s: %s", mode, seed+1, res.Status, res.FailMsg)
 				}
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				runCell(i)
 			}
 		}(w)
 	}

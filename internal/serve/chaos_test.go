@@ -1,0 +1,241 @@
+// Chaos tests: the daemon under hostile conditions — concurrent
+// clients, injected panics, malformed lines, in-flight cancellation,
+// wedged handlers, admission overload — must answer every request
+// exactly once, stay healthy, keep producing CLI-identical output, and
+// leak no goroutines.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/appgen"
+	"repro/internal/leakcheck"
+)
+
+// TestChaosStorm fires six concurrent clients mixing good ports,
+// panic-injected ports, malformed lines, garbage deltas, stats, and
+// cross-cancellations at one daemon, then checks the wreckage: one
+// response per request, panics contained, cache poisoned-and-refilled,
+// and the final output still byte-identical to the CLI.
+func TestChaosStorm(t *testing.T) {
+	leakcheck.Check(t)
+	src, _ := appgen.GenerateLarge(appgen.LargeSpec("chaos.c", 2000, 11))
+	ref := cliPortSource(t, "chaos.c", src)
+
+	srv := New(Options{QueueDepth: 16, Workers: 2})
+	srv.faultInject = func(ctx context.Context, req *Request) {
+		if strings.HasPrefix(req.ID, "boom") {
+			panic("chaos: injected fault")
+		}
+	}
+	c := connect(t, srv)
+	mustOK(t, c.call(&Request{ID: "load", Op: "load", Name: "chaos.c", Source: src}))
+
+	const clients, rounds = 6, 5
+	var malformed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := fmt.Sprintf("w%d-r%d", w, i)
+				switch (w + i) % 6 {
+				case 0:
+					c.call(&Request{ID: id, Op: "port"})
+				case 1:
+					if r := c.call(&Request{ID: "boom-" + id, Op: "port"}); r.OK || r.ErrKind != ErrInternal {
+						c.t.Errorf("injected panic %s: got ok=%t kind=%q, want internal", id, r.OK, r.ErrKind)
+					}
+				case 2:
+					c.call(&Request{ID: id, Op: "stats"})
+				case 3:
+					if r := c.call(&Request{ID: id, Op: "edit", Replace: []string{"define i64 @broken("}}); r.OK {
+						c.t.Errorf("garbage delta %s unexpectedly succeeded", id)
+					}
+				case 4:
+					malformed.Add(1)
+					c.raw(`{"op":`)
+				case 5:
+					// Cancel a peer's (possibly finished) request: ok or
+					// bad_request are both legal; a hang is not.
+					c.call(&Request{ID: id, Op: "cancel", Target: fmt.Sprintf("w%d-r%d", (w+1)%clients, i)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := mustOK(t, c.call(&Request{ID: "st", Op: "stats"})).Stats
+	if st.PanicsContained == 0 {
+		t.Errorf("stats: no panics contained, want >0")
+	}
+	if !st.Healthy || st.Draining {
+		t.Errorf("daemon unhealthy after storm: %+v", st)
+	}
+
+	// The poisoned cache must refill and still produce CLI-identical
+	// output.
+	final := mustOK(t, c.call(&Request{ID: "final", Op: "port", Emit: true}))
+	if final.Text != ref {
+		t.Errorf("post-storm output differs from CLI output")
+	}
+
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+
+	c.mu.Lock()
+	for id, n := range c.got {
+		if n != 1 {
+			t.Errorf("request %q got %d responses, want exactly 1", id, n)
+		}
+	}
+	anon := c.anon
+	c.mu.Unlock()
+	if int64(anon) != malformed.Load() {
+		t.Errorf("%d anonymous error responses for %d malformed lines", anon, malformed.Load())
+	}
+}
+
+// TestCancelInFlight cancels a request that is genuinely running (held
+// open by the fault seam) and checks the typed canceled response and
+// counter.
+func TestCancelInFlight(t *testing.T) {
+	leakcheck.Check(t)
+	srv := New(Options{QueueDepth: 2})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.faultInject = func(ctx context.Context, req *Request) {
+		if strings.HasPrefix(req.ID, "gate") {
+			entered <- struct{}{}
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+		}
+	}
+	c := connect(t, srv)
+	mustOK(t, c.call(&Request{ID: "load", Op: "load", Name: "small.c", Source: smallSrc}))
+
+	ch := c.expect("gate-1")
+	c.send(&Request{ID: "gate-1", Op: "port"})
+	<-entered
+	mustOK(t, c.call(&Request{ID: "c1", Op: "cancel", Target: "gate-1"}))
+	r := <-ch
+	if r.OK || r.ErrKind != ErrCanceled {
+		t.Errorf("canceled port: got ok=%t kind=%q (%s), want canceled", r.OK, r.ErrKind, r.Error)
+	}
+	if got := srv.c.canceled.Value(); got == 0 {
+		t.Errorf("serve.requests_canceled = %d, want >0", got)
+	}
+	close(gate)
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+}
+
+// TestRequestDeadline sets a tiny per-request deadline on a port held
+// open by the fault seam; the engine notices the expired context and
+// the client gets the typed deadline response.
+func TestRequestDeadline(t *testing.T) {
+	leakcheck.Check(t)
+	srv := New(Options{QueueDepth: 2})
+	srv.faultInject = func(ctx context.Context, req *Request) {
+		if strings.HasPrefix(req.ID, "slow") {
+			select {
+			case <-time.After(10 * time.Second):
+			case <-ctx.Done():
+			}
+		}
+	}
+	c := connect(t, srv)
+	mustOK(t, c.call(&Request{ID: "load", Op: "load", Name: "small.c", Source: smallSrc}))
+
+	r := c.call(&Request{ID: "slow-1", Op: "port", DeadlineMS: 80})
+	if r.OK || r.ErrKind != ErrDeadline {
+		t.Errorf("deadlined port: got ok=%t kind=%q (%s), want deadline", r.OK, r.ErrKind, r.Error)
+	}
+	if got := srv.c.deadlined.Value(); got == 0 {
+		t.Errorf("serve.requests_deadlined = %d, want >0", got)
+	}
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+}
+
+// TestWatchdogAnswersForWedgedRequest wedges a handler past deadline
+// and grace (it ignores its context entirely); the watchdog must
+// answer on its behalf with the typed deadline error while the daemon
+// stays responsive, and the wedged goroutine must still unwind.
+func TestWatchdogAnswersForWedgedRequest(t *testing.T) {
+	leakcheck.Check(t)
+	srv := New(Options{
+		QueueDepth: 2,
+		Deadline:   100 * time.Millisecond,
+		Grace:      100 * time.Millisecond,
+	})
+	srv.faultInject = func(ctx context.Context, req *Request) {
+		if strings.HasPrefix(req.ID, "wedge") {
+			time.Sleep(600 * time.Millisecond) // deliberately ignores ctx
+		}
+	}
+	c := connect(t, srv)
+
+	r := c.call(&Request{ID: "wedge-1", Op: "stats"})
+	if r.OK || r.ErrKind != ErrDeadline || !strings.Contains(r.Error, "watchdog") {
+		t.Errorf("wedged request: got ok=%t kind=%q (%s), want watchdog deadline", r.OK, r.ErrKind, r.Error)
+	}
+	st := mustOK(t, c.call(&Request{ID: "st", Op: "stats"})).Stats
+	if st.WatchdogFired == 0 {
+		t.Errorf("stats: watchdog_fired = 0, want >0")
+	}
+	if !st.Healthy {
+		t.Errorf("daemon unhealthy after watchdog fire")
+	}
+	// shutdown drains the still-sleeping wedged goroutine before
+	// answering; leakcheck then sees it gone.
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+}
+
+// TestOverloadAndDrain fills the single admission slot with a held
+// request: the next request gets the typed overloaded response
+// immediately; after release and an explicit drain flip, new work gets
+// the typed shutting_down response.
+func TestOverloadAndDrain(t *testing.T) {
+	leakcheck.Check(t)
+	srv := New(Options{QueueDepth: 1})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.faultInject = func(ctx context.Context, req *Request) {
+		if strings.HasPrefix(req.ID, "hold") {
+			entered <- struct{}{}
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+		}
+	}
+	c := connect(t, srv)
+
+	ch := c.expect("hold-1")
+	c.send(&Request{ID: "hold-1", Op: "stats"})
+	<-entered
+	if r := c.call(&Request{ID: "ov", Op: "stats"}); r.OK || r.ErrKind != ErrOverloaded {
+		t.Errorf("overload: got ok=%t kind=%q (%s), want overloaded", r.OK, r.ErrKind, r.Error)
+	}
+	if got := srv.c.overloaded.Value(); got != 1 {
+		t.Errorf("serve.requests_overloaded = %d, want 1", got)
+	}
+	close(gate)
+	if r := <-ch; !r.OK {
+		t.Errorf("held request failed after release: %s: %s", r.ErrKind, r.Error)
+	}
+
+	srv.Shutdown()
+	if r := c.call(&Request{ID: "ds", Op: "stats"}); r.OK || r.ErrKind != ErrShutdown {
+		t.Errorf("draining: got ok=%t kind=%q, want shutting_down", r.OK, r.ErrKind)
+	}
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+	srv.Drain()
+}

