@@ -5,7 +5,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline pipeline-smoke obs-smoke serve-smoke clean
+.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline bench-weaken pipeline-smoke obs-smoke serve-smoke weaken-smoke clean
 
 # Module size for the pipeline byte-identical-output smoke. Big enough
 # to exercise the parallel fan-out, small enough for `make check`.
@@ -33,7 +33,7 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race bench-mc-smoke obs-smoke pipeline-smoke serve-smoke
+check: build vet test test-race bench-mc-smoke obs-smoke pipeline-smoke serve-smoke weaken-smoke
 
 # Model-checker scaling sweep (docs/MODEL-CHECKER.md): exhaustive
 # exploration of the litmus+seqlock corpus at 1..8 workers, appending
@@ -67,6 +67,20 @@ pipeline-smoke:
 serve-smoke:
 	$(GO) build -o bin/ ./cmd/atomig ./cmd/atomig-bench
 	sh scripts/serve-smoke.sh bin/atomig bin/atomig-bench bin $(SERVE_SMOKE_SLOC)
+
+# Checker-in-the-loop weakening sweep (docs/WEAKENING.md): port + weaken
+# the CK-style corpus and two generated appgen modules, appending cost
+# reduction and accepted-weakening counts to BENCH_weaken.json.
+bench-weaken:
+	$(GO) run ./cmd/atomig-bench -exp weaken -json BENCH_weaken.json
+
+# End-to-end smoke of the weakening optimizer (docs/WEAKENING.md):
+# port + -O the seqlock-gap and cna-lock flagships through the CLI,
+# asserting the baseline verdict holds and the static cost strictly
+# decreases. Built binary, not `go run`, so exit codes survive intact.
+weaken-smoke:
+	$(GO) build -o bin/ ./cmd/atomig
+	sh scripts/weaken-smoke.sh bin/atomig
 
 # One-iteration smoke of the same sweep so `make check` notices a
 # broken or drifting parallel engine without paying for a full

@@ -43,7 +43,7 @@ func appendJSON(path string, v any) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, mc-scaling, pipeline-scaling, all")
+	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, mc-scaling, pipeline-scaling, weaken, all")
 	scale := flag.Int("scale", 20, "application scale divisor for t3 (1 = paper-sized)")
 	seed := flag.Int64("seed", 7, "generator seed for t3/t4 and the pipeline-scaling module")
 	sloc := flag.Int("sloc", bench.DefaultPipelineScalingSLOC, "generated module size for pipeline-scaling / -gen-module")
@@ -172,6 +172,25 @@ func main() {
 			if *jsonOut != "" {
 				if err := appendJSON(*jsonOut, map[string]any{
 					"experiment":        "pipeline-scaling",
+					"when":              time.Now().UTC().Format(time.RFC3339),
+					"gomaxprocs_pinned": bench.SweepProcs(nil),
+					"num_cpu":           runtime.NumCPU(),
+					"rows":              rows,
+				}); err != nil {
+					return err
+				}
+				fmt.Printf("appended results to %s\n", *jsonOut)
+			}
+			return nil
+		case "weaken":
+			rows, err := bench.WeakenSweep(nil, 0, "", prov)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatWeaken(rows))
+			if *jsonOut != "" {
+				if err := appendJSON(*jsonOut, map[string]any{
+					"experiment":        "weaken",
 					"when":              time.Now().UTC().Format(time.RFC3339),
 					"gomaxprocs_pinned": bench.SweepProcs(nil),
 					"num_cpu":           runtime.NumCPU(),

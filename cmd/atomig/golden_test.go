@@ -35,6 +35,12 @@ func TestGoldenOutput(t *testing.T) {
 		{"report_ticket_spin.golden", []string{"-corpus", "ck_spinlock_ticket", "-level", "spin"}},
 		{"explain_races_seqlock_gap.golden", []string{"-explain-races", "-corpus", "seqlock-gap"}},
 		{"explain_races_mp.golden", []string{"-explain-races", "-corpus", "mp"}},
+		// The -O weakening report must be byte-stable too, at every
+		// worker count — the determinism contract of docs/WEAKENING.md
+		// extends to the report, so one golden serves -j 1 and -j 4.
+		{"weaken_seqlock_gap.golden", []string{"-O", "-corpus", "seqlock-gap"}},
+		{"weaken_seqlock_gap.golden", []string{"-O", "-corpus", "seqlock-gap", "-j", "4"}},
+		{"explain_races_weaken_seqlock_gap.golden", []string{"-explain-races", "-O", "-corpus", "seqlock-gap"}},
 	}
 	for _, tc := range cases {
 		tc := tc

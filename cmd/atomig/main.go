@@ -17,11 +17,24 @@
 //	-no-inline              disable the pre-analysis inliner
 //	-j N                    pipeline worker count; the ported output is
 //	                        byte-identical for every N (docs/PIPELINE.md)
+//	-O                      after porting, run the checker-in-the-loop
+//	                        weakening optimizer (docs/WEAKENING.md):
+//	                        greedily relax orderings and delete fences,
+//	                        keeping only what the model checker re-verifies;
+//	                        needs a verification harness (-corpus or -entries)
+//	-arch armv8|power|...   cost-model architecture for the -O report
+//	-O-races=false          with -O: drop the race detector from the
+//	                        verification loop (verdict-only acceptance,
+//	                        for programs whose fingerprinted state space
+//	                        is intractable)
+//	-O-execs N              with -O: per-candidate execution budget
 //	-explain-races          run the race detector on the UN-ported input
 //	                        and map each race back to the global or
-//	                        struct field the port should promote
-//	-entries a,b            thread entry functions for -explain-races on
-//	                        file inputs (corpus programs use their
+//	                        struct field the port should promote; with
+//	                        -O, additionally notes which reported sites
+//	                        the optimizer later weakened
+//	-entries a,b            thread entry functions for -explain-races and
+//	                        -O on file inputs (corpus programs use their
 //	                        model-checking harness)
 //	-serve                  run the incremental porting daemon on
 //	                        stdin/stdout (docs/SERVE.md); -socket adds
@@ -52,6 +65,7 @@ import (
 	"repro/internal/race"
 	"repro/internal/serve"
 	"repro/internal/transform"
+	"repro/internal/weaken"
 )
 
 func main() {
@@ -71,8 +85,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list corpus programs and exit")
 	out := fs.String("o", "", "write the transformed module to a .air file")
 	o2 := fs.Bool("O2", false, "run the post-transformation optimizer (Figure 2)")
+	oWeaken := fs.Bool("O", false, "after porting, weaken orderings the model checker proves unnecessary (docs/WEAKENING.md)")
+	arch := fs.String("arch", weaken.DefaultArch, "cost-model architecture for -O: "+strings.Join(weaken.ArchNames(), ", "))
+	oRaces := fs.Bool("O-races", true, "with -O: keep the race detector in the verification loop")
+	oExecs := fs.Int("O-execs", 0, "with -O: per-candidate execution budget (0 = default)")
 	explainRaces := fs.Bool("explain-races", false, "detect races in the un-ported input and explain what to promote")
-	entries := fs.String("entries", "", "comma-separated thread entries for -explain-races on file inputs")
+	entries := fs.String("entries", "", "comma-separated thread entries for -explain-races and -O on file inputs")
 	jobs := fs.Int("j", 1, "pipeline worker count (output is byte-identical for every value)")
 	metricsPath := fs.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
@@ -109,7 +127,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *explainRaces {
-		code := explain(stdout, stderr, mod, *corpusName, *entries, prov)
+		// With -O the race advice is joined against the optimizer's
+		// decisions on a ported clone, so a site the advice names and a
+		// site the optimizer weakened can never silently disagree.
+		var weakened []weaken.Decision
+		if *oWeaken {
+			weakened, err = portAndWeaken(mod, *corpusName, *entries, weakenConfig{
+				jobs: *jobs, arch: *arch, races: *oRaces, execs: *oExecs, prov: prov,
+			})
+			if err != nil {
+				return fail(stderr, err)
+			}
+		}
+		code := explain(stdout, stderr, mod, *corpusName, *entries, weakened, prov)
 		if err := prov.Flush(*metricsPath, *tracePath); err != nil {
 			return fail(stderr, err)
 		}
@@ -155,6 +185,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  optimizer: folded %d, hoisted %d, removed %d\n",
 				rep.OptFolded, rep.OptHoisted, rep.OptRemoved)
 		}
+		if *oWeaken {
+			entryList, err := weakenEntries(*corpusName, *entries)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			wopts := weaken.DefaultOptions(entryList)
+			wopts.Workers = *jobs
+			wopts.Arch = *arch
+			wopts.DetectRaces = *oRaces
+			wopts.MaxExecs = *oExecs
+			wopts.Obs = prov
+			wres, err := weaken.Optimize(mod, wopts)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			printWeakenReport(stdout, wres)
+		}
 	}
 	if *emit {
 		fmt.Fprintln(stdout, mod.String())
@@ -175,17 +222,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // under WMM across every scheduler mode and renders the per-location
 // promotion advice. This is the migration feedback loop: run it before
 // porting to see what the pipeline must fix, or on a hand-ported tree
-// to find the promotions it missed.
-func explain(stdout, stderr io.Writer, mod *ir.Module, corpusName, entries string, prov *obs.Provider) int {
-	var entryList []string
-	if entries != "" {
-		entryList = strings.Split(entries, ",")
-	} else if corpusName != "" {
-		if p := corpus.Get(corpusName); p != nil {
-			entryList = p.MCEntries
-		}
-	}
-	if len(entryList) == 0 {
+// to find the promotions it missed. When -O also ran, the weakening
+// decisions are joined in so advice about a location mentions that the
+// port's promotion there was later relaxed by the optimizer.
+func explain(stdout, stderr io.Writer, mod *ir.Module, corpusName, entries string, weakened []weaken.Decision, prov *obs.Provider) int {
+	entryList, err := weakenEntries(corpusName, entries)
+	if err != nil {
 		return fail(stderr, fmt.Errorf("-explain-races needs thread entries (use -entries a,b or a corpus program with a model-checking harness)"))
 	}
 	res, err := race.Sweep(mod, race.SweepOptions{
@@ -198,8 +240,95 @@ func explain(stdout, stderr io.Writer, mod *ir.Module, corpusName, entries strin
 	}
 	fmt.Fprintf(stdout, "race sweep: %d executions, %d distinct race(s)\n",
 		res.Executions, res.Detector.Races())
-	fmt.Fprint(stdout, atomig.ExplainRaces(mod, res.Races()))
+	exp := atomig.ExplainRaces(mod, res.Races())
+	if len(weakened) > 0 {
+		notes := make([]atomig.WeakenedNote, 0, len(weakened))
+		for _, d := range weakened {
+			notes = append(notes, atomig.WeakenedNote{
+				Loc: d.Loc, Site: d.Site, From: d.From, To: d.To,
+			})
+		}
+		exp.AnnotateWeakenings(notes)
+	}
+	fmt.Fprint(stdout, exp)
 	return 0
+}
+
+// weakenEntries resolves the verification harness for -O and
+// -explain-races: explicit -entries wins, else the corpus program's
+// model-checking harness.
+func weakenEntries(corpusName, entries string) ([]string, error) {
+	if entries != "" {
+		return strings.Split(entries, ","), nil
+	}
+	if corpusName != "" {
+		if p := corpus.Get(corpusName); p != nil && len(p.MCEntries) > 0 {
+			return p.MCEntries, nil
+		}
+	}
+	return nil, fmt.Errorf("no verification harness: use -entries a,b or a corpus program with a model-checking harness")
+}
+
+// weakenConfig carries the -O flag group.
+type weakenConfig struct {
+	jobs  int
+	arch  string
+	races bool
+	execs int
+	prov  *obs.Provider
+}
+
+// portAndWeaken ports a clone of mod and weakens it, returning the
+// accepted decisions — used by -explain-races -O, which needs the
+// optimizer's provenance without giving up the un-ported module the
+// race sweep runs on.
+func portAndWeaken(mod *ir.Module, corpusName, entries string, cfg weakenConfig) ([]weaken.Decision, error) {
+	entryList, err := weakenEntries(corpusName, entries)
+	if err != nil {
+		return nil, err
+	}
+	opts := atomig.DefaultOptions()
+	opts.Workers = cfg.jobs
+	opts.Obs = cfg.prov
+	ported, _, err := atomig.PortClone(mod, opts)
+	if err != nil {
+		return nil, err
+	}
+	wopts := weaken.DefaultOptions(entryList)
+	wopts.Workers = cfg.jobs
+	wopts.Arch = cfg.arch
+	wopts.DetectRaces = cfg.races
+	wopts.MaxExecs = cfg.execs
+	wopts.Obs = cfg.prov
+	wres, err := weaken.Optimize(ported, wopts)
+	if err != nil {
+		return nil, err
+	}
+	return wres.Decisions, nil
+}
+
+// printWeakenReport renders the -O report: what the optimizer changed,
+// what it cost before and after, and the per-site provenance. Wall
+// times are deliberately absent — the report is byte-stable for a
+// given module and options (golden-tested).
+func printWeakenReport(w io.Writer, res *weaken.Result) {
+	fmt.Fprintf(w, "weakening report for %s (arch %s, baseline %s)\n", res.Module, res.Arch, res.Verdict)
+	if res.Reason != "" {
+		fmt.Fprintf(w, "  not optimized: %s\n", res.Reason)
+		return
+	}
+	fmt.Fprintf(w, "  candidates tried:          %d (%d accepted, %d rejected)\n",
+		res.Tried, res.Accepted, res.Rejected)
+	fmt.Fprintf(w, "  rounds to fixpoint:        %d\n", res.Rounds)
+	fmt.Fprintf(w, "  fences deleted:            %d\n", res.FencesDeleted)
+	fmt.Fprintf(w, "  functions in scope:        %d (%d unreachable, kept at ported strength)\n",
+		res.FuncsInScope, res.FuncsSkipped)
+	fmt.Fprintf(w, "  checker re-verifications:  %d\n", res.MCChecks)
+	fmt.Fprintf(w, "  static cost (%s):       %d -> %d cycles (-%.1f%%)\n",
+		res.Arch, res.CostBefore, res.CostAfter, res.Reduction())
+	for _, d := range res.Decisions {
+		fmt.Fprintf(w, "  weakened: %s\n", d)
+	}
 }
 
 func loadModule(corpusName string, args []string) (*ir.Module, error) {

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// End-to-end observability for the weakening optimizer: a -O -j 4 run
+// on seqlock-gap exports a metrics snapshot carrying the weaken.*
+// counters (candidates tried/accepted/rejected, re-verification time)
+// and a Chrome trace with the weaken span hierarchy, including the
+// per-worker candidate timelines.
+func TestWeakenObservabilityExports(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	code, stdout, stderr := runCLI(t,
+		"-O", "-j", "4", "-corpus", "seqlock-gap",
+		"-metrics", metricsPath, "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateMetrics(mdata); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(mdata, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"weaken.runs_completed",
+		"weaken.candidates_tried",
+		"weaken.candidates_accepted",
+		"weaken.candidates_rejected",
+		"weaken.rounds_run",
+		"weaken.sites_weakened",
+		"weaken.cost_reduced",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("metrics counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if snap.Counters["weaken.candidates_tried"] !=
+		snap.Counters["weaken.candidates_accepted"]+snap.Counters["weaken.candidates_rejected"] {
+		t.Errorf("tried (%d) != accepted (%d) + rejected (%d)",
+			snap.Counters["weaken.candidates_tried"],
+			snap.Counters["weaken.candidates_accepted"],
+			snap.Counters["weaken.candidates_rejected"])
+	}
+	// The mc re-verification time histogram must have one observation
+	// per checker call.
+	hist, ok := snap.Histograms["weaken.verify_micros"]
+	if !ok || hist.Count <= 0 {
+		t.Errorf("metrics snapshot lacks weaken.verify_micros observations (got %+v)", hist)
+	}
+
+	tdata, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(tdata); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tdata, &tf); err != nil {
+		t.Fatal(err)
+	}
+	workerTracks := make(map[string]bool)
+	spans := make(map[string]int)
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if name, _ := ev.Args["name"].(string); strings.HasPrefix(name, "weaken.worker-") {
+				workerTracks[name] = true
+			}
+		}
+		if ev.Ph == "B" {
+			spans[ev.Name]++
+		}
+	}
+	if len(workerTracks) < 2 {
+		t.Errorf("trace has %d weaken worker timelines, want >= 2: %v", len(workerTracks), workerTracks)
+	}
+	for _, name := range []string{
+		"weaken.optimize", "weaken.baseline", "weaken.round",
+		"weaken.merge", "weaken.candidate", "pipeline.port",
+	} {
+		if spans[name] == 0 {
+			t.Errorf("trace has no %s spans (got %v)", name, spans)
+		}
+	}
+}

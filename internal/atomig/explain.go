@@ -24,6 +24,23 @@ type RaceLocale struct {
 	PlainSites []*ir.Instr
 	// AtomicSites counts the accesses already atomic.
 	AtomicSites int
+	// Weakened lists accepted post-port weakenings on this location,
+	// joined in by AnnotateWeakenings when the caller also ran the
+	// optimizer — so "promote this" advice and "this was relaxed"
+	// output are shown together instead of contradicting each other.
+	Weakened []WeakenedNote
+}
+
+// WeakenedNote is one accepted ordering weakening attributed to a
+// symbolic location, supplied by callers that ran the post-port
+// optimizer (cmd/atomig -O; see internal/weaken).
+type WeakenedNote struct {
+	// Loc is the alias descriptor the weakened access resolved to.
+	Loc string
+	// Site is the access rendering with provenance.
+	Site string
+	// From and To are the orderings before and after.
+	From, To string
 }
 
 // Gap reports whether the location is partially ported: some accesses
@@ -85,6 +102,49 @@ func ExplainRaces(m *ir.Module, reports []*race.Report) *RaceExplanation {
 	return out
 }
 
+// AnnotateWeakenings joins post-port weakening decisions onto the
+// explanation's locales by alias descriptor. A site weakened over
+// several rounds (seq_cst -> release -> relaxed) collapses to one note
+// showing the net transition; notes on locations the detector never
+// implicated are dropped — the join exists to qualify race advice, not
+// to duplicate the optimizer's own report.
+func (e *RaceExplanation) AnnotateWeakenings(notes []WeakenedNote) {
+	// Collapse chains per site: notes arrive in round order, so the
+	// first gives the starting ordering and the last the final one.
+	type key struct{ loc, site string }
+	idx := make(map[key]int)
+	var collapsed []WeakenedNote
+	for _, n := range notes {
+		if n.Loc == "" {
+			continue
+		}
+		k := key{n.Loc, siteName(n.Site)}
+		if i, ok := idx[k]; ok {
+			collapsed[i].To = n.To
+			continue
+		}
+		idx[k] = len(collapsed)
+		collapsed = append(collapsed, n)
+	}
+	byLoc := make(map[string][]WeakenedNote)
+	for _, n := range collapsed {
+		byLoc[n.Loc] = append(byLoc[n.Loc], n)
+	}
+	for _, l := range e.Locales {
+		l.Weakened = append(l.Weakened, byLoc[l.Loc.String()]...)
+	}
+}
+
+// siteName strips the instruction rendering from a site string,
+// keeping the positional "@fn %blk #idx" prefix — the ordering in the
+// rendered part changes between rounds, the position does not.
+func siteName(site string) string {
+	if i := strings.Index(site, ": "); i >= 0 {
+		return site[:i]
+	}
+	return site
+}
+
 // String renders the explanation as the -explain-races CLI output.
 func (e *RaceExplanation) String() string {
 	var b strings.Builder
@@ -101,6 +161,12 @@ func (e *RaceExplanation) String() string {
 		}
 		for _, in := range l.PlainSites {
 			fmt.Fprintf(&b, "  promote: %s\n", race.SiteString(in))
+		}
+		if len(l.Weakened) > 0 {
+			fmt.Fprintf(&b, "  note: after porting, the optimizer weakened %d promoted access(es) here — the checker proved seq_cst stronger than this location needs:\n", len(l.Weakened))
+			for _, n := range l.Weakened {
+				fmt.Fprintf(&b, "    weakened: %s: %s -> %s\n", n.Site, n.From, n.To)
+			}
 		}
 	}
 	for _, r := range e.Unattributed {

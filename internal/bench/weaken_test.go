@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestWeakenSweepFlagships runs the weaken experiment over a
+// test-budget-sized target list — the two flagships plus one appgen
+// module — and pins the acceptance criterion: >= 25% static cost
+// reduction vs the plain port on both flagships, every accepted
+// weakening re-verified (the full sweep is `make bench-weaken`).
+func TestWeakenSweepFlagships(t *testing.T) {
+	targets := []WeakenTarget{
+		corpusTarget("seqlock", false),
+		corpusTarget("seqlock-gap", true),
+		appgenTarget(11),
+	}
+	rows, err := WeakenSweep(targets, 2, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(targets) {
+		t.Fatalf("%d rows, want %d", len(rows), len(targets))
+	}
+	for _, r := range rows {
+		t.Logf("%s: verdict=%s refused=%q cost %d -> %d (%.1f%%) accepted=%d",
+			r.Program, r.Verdict, r.Refused, r.CostBefore, r.CostAfter, r.ReductionPct, r.Accepted)
+		if r.Refused != "" {
+			t.Errorf("%s: refused: %s", r.Program, r.Refused)
+			continue
+		}
+		if r.CostAfter > r.CostBefore {
+			t.Errorf("%s: cost increased %d -> %d", r.Program, r.CostBefore, r.CostAfter)
+		}
+		switch r.Program {
+		case "seqlock", "seqlock-gap":
+			if r.ReductionPct < 25 {
+				t.Errorf("%s: reduction %.1f%% below the 25%% flagship bar", r.Program, r.ReductionPct)
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package corpus
+
+// The Compact NUMA-Aware (CNA) lock — the flagship weakening target of
+// docs/WEAKENING.md, after "Verifying and Optimizing Compact NUMA-Aware
+// Locks on Weak Memory Models" (PAPERS.md), the paper whose
+// checker-in-the-loop methodology internal/weaken reproduces.
+//
+// CNA is an MCS-style queue lock that keeps the lock on one socket:
+// when the holder's successor sits on a different socket but a same-
+// socket waiter queues behind it, the unlock parks the remote
+// successor on a secondary queue and hands the lock to the local
+// waiter; the secondary queue is promoted back into the main queue
+// when the main queue drains. The TSO source below uses plain stores
+// for every handoff and queue-link write (correct on x86, broken under
+// WMM); porting promotes the spin/next/tail/sec accesses to seq_cst,
+// and the weakening optimizer then relaxes exactly the orderings the
+// checker proves unnecessary.
+//
+// The simplifications against Dice & Kogan's CNA are documented where
+// they happen: the secondary queue holds at most one node (enough for
+// two sockets' worth of harness threads), and there is no spin-encoded
+// successor pointer — `spin` is a plain go/wait flag as in the MCS
+// entry above.
+
+const cnaAlgo = `
+struct cnanode { int spin; int sock; struct cnanode *next; };
+struct cnanode nodes[3];
+struct cnanode *tail;
+struct cnanode *sec;
+int data;
+
+void cna_lock(struct cnanode *me, int sock) {
+  me->spin = 0;
+  me->sock = sock;
+  me->next = 0;
+  struct cnanode *prev = __xchg(&tail, me);
+  if (prev == 0) { return; }
+  prev->next = me;
+  while (me->spin == 0) { }
+}
+
+void cna_unlock(struct cnanode *me, int sock) {
+  if (me->next == 0) {
+    struct cnanode *s = sec;
+    if (s != 0) {
+      if (__cas(&tail, me, s) == me) {
+        sec = 0;
+        s->spin = 1;
+        return;
+      }
+    } else {
+      if (__cas(&tail, me, 0) == me) { return; }
+    }
+    while (me->next == 0) { }
+  }
+  struct cnanode *succ = me->next;
+  if (succ->sock != sock) {
+    struct cnanode *peek = succ->next;
+    if (peek != 0 && peek->sock == sock) {
+      succ->next = 0;
+      sec = succ;
+      peek->spin = 1;
+      return;
+    }
+  }
+  succ->spin = 1;
+}
+`
+
+// cnaAlgoExpert mirrors how a hand port fences the same code on a WMM
+// target: one fence between publishing the queue link and spinning, one
+// after each spin loop (acquire side), one before each handoff store
+// (release side) — the shape CK's native aarch64 locks use.
+const cnaAlgoExpert = `
+struct cnanode { int spin; int sock; struct cnanode *next; };
+struct cnanode nodes[3];
+struct cnanode *tail;
+struct cnanode *sec;
+int data;
+
+void cna_lock(struct cnanode *me, int sock) {
+  me->spin = 0;
+  me->sock = sock;
+  me->next = 0;
+  struct cnanode *prev = __xchg(&tail, me);
+  if (prev == 0) { return; }
+  __fence();
+  prev->next = me;
+  while (me->spin == 0) { }
+  __fence();
+}
+
+void cna_unlock(struct cnanode *me, int sock) {
+  __fence();
+  if (me->next == 0) {
+    struct cnanode *s = sec;
+    if (s != 0) {
+      if (__cas(&tail, me, s) == me) {
+        sec = 0;
+        s->spin = 1;
+        return;
+      }
+    } else {
+      if (__cas(&tail, me, 0) == me) { return; }
+    }
+    while (me->next == 0) { }
+    __fence();
+  }
+  struct cnanode *succ = me->next;
+  if (succ->sock != sock) {
+    struct cnanode *peek = succ->next;
+    if (peek != 0 && peek->sock == sock) {
+      succ->next = 0;
+      sec = succ;
+      peek->spin = 1;
+      return;
+    }
+  }
+  succ->spin = 1;
+}
+`
+
+// cnaHarness: the model-checking harness runs one thread per socket —
+// the remote-handoff path (successor on the other socket, nobody
+// behind it) plus the drain/CAS paths, which is the part of the lock
+// the weakening loop re-verifies per candidate. The three-thread
+// parking path (remote successor parked on the secondary queue, lock
+// handed to the local waiter behind it, parked node promoted on drain)
+// is exercised by cna_park_main — reachable only with >= 3 threads, so
+// it lives in its own entry and TestCNAParkingPath validates it once
+// rather than per candidate.
+const cnaHarness = `
+void t0(void) {
+  cna_lock(&nodes[0], 0);
+  data = data + 1;
+  cna_unlock(&nodes[0], 0);
+}
+
+void t1(void) {
+  cna_lock(&nodes[1], 1);
+  data = data + 1;
+  cna_unlock(&nodes[1], 1);
+}
+
+void main_thread(void) {
+  spawn(t0);
+  spawn(t1);
+  join();
+  assert(data == 2);
+}
+
+void park_t2(void) {
+  cna_lock(&nodes[2], 0);
+  data = data + 1;
+  cna_unlock(&nodes[2], 0);
+}
+
+void cna_park_main(void) {
+  spawn(t0);
+  spawn(t1);
+  spawn(park_t2);
+  join();
+  assert(data == 3);
+}
+
+void perf_worker0(void) {
+  for (int i = 0; i < 4000; i = i + 1) {
+    cna_lock(&nodes[0], 0);
+    data = data + 1;
+    cna_unlock(&nodes[0], 0);
+    bench_record(0, i);
+  }
+}
+
+void perf_worker1(void) {
+  for (int i = 0; i < 4000; i = i + 1) {
+    cna_lock(&nodes[1], 1);
+    data = data + 1;
+    cna_unlock(&nodes[1], 1);
+    bench_record(1, i);
+  }
+}
+
+void perf_main(void) {
+  spawn(perf_worker0);
+  spawn(perf_worker1);
+  join();
+  assert(data == 8000);
+}
+`
+
+// CNALock is the CNA NUMA-aware queue lock, the weakening flagship.
+var CNALock = register(&Program{
+	Name:         "cna-lock",
+	Desc:         "Compact NUMA-aware queue lock with secondary remote queue (weakening flagship)",
+	Source:       ckBench + cnaAlgo + cnaHarness,
+	ExpertSource: ckBench + cnaAlgoExpert + cnaHarness,
+	MCEntries:    []string{"main_thread"},
+	PerfEntries:  []string{"perf_main"},
+	PerfSteps:    80_000_000,
+})

@@ -49,6 +49,9 @@ func conformanceCases() []conformanceCase {
 		{program: "seqlock-gap", detectRaces: true,
 			before: mc.VerdictRace, after: mc.VerdictPass,
 			note: "Figure 6 gap variant: only the race detector sees the bug"},
+		{program: "cna-lock", detectRaces: true,
+			before: mc.VerdictFail, after: mc.VerdictPass,
+			note: "CNA queue lock (weakening flagship): plain handoffs break under WMM; ported lock verified race-free"},
 	}
 }
 

@@ -1,0 +1,69 @@
+package corpus
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/atomig"
+	"repro/internal/mc"
+	"repro/internal/weaken"
+)
+
+// TestLitmusConformanceWeakened extends the litmus suite through the
+// post-port optimizer: every conformance program is ported and then
+// weakened at -j 1 and -j 4, and the verdict must be exactly the
+// after-port verdict the suite already pins — weakening is allowed to
+// remove cost, never to change what the checker concludes. Programs
+// whose after-port verdict is a violation exercise the refusal path
+// (the optimizer must leave them untouched); the rest exercise the
+// acceptance rule end to end. The weakened module must also be
+// byte-identical across worker counts, and its cost must never
+// increase.
+func TestLitmusConformanceWeakened(t *testing.T) {
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.program, func(t *testing.T) {
+			p := Get(c.program)
+			if p == nil {
+				t.Fatalf("program %q not in corpus", c.program)
+			}
+			orig, err := p.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ported, _, err := atomig.PortClone(orig, atomig.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			texts := make(map[int]string)
+			for _, j := range []int{1, 4} {
+				// DetectRaces mirrors the suite's per-program setting: the
+				// programs checked without the detector are exactly those
+				// whose fingerprinted state space is intractable
+				// (docs/WEAKENING.md).
+				wopts := weaken.DefaultOptions(p.MCEntries)
+				wopts.DetectRaces = c.detectRaces
+				wopts.Workers = j
+				wopts.TimeBudget = time.Minute
+				weakened, res, err := weaken.OptimizeClone(ported, wopts)
+				if err != nil {
+					t.Fatalf("weaken -j %d: %v", j, err)
+				}
+				if res.CostAfter > res.CostBefore {
+					t.Errorf("-j %d: cost increased %d -> %d", j, res.CostBefore, res.CostAfter)
+				}
+				if c.after != mc.VerdictPass && c.after != mc.VerdictRace && res.Accepted != 0 {
+					t.Errorf("-j %d: optimizer accepted %d weakenings on a violating baseline", j, res.Accepted)
+				}
+				texts[j] = weakened.String()
+				got := checkConformance(t, &mcModule{weakened, p.MCEntries}, c, 1)
+				if got != c.after {
+					t.Errorf("after port+weaken -j %d: verdict %s, want %s (%s)", j, got, c.after, c.note)
+				}
+			}
+			if texts[1] != texts[4] {
+				t.Errorf("weakened module differs between -j 1 and -j 4")
+			}
+		})
+	}
+}

@@ -134,6 +134,7 @@ const (
 	MarkFromAsm                        // produced by inline-asm builtin mapping
 	MarkInsertedFence                  // fence inserted by the optimistic-loop transform
 	MarkNaive                          // transformed by the naive all-SC strategy
+	MarkWeakened                       // ordering weakened by the checker-in-the-loop optimizer
 )
 
 func (m Mark) String() string {
@@ -151,6 +152,7 @@ func (m Mark) String() string {
 	add(MarkFromAsm, "asm")
 	add(MarkInsertedFence, "inserted")
 	add(MarkNaive, "naive")
+	add(MarkWeakened, "weakened")
 	return strings.Join(parts, ",")
 }
 

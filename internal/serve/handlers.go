@@ -13,6 +13,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/memmodel"
 	"repro/internal/race"
+	"repro/internal/weaken"
 )
 
 // opLoad compiles a module into a (new or replaced) session.
@@ -176,6 +177,54 @@ func (s *Server) opVerify(ctx context.Context, req *Request, sess *session) *Res
 		Races:      len(res.Races),
 		Executions: res.Executions,
 	}
+}
+
+// opOptimize ports the module (cached) and runs the checker-in-the-
+// loop weakening optimizer on the ported clone (internal/weaken). The
+// session memoizes the result per (options, module) — a repeat request
+// replays it with replayed=true — and folds the options into its cache
+// salt, so flipping any of them starts from a clean incremental slate.
+func (s *Server) opOptimize(ctx context.Context, req *Request, sess *session) *Response {
+	if sess == nil {
+		return errResp(ErrNoModule, "no module loaded in session %q", sessionName(req))
+	}
+	if len(req.Entries) == 0 {
+		return errResp(ErrBadRequest, "optimize needs entries")
+	}
+	wopts := weaken.DefaultOptions(req.Entries)
+	wopts.Arch = req.Arch
+	wopts.DetectRaces = !req.NoRaces
+	wopts.MaxExecs = req.MaxExecs
+	if req.TimeBudgetMS > 0 {
+		wopts.TimeBudget = time.Duration(req.TimeBudgetMS) * time.Millisecond
+	}
+	if _, err := weaken.Arch(req.Arch); err != nil {
+		return errResp(ErrBadRequest, "optimize: %v", err)
+	}
+	res, rep, text, replayed, err := sess.optimize(ctx, s.opts.Workers, s.opts.Obs, wopts)
+	if err != nil {
+		return portError(err)
+	}
+	if rep != nil && !replayed {
+		s.c.cacheHits.Add(int64(rep.CacheHits))
+		s.c.cacheMiss.Add(int64(rep.CacheMisses))
+	}
+	resp := &Response{
+		OK: true, Module: res.Module, Report: rep,
+		Verdict: res.Verdict, Reason: res.Reason,
+		Optimize: res, Replayed: replayed,
+	}
+	if req.Emit || req.Out != "" {
+		if req.Out != "" {
+			if err := os.WriteFile(req.Out, []byte(text), 0o644); err != nil {
+				return errResp(ErrBadRequest, "optimize: write %s: %v", req.Out, err)
+			}
+		}
+		if req.Emit {
+			resp.Text = text
+		}
+	}
+	return resp
 }
 
 // opStats snapshots the server counters; it doubles as the health

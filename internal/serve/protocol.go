@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/atomig"
+	"repro/internal/weaken"
 )
 
 // Request is one line of client input.
@@ -16,7 +17,7 @@ type Request struct {
 	// ID correlates the response; opaque to the server.
 	ID string `json:"id"`
 	// Op selects the operation: load, edit, port, dump, explain-races,
-	// verify, stats, health, cancel, shutdown.
+	// verify, optimize, stats, health, cancel, shutdown.
 	Op string `json:"op"`
 
 	// Session names the module session (default "default"): load
@@ -43,11 +44,18 @@ type Request struct {
 	Emit bool   `json:"emit,omitempty"`
 	Out  string `json:"out,omitempty"`
 
-	// explain-races / verify: thread entry functions.
+	// explain-races / verify / optimize: thread entry functions.
 	Entries []string `json:"entries,omitempty"`
-	// verify: exploration budgets (0 = mc defaults).
+	// verify / optimize: exploration budgets (0 = engine defaults; for
+	// optimize they bound each candidate re-verification).
 	MaxExecs     int   `json:"max_execs,omitempty"`
 	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
+
+	// optimize: static cost-model architecture ("" = weaken.DefaultArch)
+	// and the race-detection opt-out (detection is on by default; see
+	// docs/WEAKENING.md for when to disable it).
+	Arch    string `json:"arch,omitempty"`
+	NoRaces bool   `json:"no_races,omitempty"`
 
 	// DeadlineMS overrides the server's per-request deadline (bounded
 	// above by it — a client cannot extend past the server cap).
@@ -101,9 +109,16 @@ type Response struct {
 	Executions int      `json:"executions,omitempty"`
 	Violations []string `json:"violations,omitempty"`
 
-	// verify
+	// verify / optimize
 	Verdict string `json:"verdict,omitempty"`
 	Reason  string `json:"reason,omitempty"`
+
+	// optimize: the full weakening result (cost before/after, accepted
+	// decisions with provenance), and whether the response replayed the
+	// session's memoized result — same options, unedited module — rather
+	// than re-running the checker.
+	Optimize *weaken.Result `json:"optimize,omitempty"`
+	Replayed bool           `json:"replayed,omitempty"`
 
 	// stats / health
 	Stats *Stats `json:"stats,omitempty"`

@@ -425,6 +425,8 @@ func (s *Server) execute(ctx context.Context, req *Request) (resp *Response) {
 		return s.opExplain(ctx, req, sess)
 	case "verify":
 		return s.opVerify(ctx, req, sess)
+	case "optimize":
+		return s.opOptimize(ctx, req, sess)
 	case "stats", "health":
 		return s.opStats()
 	default:

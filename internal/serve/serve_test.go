@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/appgen"
 	"repro/internal/atomig"
+	"repro/internal/corpus"
 	"repro/internal/ir"
 	"repro/internal/leakcheck"
 	"repro/internal/minic"
@@ -368,6 +369,97 @@ func TestSessionsAreIndependent(t *testing.T) {
 	want := []string{"a", "b"}
 	if len(st.Stats.Sessions) != 2 || st.Stats.Sessions[0] != want[0] || st.Stats.Sessions[1] != want[1] {
 		t.Errorf("sessions = %v, want %v", st.Stats.Sessions, want)
+	}
+
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+}
+
+// TestOptimizeSaltFlip is the regression for the optimize/cache-salt
+// contract: the optimize options are folded into the session's
+// CacheSalt and snapshot, so a daemon flipping them between warm ports
+// can never replay detection or weakening state computed under a
+// different configuration — each flip starts from a cold cache, and
+// only a repeat request with identical options replays the memoized
+// weakening result.
+func TestOptimizeSaltFlip(t *testing.T) {
+	leakcheck.Check(t)
+	prog := corpus.Get("mp")
+	if prog == nil {
+		t.Fatal("corpus program mp missing")
+	}
+	_, c := startServer(t, Options{})
+	mustOK(t, c.call(&Request{ID: "load", Op: "load", Name: "mp.c", Source: prog.Source}))
+
+	// Warm the detection cache under the optimize-off configuration.
+	cold := mustOK(t, c.call(&Request{ID: "p0", Op: "port"}))
+	if cold.Report.CacheMisses == 0 {
+		t.Fatalf("cold port: misses=%d, want > 0", cold.Report.CacheMisses)
+	}
+	warm := mustOK(t, c.call(&Request{ID: "p1", Op: "port"}))
+	if warm.Report.CacheMisses != 0 || warm.Report.CacheHits == 0 {
+		t.Fatalf("warm port: hits=%d misses=%d, want all hits", warm.Report.CacheHits, warm.Report.CacheMisses)
+	}
+
+	// First optimize: the option flip (off -> on) re-salts the cache, so
+	// the port inside it must run cold — a warm replay here would be
+	// detection state from a different configuration.
+	opt := &Request{ID: "o1", Op: "optimize", Entries: prog.MCEntries, MaxExecs: 50000, Emit: true}
+	o1 := mustOK(t, c.call(opt))
+	if o1.Replayed {
+		t.Errorf("first optimize replayed a memo that cannot exist")
+	}
+	if o1.Report == nil || o1.Report.CacheMisses == 0 {
+		t.Errorf("optimize after salt flip reused the stale detection cache: %+v", o1.Report)
+	}
+	if o1.Optimize == nil || o1.Verdict != "verified" || o1.Reason != "" {
+		t.Fatalf("optimize: verdict=%q reason=%q optimize=%v, want verified", o1.Verdict, o1.Reason, o1.Optimize)
+	}
+	if o1.Optimize.CostAfter >= o1.Optimize.CostBefore {
+		t.Errorf("optimize did not reduce cost: %d -> %d", o1.Optimize.CostBefore, o1.Optimize.CostAfter)
+	}
+	if o1.Text == "" || o1.Text == cliPortSource(t, "mp.c", prog.Source) {
+		t.Errorf("optimize -emit returned un-weakened module text")
+	}
+
+	// Same options again: the memoized result replays, byte-identical.
+	opt.ID = "o2"
+	o2 := mustOK(t, c.call(opt))
+	if !o2.Replayed {
+		t.Errorf("repeat optimize with identical options did not replay the memo")
+	}
+	if o2.Text != o1.Text || o2.Optimize.CostAfter != o1.Optimize.CostAfter {
+		t.Errorf("replayed optimize differs from the original")
+	}
+
+	// Flip an option (cost-model arch): the memo must not replay, and
+	// the detection cache must run cold again under the new salt.
+	o3 := mustOK(t, c.call(&Request{ID: "o3", Op: "optimize", Entries: prog.MCEntries,
+		MaxExecs: 50000, Arch: "power"}))
+	if o3.Replayed {
+		t.Errorf("optimize with a flipped arch replayed the stale memo")
+	}
+	if o3.Report == nil || o3.Report.CacheMisses == 0 {
+		t.Errorf("optimize with a flipped arch reused the stale detection cache: %+v", o3.Report)
+	}
+	if o3.Optimize.Arch != "power" || o3.Optimize.CostBefore == o1.Optimize.CostBefore {
+		t.Errorf("flipped arch not reflected: arch=%q cost %d vs %d",
+			o3.Optimize.Arch, o3.Optimize.CostBefore, o1.Optimize.CostBefore)
+	}
+
+	// Flip the race-detection flag: again no replay.
+	o4 := mustOK(t, c.call(&Request{ID: "o4", Op: "optimize", Entries: prog.MCEntries,
+		MaxExecs: 50000, Arch: "power", NoRaces: true}))
+	if o4.Replayed {
+		t.Errorf("optimize with a flipped race flag replayed the stale memo")
+	}
+
+	// Bad arch is a typed client error, not an engine failure.
+	if r := c.call(&Request{ID: "o5", Op: "optimize", Entries: prog.MCEntries, Arch: "vax"}); r.OK || r.ErrKind != ErrBadRequest {
+		t.Errorf("bad arch: got ok=%t kind=%q, want bad_request", r.OK, r.ErrKind)
+	}
+	// Missing entries likewise.
+	if r := c.call(&Request{ID: "o6", Op: "optimize"}); r.OK || r.ErrKind != ErrBadRequest {
+		t.Errorf("missing entries: got ok=%t kind=%q, want bad_request", r.OK, r.ErrKind)
 	}
 
 	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))

@@ -21,6 +21,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/minic"
 	"repro/internal/obs"
+	"repro/internal/weaken"
 )
 
 // session is one named module plus its incremental state.
@@ -37,14 +38,38 @@ type session struct {
 	hashes []string   // FuncKey per snap.Funcs, under salt
 	salt   string
 	cache  *atomig.MemCache
+
+	// optSalt is the weakening configuration of the last optimize
+	// request ("" until one arrives). It is folded into the snapshot's
+	// CacheSalt, so flipping any optimize option re-salts the detection
+	// cache keys — the daemon can never replay detection or weakening
+	// state computed under a different configuration (satellite
+	// regression: TestOptimizeSaltFlip).
+	optSalt string
+	// opt memoizes the last optimize result, keyed by optSalt plus the
+	// snapshot's function hashes; an edit or an option flip changes the
+	// key and forces a recompute.
+	opt *optMemo
+}
+
+// optMemo is one memoized optimize result: the weakened module text,
+// the port report that produced it, and the weakening result.
+type optMemo struct {
+	key  string
+	res  *weaken.Result
+	rep  *atomig.Report
+	text string
 }
 
 // portOptions returns the pipeline options every port of this session
 // runs with. Inline is off because the snapshot is already inlined;
 // everything else matches atomig.DefaultOptions, the CLI default.
-func portOptions() atomig.Options {
+// optSalt is the session's active weakening configuration, folded into
+// the detection-cache salt (see the optSalt field).
+func portOptions(optSalt string) atomig.Options {
 	opts := atomig.DefaultOptions()
 	opts.Inline = false
+	opts.OptimizeSalt = optSalt
 	return opts
 }
 
@@ -94,7 +119,7 @@ func (s *session) rebuild() error {
 	if err != nil {
 		return err
 	}
-	popts := portOptions()
+	popts := portOptions(s.optSalt)
 	analysis.Inline(snap, atomig.DefaultOptions().InlineOptions)
 	s.snap = snap
 	s.salt = atomig.CacheSalt(snap, popts)
@@ -161,12 +186,13 @@ func (s *session) port(ctx context.Context, workers int, prov *obs.Provider) (*i
 	snap := s.snap
 	hashes := s.hashes
 	cache := s.cache
+	optSalt := s.optSalt
 	clone, err := ir.CloneModule(snap)
 	s.mu.RUnlock()
 	if err != nil {
 		return nil, nil, err
 	}
-	opts := portOptions()
+	opts := portOptions(optSalt)
 	opts.Context = ctx
 	opts.Detect = cache
 	opts.FuncHashes = hashes
@@ -177,6 +203,70 @@ func (s *session) port(ctx context.Context, workers int, prov *obs.Provider) (*i
 		return nil, nil, err
 	}
 	return clone, rep, nil
+}
+
+// setOptimize records the weakening configuration the session now runs
+// under. A changed salt rebuilds the snapshot — new detection-cache
+// keys, dropped optimize memo — so nothing computed under the previous
+// configuration can be replayed; an unchanged salt is a no-op.
+func (s *session) setOptimize(salt string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.optSalt == salt {
+		return nil
+	}
+	s.optSalt = salt
+	s.opt = nil
+	return s.rebuild()
+}
+
+// optKey keys the optimize memo: the active configuration plus the
+// snapshot's function hashes (already salted by module header state),
+// so an edit or an option flip misses.
+func (s *session) optKey() string {
+	return s.optSalt + "\x00" + strings.Join(s.hashes, "\x00")
+}
+
+// optimize ports the session (cached) and runs the weakening optimizer
+// on the ported clone. The result is memoized per (configuration,
+// snapshot) — a repeat request with the same options on an unedited
+// module replays it (replayed=true) without re-running the checker.
+// wopts carries the request's weakening options; Workers/Context/Obs
+// are overridden with the server's.
+func (s *session) optimize(ctx context.Context, workers int, prov *obs.Provider, wopts weaken.Options) (res *weaken.Result, rep *atomig.Report, text string, replayed bool, err error) {
+	if err := s.setOptimize(wopts.Salt()); err != nil {
+		return nil, nil, "", false, err
+	}
+	s.mu.RLock()
+	key := s.optKey()
+	if m := s.opt; m != nil && m.key == key {
+		s.mu.RUnlock()
+		return m.res, m.rep, m.text, true, nil
+	}
+	s.mu.RUnlock()
+
+	ported, rep, err := s.port(ctx, workers, prov)
+	if err != nil {
+		return nil, nil, "", false, err
+	}
+	wopts.Workers = workers
+	wopts.Context = ctx
+	wopts.Obs = prov
+	res, err = weaken.Optimize(ported, wopts)
+	if err != nil {
+		return nil, nil, "", false, err
+	}
+	text = ported.String()
+
+	// Publish the memo only if the session state it was computed from
+	// is still current (an edit or option flip racing this request
+	// invalidates it — serve the response, drop the memo).
+	s.mu.Lock()
+	if s.optKey() == key {
+		s.opt = &optMemo{key: key, res: res, rep: rep, text: text}
+	}
+	s.mu.Unlock()
+	return res, rep, text, false, nil
 }
 
 // dumpBase renders the un-ported module (the CLI-equivalence input).
@@ -200,6 +290,9 @@ func (s *session) cloneBase() (*ir.Module, error) {
 // corrupted state, and correctness must never depend on cache contents.
 func (s *session) poison() {
 	s.cache.Clear()
+	s.mu.Lock()
+	s.opt = nil
+	s.mu.Unlock()
 }
 
 // readSource resolves a load request's source text: inline Source

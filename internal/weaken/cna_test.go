@@ -1,0 +1,43 @@
+package weaken_test
+
+import (
+	"testing"
+
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/weaken"
+)
+
+// TestSmokeCNALock weakens the ported CNA lock — the flagship target —
+// with the race detector in the loop, and requires the >= 25% static
+// cost reduction the subsystem exists to deliver.
+func TestSmokeCNALock(t *testing.T) {
+	p := corpus.Get("cna-lock")
+	orig, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ported, _, err := atomig.PortClone(orig, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := weaken.Optimize(ported, weaken.DefaultOptions(p.MCEntries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verdict=%s cost %d -> %d (%.1f%%) tried=%d accepted=%d rounds=%d fences_deleted=%d mc_checks=%d mc_time=%s",
+		res.Verdict, res.CostBefore, res.CostAfter, res.Reduction(),
+		res.Tried, res.Accepted, res.Rounds, res.FencesDeleted, res.MCChecks, res.MCTime)
+	for _, d := range res.Decisions {
+		t.Logf("  %s", d)
+	}
+	if res.Reason != "" {
+		t.Fatalf("refused: %s", res.Reason)
+	}
+	if res.Verdict != "verified" {
+		t.Fatalf("baseline verdict %s, want verified", res.Verdict)
+	}
+	if res.Reduction() < 25 {
+		t.Fatalf("reduction %.1f%% below the 25%% flagship bar", res.Reduction())
+	}
+}

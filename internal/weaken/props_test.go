@@ -1,0 +1,168 @@
+package weaken_test
+
+import (
+	"testing"
+
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/weaken"
+)
+
+// portFlagship compiles and ports one corpus program for the property
+// tests.
+func portFlagship(t *testing.T, name string) (*ir.Module, *corpus.Program) {
+	t.Helper()
+	p := corpus.Get(name)
+	if p == nil {
+		t.Fatalf("program %q not in corpus", name)
+	}
+	orig, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ported, _, err := atomig.PortClone(orig, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ported, p
+}
+
+// TestWeakenIdempotent pins the fixpoint property: running the
+// optimizer on its own output accepts nothing — weaken(weaken(p)) ==
+// weaken(p). A second pass that still finds work would mean the first
+// pass did not actually reach the fixpoint it claims.
+func TestWeakenIdempotent(t *testing.T) {
+	ported, p := portFlagship(t, "seqlock-gap")
+	once, res1, err := weaken.OptimizeClone(ported, weaken.DefaultOptions(p.MCEntries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Reason != "" || res1.Accepted == 0 {
+		t.Fatalf("first pass: reason=%q accepted=%d, want an effective run", res1.Reason, res1.Accepted)
+	}
+	twice, res2, err := weaken.OptimizeClone(once, weaken.DefaultOptions(p.MCEntries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Accepted != 0 || len(res2.Decisions) != 0 {
+		t.Errorf("second pass accepted %d weakenings (%v), want 0", res2.Accepted, res2.Decisions)
+	}
+	if res2.CostBefore != res1.CostAfter || res2.CostAfter != res1.CostAfter {
+		t.Errorf("second pass cost %d -> %d, want stable at %d", res2.CostBefore, res2.CostAfter, res1.CostAfter)
+	}
+	if got, want := twice.String(), once.String(); got != want {
+		t.Errorf("weaken(weaken(p)) != weaken(p):\n--- second ---\n%s--- first ---\n%s", got, want)
+	}
+}
+
+// TestWeakenMonotoneCost pins the cost direction on every corpus
+// program with a model-checking harness: whatever the optimizer does —
+// weaken, refuse, or no-op — the scope cost never increases, and the
+// sum of the decisions' deltas accounts exactly for the difference.
+func TestWeakenMonotoneCost(t *testing.T) {
+	for _, name := range corpus.Names() {
+		p := corpus.Get(name)
+		if len(p.MCEntries) == 0 {
+			continue
+		}
+		// The big CK-style harnesses are exercised by the bench suite;
+		// the litmus set plus both flagships is enough to pin the
+		// property without minutes of checker time.
+		switch name {
+		case "mp", "sb", "lb", "corr", "seqlock", "seqlock-gap", "cna-lock":
+		default:
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			ported, p := portFlagship(t, name)
+			opts := weaken.DefaultOptions(p.MCEntries)
+			if name == "seqlock" {
+				// Benign retry-race: the fingerprinted space is
+				// intractable (docs/WEAKENING.md).
+				opts.DetectRaces = false
+			}
+			res, err := weaken.Optimize(ported, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CostAfter > res.CostBefore {
+				t.Errorf("cost increased: %d -> %d", res.CostBefore, res.CostAfter)
+			}
+			var sum int64
+			for _, d := range res.Decisions {
+				if d.CostDelta <= 0 {
+					t.Errorf("decision %s has non-positive delta %d", d, d.CostDelta)
+				}
+				sum += d.CostDelta
+			}
+			if res.CostBefore-res.CostAfter != sum {
+				t.Errorf("decision deltas sum to %d, cost moved %d", sum, res.CostBefore-res.CostAfter)
+			}
+		})
+	}
+}
+
+// TestWeakenDeterministicAcrossWorkers is the acceptance-criteria
+// determinism check: the weakened module is byte-identical at every
+// screening fan-out from 1 through 8, and so is the decision log.
+func TestWeakenDeterministicAcrossWorkers(t *testing.T) {
+	ported, p := portFlagship(t, "seqlock-gap")
+	var refText string
+	var refDecisions []weaken.Decision
+	for j := 1; j <= 8; j++ {
+		opts := weaken.DefaultOptions(p.MCEntries)
+		opts.Workers = j
+		weakened, res, err := weaken.OptimizeClone(ported, opts)
+		if err != nil {
+			t.Fatalf("-j %d: %v", j, err)
+		}
+		text := weakened.String()
+		if j == 1 {
+			refText, refDecisions = text, res.Decisions
+			if res.Accepted == 0 {
+				t.Fatal("reference run accepted nothing; the property would hold vacuously")
+			}
+			continue
+		}
+		if text != refText {
+			t.Errorf("-j %d: weakened module differs from -j 1", j)
+		}
+		if len(res.Decisions) != len(refDecisions) {
+			t.Errorf("-j %d: %d decisions, want %d", j, len(res.Decisions), len(refDecisions))
+			continue
+		}
+		for i, d := range res.Decisions {
+			if d != refDecisions[i] {
+				t.Errorf("-j %d: decision %d = %+v, want %+v", j, i, d, refDecisions[i])
+			}
+		}
+	}
+}
+
+// TestWeakenBudgetRejection pins the unknown-verdict semantics: a
+// baseline the checker cannot finish inside the budget refuses the
+// whole run — module untouched, nothing tried — rather than weakening
+// against a verdict nobody established.
+func TestWeakenBudgetRejection(t *testing.T) {
+	ported, p := portFlagship(t, "seqlock-gap")
+	before := ported.String()
+	opts := weaken.DefaultOptions(p.MCEntries)
+	opts.MaxExecs = 1 // exhausted immediately: baseline is unknown
+	res, err := weaken.Optimize(ported, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason == "" {
+		t.Fatal("unknown baseline did not refuse the run")
+	}
+	if res.Tried != 0 || res.Accepted != 0 || len(res.Decisions) != 0 {
+		t.Errorf("refused run still tried %d / accepted %d candidates", res.Tried, res.Accepted)
+	}
+	if res.CostAfter != res.CostBefore {
+		t.Errorf("refused run moved cost %d -> %d", res.CostBefore, res.CostAfter)
+	}
+	if ported.String() != before {
+		t.Error("refused run mutated the module")
+	}
+}

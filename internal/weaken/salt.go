@@ -1,0 +1,43 @@
+package weaken
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Per-candidate budget defaults, applied by Optimize and mirrored by
+// Salt so a zero value and the explicit default fingerprint alike.
+const (
+	defaultMaxExecs   = 200_000
+	defaultTimeBudget = 30 * time.Second
+)
+
+// Salt fingerprints every Options field that can change the optimizer's
+// output, in a canonical form: zero values are normalized to the
+// defaults Optimize itself applies, so an explicit default and an
+// unset field share a fingerprint. Workers is excluded (the weakened
+// module is byte-identical at every fan-out), as are Context and Obs
+// (they never influence the result).
+//
+// Incremental consumers — the serve daemon folds this into the
+// session's atomig.CacheSalt — use it to guarantee that toggling any
+// optimize option invalidates cached state computed under a different
+// configuration.
+func (o Options) Salt() string {
+	arch := o.Arch
+	if arch == "" {
+		arch = DefaultArch
+	}
+	execs := o.MaxExecs
+	if execs == 0 {
+		execs = defaultMaxExecs
+	}
+	budget := o.TimeBudget
+	if budget == 0 {
+		budget = defaultTimeBudget
+	}
+	return fmt.Sprintf("weaken/v1|model=%d|arch=%s|races=%t|execs=%d|steps=%d|budget=%s|entries=%s",
+		o.Model, arch, o.DetectRaces, execs, o.MaxStepsPerExec, budget,
+		strings.Join(o.Entries, ","))
+}

@@ -1,0 +1,45 @@
+package weaken_test
+
+import (
+	"testing"
+
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/weaken"
+)
+
+// TestSmokeSeqlock ports the seqlock corpus program and weakens it:
+// the run must terminate, strictly reduce the static cost, and keep
+// the verified verdict.
+func TestSmokeSeqlock(t *testing.T) {
+	p := corpus.Get("seqlock")
+	orig, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ported, _, err := atomig.PortClone(orig, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := weaken.DefaultOptions(p.MCEntries)
+	// The ported seqlock's benign retry-race on the data fields makes
+	// the fingerprinted state space intractable; weaken verdict-only,
+	// like the conformance suite checks this program.
+	opts.DetectRaces = false
+	res, err := weaken.Optimize(ported, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verdict=%s cost %d -> %d (%.1f%%) tried=%d accepted=%d rounds=%d fences_deleted=%d",
+		res.Verdict, res.CostBefore, res.CostAfter, res.Reduction(),
+		res.Tried, res.Accepted, res.Rounds, res.FencesDeleted)
+	for _, d := range res.Decisions {
+		t.Logf("  %s", d)
+	}
+	if res.Reason != "" {
+		t.Fatalf("refused: %s", res.Reason)
+	}
+	if res.CostAfter >= res.CostBefore {
+		t.Fatalf("no cost reduction: %d -> %d", res.CostBefore, res.CostAfter)
+	}
+}

@@ -1,0 +1,40 @@
+#!/bin/sh
+# weaken-smoke: port + -O the weakening flagships through the atomig
+# CLI and assert the optimizer's contract end to end — the baseline
+# verdict holds (the report says so only after re-verifying every
+# committed weakening cumulatively) and the static cost strictly
+# decreases. Driven by `make weaken-smoke` (wired into `make check`).
+#
+# Usage: weaken-smoke.sh <atomig-binary>
+set -e
+
+ATOMIG="$1"
+if [ -z "$ATOMIG" ]; then
+    echo "usage: $0 <atomig-binary>" >&2
+    exit 2
+fi
+
+for prog in seqlock-gap cna-lock; do
+    out=$("$ATOMIG" -O -corpus "$prog") || {
+        echo "weaken-smoke: $prog: atomig -O failed" >&2
+        exit 1
+    }
+    echo "$out" | grep -q "baseline verified" || {
+        echo "weaken-smoke: $prog: baseline not verified:" >&2
+        echo "$out" >&2
+        exit 1
+    }
+    line=$(echo "$out" | grep "static cost")
+    before=$(echo "$line" | sed -E 's/.*: *([0-9]+) -> ([0-9]+) cycles.*/\1/')
+    after=$(echo "$line" | sed -E 's/.*: *([0-9]+) -> ([0-9]+) cycles.*/\2/')
+    case "$before$after" in
+        *[!0-9]*|'')
+            echo "weaken-smoke: $prog: could not parse cost line: $line" >&2
+            exit 1 ;;
+    esac
+    if [ "$after" -ge "$before" ]; then
+        echo "weaken-smoke: $prog: cost did not strictly decrease ($before -> $after)" >&2
+        exit 1
+    fi
+    echo "weaken-smoke: $prog: verified, cost $before -> $after cycles"
+done
