@@ -29,6 +29,7 @@ var markByName = map[string]Mark{
 	"spin": MarkSpinControl, "opt": MarkOptControl, "sticky": MarkSticky,
 	"volatile": MarkFromVolatile, "atomic-upgrade": MarkFromAtomic,
 	"asm": MarkFromAsm, "inserted": MarkInsertedFence, "naive": MarkNaive,
+	"weakened": MarkWeakened,
 }
 
 // pendingOperand is an unresolved operand reference.

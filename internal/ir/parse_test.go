@@ -101,6 +101,26 @@ func TestParseRoundTripRichModule(t *testing.T) {
 	}
 }
 
+// TestMarksRoundTrip pins that every defined mark parses back under
+// the name it prints — a mark missing from markByName makes dumped
+// modules (e.g. atomig -O output, which stamps MarkWeakened)
+// unreadable by the rest of the toolchain.
+func TestMarksRoundTrip(t *testing.T) {
+	for bit := Mark(1); bit <= MarkWeakened; bit <<= 1 {
+		name := bit.String()
+		if name == "" {
+			t.Fatalf("mark bit %#x has no printed name", bit)
+		}
+		var in Instr
+		if err := (&funcResolver{}).parseMarks(&in, "["+name+"]"); err != nil {
+			t.Fatalf("mark %q does not parse back: %v", name, err)
+		}
+		if !in.HasMark(bit) {
+			t.Fatalf("mark %q parsed to %#x, want %#x", name, in.Marks, bit)
+		}
+	}
+}
+
 func TestParseRoundTripSpawn(t *testing.T) {
 	m := NewModule("spawnmod")
 	w := &Func{Name: "worker", RetTy: Void, NoInline: true}

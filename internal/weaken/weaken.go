@@ -274,11 +274,13 @@ func Optimize(m *ir.Module, opts Options) (res *Result, err error) {
 
 	// Baseline: the verdict every weakening must preserve.
 	bs := trk.Begin("weaken.baseline")
-	w.base, err = w.check(m)
+	var bel time.Duration
+	w.base, bel, err = w.check(m)
 	bs.Arg("verdict", verdictName(w.base, err)).End()
 	if err != nil {
 		return nil, fmt.Errorf("weaken: baseline check: %w", err)
 	}
+	w.note(w.base.Executions, bel)
 	w.res.Verdict = w.base.Verdict.String()
 	switch w.base.Verdict {
 	case mc.VerdictFail:
@@ -493,19 +495,23 @@ func (w *weakener) round(workers int) (bool, error) {
 
 	// Merge: commit survivors in site order, one at a time, keeping a
 	// step only if the cumulative module still re-verifies. The first
-	// alternative that commits wins its site's rung; a site none of
-	// whose alternatives commit is frozen.
+	// alternative that commits wins its site's rung and its remaining
+	// alternatives are skipped; an alternative that failed screening or
+	// the cumulative check only disqualifies itself, never the site —
+	// a rung like acq_rel → [acquire, release] must try release even
+	// when acquire fails. Only a site none of whose alternatives
+	// committed is frozen, in the sweep after the loop.
 	ms := w.opts.Obs.Track("weaken").Begin("weaken.merge").Arg("candidates", len(cands))
 	defer ms.End()
 	changed := false
 	committed := make(map[int]bool) // siteIdx -> committed this round
-	frozen := make(map[int]bool)
+	attempted := make(map[int]bool) // siteIdx -> had a candidate considered
 	for ci, c := range cands {
-		if committed[c.siteIdx] || frozen[c.siteIdx] {
+		if committed[c.siteIdx] {
 			continue
 		}
+		attempted[c.siteIdx] = true
 		if !pass[ci] {
-			frozen[c.siteIdx] = true
 			continue
 		}
 		if err := w.ctxErr(); err != nil {
@@ -518,14 +524,11 @@ func (w *weakener) round(workers int) (bool, error) {
 		if ok {
 			committed[c.siteIdx] = true
 			changed = true
-		} else {
-			frozen[c.siteIdx] = true
 		}
 	}
 	for si := range w.sites {
-		s := &w.sites[si]
-		if frozen[si] && !committed[si] {
-			s.frozen = true
+		if attempted[si] && !committed[si] {
+			w.sites[si].frozen = true
 			w.c.frozen.Inc()
 		}
 		// A fully weakened site has an empty ladder and stops
@@ -534,12 +537,24 @@ func (w *weakener) round(workers int) (bool, error) {
 	return changed, nil
 }
 
+// screenOutcome is one candidate's screening verdict plus the checker
+// work it cost, carried back to the sequential aggregation step.
+type screenOutcome struct {
+	ran     bool // the candidate was actually verified (vs. skipped on cancel)
+	pass    bool
+	execs   int
+	elapsed time.Duration
+}
+
 // screen checks every candidate of a round independently against a
 // private clone of the current module, fanning out over the worker
-// pool. The result slice is indexed by candidate, so the outcome is
-// deterministic regardless of worker count or completion order.
+// pool. Workers write only their own slot of the outcome slice; the
+// shared Result tallies (Tried/Accepted/Rejected, MCChecks/...) are
+// applied sequentially after the pool drains, in candidate order, so
+// both the verdicts and the published counts are deterministic
+// regardless of worker count or completion order.
 func (w *weakener) screen(cands []candidate, workers int) ([]bool, error) {
-	pass := make([]bool, len(cands))
+	outs := make([]screenOutcome, len(cands))
 	errs := make([]error, len(cands))
 	var cursor int
 	var mu sync.Mutex
@@ -574,8 +589,8 @@ func (w *weakener) screen(cands []candidate, workers int) ([]bool, error) {
 				s := &w.sites[c.siteIdx]
 				cs := trk.Begin("weaken.candidate").
 					Arg("site", race.SiteString(s.in)).Arg("to", ordName(c))
-				pass[i], errs[i] = w.screenOne(c)
-				cs.Arg("pass", pass[i]).End()
+				outs[i], errs[i] = w.screenOne(c)
+				cs.Arg("pass", outs[i].pass).End()
 			}
 		}(wi)
 	}
@@ -588,22 +603,33 @@ func (w *weakener) screen(cands []candidate, workers int) ([]bool, error) {
 	if err := w.ctxErr(); err != nil {
 		return nil, err
 	}
+	pass := make([]bool, len(cands))
+	for i, o := range outs {
+		pass[i] = o.pass
+		if o.ran {
+			w.note(o.execs, o.elapsed)
+			w.tally(o.pass)
+		}
+	}
 	return pass, nil
 }
 
 // screenOne clones the current module, applies one candidate to the
-// clone, and re-verifies it.
-func (w *weakener) screenOne(c candidate) (bool, error) {
+// clone, and re-verifies it. It is side-effect free on the weakener —
+// it runs concurrently with other screenings, reading the live module
+// and baseline only — and returns the verdict plus the checker work
+// for the caller to account sequentially.
+func (w *weakener) screenOne(c candidate) (screenOutcome, error) {
 	s := &w.sites[c.siteIdx]
 	// Resolve the site's position in the live module by identity, then
 	// map it positionally into the clone (clones mirror block layout).
 	pos := s.pos(w.m)
 	if pos < 0 {
-		return false, fmt.Errorf("weaken: site %s vanished from its block", race.SiteString(s.in))
+		return screenOutcome{}, fmt.Errorf("weaken: site %s vanished from its block", race.SiteString(s.in))
 	}
 	clone, err := ir.CloneModule(w.m)
 	if err != nil {
-		return false, err
+		return screenOutcome{}, err
 	}
 	blk := clone.Funcs[s.fi].Blocks[s.bi]
 	if c.del {
@@ -611,15 +637,17 @@ func (w *weakener) screenOne(c candidate) (bool, error) {
 	} else {
 		blk.Instrs[pos].Ord = c.ord
 	}
-	res, err := w.check(clone)
+	res, el, err := w.check(clone)
 	if err != nil {
-		return false, err
+		return screenOutcome{}, err
 	}
-	return w.accepts(res), nil
+	return screenOutcome{ran: true, pass: w.accepted(res), execs: res.Executions, elapsed: el}, nil
 }
 
 // commit applies one screened candidate to the live module and
-// re-verifies cumulatively, reverting on rejection. Coordinates stay
+// re-verifies cumulatively, reverting on rejection or on a hard
+// checker error (the module stays in the last verified state either
+// way). Coordinates stay
 // valid across commits because ordering changes do not move
 // instructions and deletions re-resolve positions by identity.
 func (w *weakener) commit(c candidate) (bool, error) {
@@ -637,16 +665,26 @@ func (w *weakener) commit(c candidate) (bool, error) {
 	} else {
 		s.in.Ord = c.ord
 	}
-	res, err := w.check(w.m)
-	if err != nil {
-		return false, err
-	}
-	if !w.accepts(res) {
+	revert := func() {
 		if c.del {
 			insertInstr(blk, pos, s.in)
 		} else {
 			s.in.Ord = prev
 		}
+	}
+	res, el, err := w.check(w.m)
+	if err != nil {
+		// Options.Context promises the module is left in the last
+		// verified state — a hard checker error must not strand the
+		// unverified mutation in the live module.
+		revert()
+		return false, err
+	}
+	w.note(res.Executions, el)
+	ok := w.accepted(res)
+	w.tally(ok)
+	if !ok {
+		revert()
 		return false, nil
 	}
 	d := Decision{
@@ -681,12 +719,12 @@ func (w *weakener) commit(c candidate) (bool, error) {
 	return true, nil
 }
 
-// accepts applies the acceptance rule to one candidate verification:
+// accepted applies the acceptance rule to one candidate verification:
 // same verdict as the baseline, no new race report keys, and unknown
-// never accepts.
-func (w *weakener) accepts(res *mc.Result) bool {
-	w.res.Tried++
-	w.c.tried.Inc()
+// never accepts. It only reads state fixed at baseline time, so
+// screening workers may call it concurrently; the bookkeeping lives in
+// tally.
+func (w *weakener) accepted(res *mc.Result) bool {
 	ok := res.Verdict == w.base.Verdict && res.Verdict != mc.VerdictUnknown
 	if ok {
 		for _, r := range res.Races {
@@ -696,6 +734,15 @@ func (w *weakener) accepts(res *mc.Result) bool {
 			}
 		}
 	}
+	return ok
+}
+
+// tally counts one candidate verification's outcome. Sequential only:
+// it writes plain Result fields, so screening aggregates after the
+// pool drains rather than calling it from workers.
+func (w *weakener) tally(ok bool) {
+	w.res.Tried++
+	w.c.tried.Inc()
 	if ok {
 		w.res.Accepted++
 		w.c.accepted.Inc()
@@ -703,12 +750,14 @@ func (w *weakener) accepts(res *mc.Result) bool {
 		w.res.Rejected++
 		w.c.rejected.Inc()
 	}
-	return ok
 }
 
-// check runs one bounded re-verification. The sequential engine keeps
-// each check deterministic; parallelism lives at the candidate level.
-func (w *weakener) check(m *ir.Module) (*mc.Result, error) {
+// check runs one bounded re-verification and returns its wall clock
+// alongside the result. The sequential engine keeps each check
+// deterministic; parallelism lives at the candidate level. It mutates
+// nothing on the weakener beyond the (atomic) latency histogram —
+// callers account the work via note, sequentially.
+func (w *weakener) check(m *ir.Module) (*mc.Result, time.Duration, error) {
 	t0 := time.Now()
 	res, err := mc.Check(m, mc.Options{
 		Model:           w.opts.Model,
@@ -720,14 +769,19 @@ func (w *weakener) check(m *ir.Module) (*mc.Result, error) {
 		DetectRaces:     w.opts.DetectRaces,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	el := time.Since(t0)
 	w.c.verifyMicros.Observe(el.Microseconds())
+	return res, el, nil
+}
+
+// note accounts one completed check's work into the report. Sequential
+// only, for the same reason as tally.
+func (w *weakener) note(execs int, el time.Duration) {
 	w.res.MCChecks++
-	w.res.MCExecutions += res.Executions
+	w.res.MCExecutions += execs
 	w.res.MCTime += el
-	return res, nil
 }
 
 // deleteInstr removes the instruction at pos from the block.
