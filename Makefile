@@ -5,11 +5,15 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline bench-weaken pipeline-smoke obs-smoke serve-smoke weaken-smoke clean
+.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline bench-frontend bench-weaken pipeline-smoke frontend-smoke obs-smoke serve-smoke weaken-smoke clean
 
 # Module size for the pipeline byte-identical-output smoke. Big enough
 # to exercise the parallel fan-out, small enough for `make check`.
 PIPELINE_SMOKE_SLOC ?= 20000
+
+# Module size for the frontend byte-identical-output smoke (chunked
+# parallel parse + parallel lowering through the CLI).
+FRONTEND_SMOKE_SLOC ?= 100000
 
 # Module size for the daemon smoke (cold port, one-function edit,
 # warm re-port — all byte-compared against the CLI).
@@ -33,7 +37,7 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race bench-mc-smoke obs-smoke pipeline-smoke serve-smoke weaken-smoke
+check: build vet test test-race bench-mc-smoke obs-smoke pipeline-smoke frontend-smoke serve-smoke weaken-smoke
 
 # Model-checker scaling sweep (docs/MODEL-CHECKER.md): exhaustive
 # exploration of the litmus+seqlock corpus at 1..8 workers, appending
@@ -49,6 +53,13 @@ bench-mc:
 bench-pipeline:
 	$(GO) run ./cmd/atomig-bench -exp pipeline-scaling -json BENCH_pipeline.json
 
+# Frontend scaling sweep (docs/PIPELINE.md "Frontend"): compile the
+# generated >= 100k-line module at 1..8 workers, appending per-phase
+# (lex/parse/lower) timings, throughput and the module hash to
+# BENCH_pipeline.json. Fails on any cross-worker module drift.
+bench-frontend:
+	$(GO) run ./cmd/atomig-bench -exp frontend-scaling -json BENCH_pipeline.json
+
 # End-to-end determinism smoke of the parallel pipeline
 # (docs/PIPELINE.md): generate a large module, port it through the CLI
 # at -j 1 and -j 8, and require byte-identical output.
@@ -58,6 +69,22 @@ pipeline-smoke:
 	bin/atomig -j 1 -o bin/pipeline-smoke-j1.air bin/pipeline-smoke.c
 	bin/atomig -j 8 -o bin/pipeline-smoke-j8.air bin/pipeline-smoke.c
 	cmp bin/pipeline-smoke-j1.air bin/pipeline-smoke-j8.air
+
+# Frontend determinism smoke (docs/PIPELINE.md "Frontend"): compile a
+# generated 100k-line module through the CLI at -j 1 and -j 8 and
+# require byte-identical original-module dumps (-emit-orig: the
+# frontend's output before porting), ported .air files, and reports.
+# The porting-time line (wall clock) and the wrote-file line (per-j
+# output path) are filtered before comparing.
+frontend-smoke:
+	$(GO) build -o bin/ ./cmd/atomig ./cmd/atomig-bench
+	bin/atomig-bench -gen-module bin/frontend-smoke.c -sloc $(FRONTEND_SMOKE_SLOC)
+	bin/atomig -j 1 -emit-orig -o bin/frontend-smoke-j1.air bin/frontend-smoke.c > bin/frontend-smoke-j1.raw
+	bin/atomig -j 8 -emit-orig -o bin/frontend-smoke-j8.air bin/frontend-smoke.c > bin/frontend-smoke-j8.raw
+	grep -v -e "porting time:" -e "^wrote " bin/frontend-smoke-j1.raw > bin/frontend-smoke-j1.out
+	grep -v -e "porting time:" -e "^wrote " bin/frontend-smoke-j8.raw > bin/frontend-smoke-j8.out
+	cmp bin/frontend-smoke-j1.out bin/frontend-smoke-j8.out
+	cmp bin/frontend-smoke-j1.air bin/frontend-smoke-j8.air
 
 # End-to-end smoke of the incremental porting daemon (docs/SERVE.md):
 # drive `atomig -serve` through load → port → one-function edit →
@@ -114,6 +141,7 @@ obs-smoke:
 # regression seeds; check them in.
 fuzz-smoke:
 	$(GO) test -run none -fuzz FuzzCompile -fuzztime $(FUZZTIME) ./internal/minic
+	$(GO) test -run none -fuzz FuzzParseChunked -fuzztime $(FUZZTIME) ./internal/minic
 	$(GO) test -run none -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME) ./internal/ir
 	$(GO) test -run none -fuzz FuzzAliasExplore -fuzztime $(FUZZTIME) ./internal/alias
 

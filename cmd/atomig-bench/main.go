@@ -43,7 +43,7 @@ func appendJSON(path string, v any) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, mc-scaling, pipeline-scaling, weaken, all")
+	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, mc-scaling, pipeline-scaling, frontend-scaling, weaken, all")
 	scale := flag.Int("scale", 20, "application scale divisor for t3 (1 = paper-sized)")
 	seed := flag.Int64("seed", 7, "generator seed for t3/t4 and the pipeline-scaling module")
 	sloc := flag.Int("sloc", bench.DefaultPipelineScalingSLOC, "generated module size for pipeline-scaling / -gen-module")
@@ -77,6 +77,22 @@ func main() {
 	}
 
 	prov := obs.NewCLI(*metricsPath, *tracePath, false)
+
+	// envelope wraps one experiment's rows with the host facts a reader
+	// needs to judge the numbers: the pinned GOMAXPROCS, the physical
+	// CPU count, and whether the pin oversubscribed the host (in which
+	// case the wider worker counts time-sliced and speedups are noise).
+	envelope := func(experiment string, rows any) map[string]any {
+		return map[string]any{
+			"experiment":        experiment,
+			"when":              time.Now().UTC().Format(time.RFC3339),
+			"gomaxprocs_pinned": bench.SweepProcs(nil),
+			"num_cpu":           runtime.NumCPU(),
+			"oversubscribed":    bench.Oversubscribed(nil),
+			"rows":              rows,
+		}
+	}
+
 	if *pprofAddr != "" {
 		addr, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
@@ -151,13 +167,7 @@ func main() {
 			}
 			fmt.Print(bench.FormatMCScaling(rows))
 			if *jsonOut != "" {
-				if err := appendJSON(*jsonOut, map[string]any{
-					"experiment":        "mc-scaling",
-					"when":              time.Now().UTC().Format(time.RFC3339),
-					"gomaxprocs_pinned": bench.SweepProcs(nil),
-					"num_cpu":           runtime.NumCPU(),
-					"rows":              rows,
-				}); err != nil {
+				if err := appendJSON(*jsonOut, envelope("mc-scaling", rows)); err != nil {
 					return err
 				}
 				fmt.Printf("appended results to %s\n", *jsonOut)
@@ -170,13 +180,20 @@ func main() {
 			}
 			fmt.Print(bench.FormatPipelineScaling(rows))
 			if *jsonOut != "" {
-				if err := appendJSON(*jsonOut, map[string]any{
-					"experiment":        "pipeline-scaling",
-					"when":              time.Now().UTC().Format(time.RFC3339),
-					"gomaxprocs_pinned": bench.SweepProcs(nil),
-					"num_cpu":           runtime.NumCPU(),
-					"rows":              rows,
-				}); err != nil {
+				if err := appendJSON(*jsonOut, envelope("pipeline-scaling", rows)); err != nil {
+					return err
+				}
+				fmt.Printf("appended results to %s\n", *jsonOut)
+			}
+			return nil
+		case "frontend-scaling":
+			rows, err := bench.FrontendScaling(*sloc, *seed, nil, prov)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatFrontendScaling(rows))
+			if *jsonOut != "" {
+				if err := appendJSON(*jsonOut, envelope("frontend-scaling", rows)); err != nil {
 					return err
 				}
 				fmt.Printf("appended results to %s\n", *jsonOut)
@@ -189,13 +206,7 @@ func main() {
 			}
 			fmt.Print(bench.FormatWeaken(rows))
 			if *jsonOut != "" {
-				if err := appendJSON(*jsonOut, map[string]any{
-					"experiment":        "weaken",
-					"when":              time.Now().UTC().Format(time.RFC3339),
-					"gomaxprocs_pinned": bench.SweepProcs(nil),
-					"num_cpu":           runtime.NumCPU(),
-					"rows":              rows,
-				}); err != nil {
+				if err := appendJSON(*jsonOut, envelope("weaken", rows)); err != nil {
 					return err
 				}
 				fmt.Printf("appended results to %s\n", *jsonOut)

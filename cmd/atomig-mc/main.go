@@ -70,7 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pprof: listening on http://%s/debug/pprof/\n", addr)
 	}
 
-	mod, entryList, err := load(*corpusName, *entries, fs.Args())
+	mod, entryList, err := load(*corpusName, *entries, fs.Args(), *workers, prov)
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -208,7 +208,7 @@ func printStats(w io.Writer, res *mc.Result, snap obs.Snapshot) {
 	}
 }
 
-func load(corpusName, entries string, args []string) (*ir.Module, []string, error) {
+func load(corpusName, entries string, args []string, jobs int, prov *obs.Provider) (*ir.Module, []string, error) {
 	if corpusName != "" {
 		p := corpus.Get(corpusName)
 		if p == nil {
@@ -231,7 +231,9 @@ func load(corpusName, entries string, args []string) (*ir.Module, []string, erro
 		m, err := ir.ParseModule(string(src))
 		return m, strings.Split(entries, ","), err
 	}
-	res, err := minic.Compile(args[0], string(src))
+	// The exploration worker count doubles as the frontend fan-out;
+	// the compiled module is byte-identical for every -j.
+	res, err := minic.CompileOpts(args[0], string(src), minic.Options{Workers: jobs, Obs: prov})
 	if err != nil {
 		return nil, nil, err
 	}

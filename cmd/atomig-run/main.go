@@ -72,7 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}()
 
 	sp := prov.Track("pipeline").Begin("pipeline.parse")
-	mod, entryList, maxDefault, err := load(*corpusName, *entries, *mcHarness, fs.Args())
+	mod, entryList, maxDefault, err := load(*corpusName, *entries, *mcHarness, fs.Args(), *workers, prov)
 	sp.End()
 	if err != nil {
 		return fail(stderr, err)
@@ -218,7 +218,7 @@ func runSweep(stdout, stderr io.Writer, mod *ir.Module, mm memmodel.Model, entry
 	return 0
 }
 
-func load(corpusName, entries string, mcHarness bool, args []string) (*ir.Module, []string, int64, error) {
+func load(corpusName, entries string, mcHarness bool, args []string, jobs int, prov *obs.Provider) (*ir.Module, []string, int64, error) {
 	if corpusName != "" {
 		p := corpus.Get(corpusName)
 		if p == nil {
@@ -251,7 +251,9 @@ func load(corpusName, entries string, mcHarness bool, args []string) (*ir.Module
 		m, err := ir.ParseModule(string(src))
 		return m, strings.Split(entries, ","), 0, err
 	}
-	res, err := minic.Compile(args[0], string(src))
+	// -j reaches the frontend too; the module is byte-identical for
+	// every worker count.
+	res, err := minic.CompileOpts(args[0], string(src), minic.Options{Workers: jobs, Obs: prov})
 	if err != nil {
 		return nil, nil, 0, err
 	}

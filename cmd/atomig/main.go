@@ -120,7 +120,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	prov := obs.NewCLI(*metricsPath, *tracePath, false)
 
 	sp := prov.Track("pipeline").Begin("pipeline.parse")
-	mod, err := loadModule(*corpusName, fs.Args())
+	mod, err := loadModule(*corpusName, fs.Args(), *jobs, prov)
 	sp.End()
 	if err != nil {
 		return fail(stderr, err)
@@ -331,7 +331,7 @@ func printWeakenReport(w io.Writer, res *weaken.Result) {
 	}
 }
 
-func loadModule(corpusName string, args []string) (*ir.Module, error) {
+func loadModule(corpusName string, args []string, jobs int, prov *obs.Provider) (*ir.Module, error) {
 	if corpusName != "" {
 		p := corpus.Get(corpusName)
 		if p == nil {
@@ -350,7 +350,9 @@ func loadModule(corpusName string, args []string) (*ir.Module, error) {
 	if strings.HasSuffix(args[0], ".air") {
 		return ir.ParseModule(string(src))
 	}
-	res, err := minic.Compile(args[0], string(src))
+	// -j reaches the frontend too: chunked parsing and per-function
+	// lowering, byte-identical output at every count (docs/PIPELINE.md).
+	res, err := minic.CompileOpts(args[0], string(src), minic.Options{Workers: jobs, Obs: prov})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// requireParallelHost skips speedup-assertion tests on hosts that
+// cannot actually run n workers in parallel. Both gates matter:
+// GOMAXPROCS can be pinned above the physical core count (the sweeps
+// do exactly that — SweepProcs), in which case workers time-slice and
+// wall-clock speedup is noise, not signal. The skip is logged with the
+// concrete host shape so CI output records why the claim went
+// unchecked.
+func requireParallelHost(t *testing.T, n int) {
+	t.Helper()
+	if p := runtime.GOMAXPROCS(0); p < n {
+		t.Skipf("GOMAXPROCS=%d; the %d-worker speedup claim needs %d CPUs", p, n, n)
+	}
+	if c := runtime.NumCPU(); c < n {
+		t.Skipf("NumCPU=%d; host is oversubscribed at %d workers (GOMAXPROCS pin does not add cores), speedup would be noise", c, n)
+	}
+}

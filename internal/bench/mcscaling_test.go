@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"runtime"
 	"testing"
 
 	"repro/internal/corpus"
@@ -41,9 +40,7 @@ func TestMCScalingSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if p := runtime.GOMAXPROCS(0); p < 8 {
-		t.Skipf("GOMAXPROCS=%d; the 8-worker speedup claim needs 8 CPUs", p)
-	}
+	requireParallelHost(t, 8)
 	rows, err := MCScaling([]string{"seqlock-gap", "lfhash-fig7", "sb"}, []int{1, 8}, nil)
 	if err != nil {
 		t.Fatal(err)

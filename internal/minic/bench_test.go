@@ -38,6 +38,49 @@ func BenchmarkCompile(b *testing.B) {
 	b.ReportMetric(float64(lines), "lines/op")
 }
 
+// TestTokenizeAllocs is the lexer's allocation-regression gate.
+// Steady state the lexer allocates only the preallocated token slice,
+// the intern map, and one clone per distinct identifier — measured
+// ~0.14 allocs per source line on the chunkSource module. The bound
+// has ~3x headroom; blowing through it means a hot path regained a
+// per-token allocation (error construction, substring copies, slice
+// regrowth).
+func TestTokenizeAllocs(t *testing.T) {
+	src := chunkSource(100)
+	lines := strings.Count(src, "\n")
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Tokenize(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perLine := allocs / float64(lines); perLine > 0.5 {
+		t.Errorf("Tokenize allocates %.0f times (%.3f/line) on %d lines, want <= 0.5/line",
+			allocs, perLine, lines)
+	}
+}
+
+// TestParseAllocs gates the parser: allocations should be AST nodes
+// and little else — measured ~6.3 allocs per source line. The bound
+// has ~1.6x headroom for grammar growth without masking a regression
+// to per-token scratch allocation.
+func TestParseAllocs(t *testing.T) {
+	src := chunkSource(100)
+	lines := strings.Count(src, "\n")
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := (&Parser{toks: toks}).parseFile(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perLine := allocs / float64(lines); perLine > 10 {
+		t.Errorf("parse allocates %.0f times (%.3f/line) on %d lines, want <= 10/line",
+			allocs, perLine, lines)
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

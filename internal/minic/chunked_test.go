@@ -1,0 +1,154 @@
+package minic
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// chunkSource builds a module big enough to clear minChunkTokens, with
+// every top-level form the splitter must recognize: struct decls (the
+// '}' is followed by ';'), initialized globals, array globals with
+// initializer lists, prototypes, and function bodies.
+func chunkSource(nFuncs int) string {
+	var b strings.Builder
+	b.WriteString("struct pair { int a; int b; };\n")
+	b.WriteString("struct pair shared;\n")
+	b.WriteString("int table[4] = {1, 2, 3, 4};\n")
+	b.WriteString("int counter = 0;\n")
+	b.WriteString("int helper(int x);\n")
+	for i := 0; i < nFuncs; i++ {
+		fmt.Fprintf(&b, `int fn%d(int a, int b) {
+  int acc = a;
+  for (int i = 0; i < 10; i = i + 1) {
+    acc = acc + b * i;
+    if (acc > 1000) { acc = acc - b; }
+  }
+  counter = counter + 1;
+  return acc + helper(a);
+}
+`, i)
+	}
+	b.WriteString("int helper(int x) { return x + shared.a + table[1]; }\n")
+	return b.String()
+}
+
+func TestSplitDecls(t *testing.T) {
+	toks, err := Tokenize(chunkSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends, ok := splitDecls(toks)
+	if !ok {
+		t.Fatal("splitDecls rejected a well-formed module")
+	}
+	// struct + global + array global + counter + prototype + 3 funcs +
+	// trailing helper definition.
+	if len(ends) != 9 {
+		t.Fatalf("%d declaration boundaries, want 9 (%v)", len(ends), ends)
+	}
+	if last := ends[len(ends)-1]; last != len(toks) {
+		t.Fatalf("last boundary %d, want %d (end of stream)", last, len(toks))
+	}
+	// Boundaries must be strictly increasing.
+	for i := 1; i < len(ends); i++ {
+		if ends[i] <= ends[i-1] {
+			t.Fatalf("boundaries not increasing: %v", ends)
+		}
+	}
+}
+
+func TestSplitDeclsRejectsMalformed(t *testing.T) {
+	for _, src := range []string{
+		"}",                      // negative depth
+		"void f(void) {",         // unbalanced at EOF
+		"int x; void f(void) {",  // unbalanced after a valid decl
+		"void f(void) { } int x", // trailing tokens past the last boundary
+	} {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if _, ok := splitDecls(toks); ok {
+			t.Errorf("splitDecls accepted malformed %q", src)
+		}
+	}
+}
+
+// TestParseChunkedMatchesSequential pins the splitter's core claim on
+// varied well-formed sources: the chunked-parallel parse produces an
+// AST deep-equal to the sequential parser's.
+func TestParseChunkedMatchesSequential(t *testing.T) {
+	sources := []string{
+		chunkSource(40),
+		chunkSource(3) + "int tail;\n",
+		strings.Repeat("int g; void f(void) { g = 1; }\n", 60),
+	}
+	for i, src := range sources {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, serr := (&Parser{toks: toks}).parseFile()
+		if serr != nil {
+			t.Fatalf("source %d: sequential parse: %v", i, serr)
+		}
+		par, ok := parseChunked(toks, 4, nil)
+		if !ok {
+			t.Fatalf("source %d: parseChunked fell back on well-formed input", i)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("source %d: chunked AST differs from sequential", i)
+		}
+	}
+}
+
+// TestCompileOptsDeterministic is the frontend determinism contract at
+// the module level: byte-identical AIR text and identical Stats for
+// every worker count.
+func TestCompileOptsDeterministic(t *testing.T) {
+	src := chunkSource(50)
+	base, err := Compile("det.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Module.String()
+	for _, j := range []int{2, 3, 8} {
+		res, err := CompileOpts("det.c", src, Options{Workers: j})
+		if err != nil {
+			t.Fatalf("-j %d: %v", j, err)
+		}
+		if got := res.Module.String(); got != want {
+			t.Errorf("-j %d module text differs from sequential (%d vs %d bytes)", j, len(got), len(want))
+		}
+		if res.Stats != base.Stats {
+			t.Errorf("-j %d stats %+v differ from sequential %+v", j, res.Stats, base.Stats)
+		}
+	}
+}
+
+// TestCompileOptsErrorsMatchSequential: malformed source must produce
+// the byte-identical error at every worker count (the chunked path
+// falls back to a sequential parse for the canonical message).
+func TestCompileOptsErrorsMatchSequential(t *testing.T) {
+	for _, src := range []string{
+		chunkSource(30) + "void broken( {\n",
+		chunkSource(30) + "int dup; int dup;\n",
+		strings.Repeat("int g; void f(void) { g = ; }\n", 40),
+	} {
+		_, serr := Compile("err.c", src)
+		if serr == nil {
+			t.Fatal("sequential compile accepted malformed source")
+		}
+		for _, j := range []int{2, 8} {
+			_, perr := CompileOpts("err.c", src, Options{Workers: j})
+			if perr == nil {
+				t.Fatalf("-j %d accepted source the sequential frontend rejects", j)
+			}
+			if perr.Error() != serr.Error() {
+				t.Errorf("-j %d error %q differs from sequential %q", j, perr, serr)
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Compile driver: the frontend entry point, its options, and the
+// worker pools that parallelize parsing and lowering.
+//
+// The frontend runs in four phases — lex, parse, lower, verify — and
+// the middle two fan out across Options.Workers goroutines:
+//
+//   - parse: the token stream is split at balanced-brace top-level
+//     declaration boundaries (split.go), contiguous declaration runs
+//     are parsed concurrently, and the fragments are merged in source
+//     order, so the AST is identical to a sequential Parse for every
+//     worker count.
+//   - lower: function bodies are lowered concurrently, one worker per
+//     claimed function (instruction IDs and block names are
+//     per-function state, so each lowered function is byte-identical
+//     to its sequential lowering); per-function stats and NoInline
+//     marks land in per-function slots merged in module order.
+//
+// Determinism contract: CompileOpts produces a byte-identical module
+// (and identical Stats) for every Workers value — docs/PIPELINE.md
+// ("Frontend").
+package minic
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// Options configures a Compile run. The zero value is the sequential,
+// unobserved frontend (what Compile uses).
+type Options struct {
+	// Workers is the frontend fan-out: chunked parsing and
+	// per-function lowering run on this many goroutines (0 or 1 means
+	// sequential). The produced module is byte-identical for every
+	// value.
+	Workers int
+	// Obs, when non-nil, records frontend.lex / frontend.parse /
+	// frontend.lower / frontend.verify spans on the "frontend" track,
+	// per-worker frontend.worker-NN timelines, and frontend.* counters
+	// (docs/OBSERVABILITY.md).
+	Obs *obs.Provider
+}
+
+// Timing is the per-phase wall-clock breakdown of one Compile run.
+// Verify is the post-lowering IR verifier pass.
+type Timing struct {
+	Lex    time.Duration
+	Parse  time.Duration
+	Lower  time.Duration
+	Verify time.Duration
+}
+
+// Total is the summed frontend wall clock.
+func (t Timing) Total() time.Duration { return t.Lex + t.Parse + t.Lower + t.Verify }
+
+// Result is the output of Compile: the AIR module, frontend stats, and
+// the per-phase timing breakdown.
+type Result struct {
+	Module *ir.Module
+	Stats  Stats
+	Timing Timing
+}
+
+// Compile parses and lowers MiniC source into an AIR module named name
+// on one goroutine. Malformed source produces an error, never a panic:
+// internal panics in the lexer, parser or lowering are contained by
+// the diag guard.
+func Compile(name, src string) (*Result, error) {
+	return CompileOpts(name, src, Options{})
+}
+
+// CompileOpts is Compile with a worker pool and observability: parsing
+// and lowering fan out across opts.Workers goroutines with the module
+// byte-identical at every worker count.
+func CompileOpts(name, src string, opts Options) (res *Result, err error) {
+	defer diag.Guard("minic.Compile", &err)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	trk := opts.Obs.Track("frontend")
+
+	start := time.Now()
+	sp := trk.Begin("frontend.lex")
+	toks, lerr := Tokenize(src)
+	sp.End()
+	var timing Timing
+	timing.Lex = time.Since(start)
+	if lerr != nil {
+		return nil, fmt.Errorf("minic: %w", lerr)
+	}
+	opts.Obs.Counter("frontend.tokens_scanned").Add(int64(len(toks)))
+
+	start = time.Now()
+	sp = trk.Begin("frontend.parse")
+	file, perr := parseTokens(toks, workers, opts.Obs)
+	sp.End()
+	timing.Parse = time.Since(start)
+	if perr != nil {
+		return nil, fmt.Errorf("minic: %w", perr)
+	}
+	opts.Obs.Counter("frontend.decls_parsed").
+		Add(int64(len(file.Structs) + len(file.Globals) + len(file.Funcs)))
+
+	c := &compiler{
+		mod:     ir.NewModule(name),
+		structs: make(map[string]*ir.StructType),
+		workers: workers,
+		obs:     opts.Obs,
+	}
+	c.stats.SourceLines = countSourceLines(src)
+	start = time.Now()
+	sp = trk.Begin("frontend.lower")
+	cerr := c.compileFile(file)
+	sp.End()
+	timing.Lower = time.Since(start)
+	if cerr != nil {
+		return nil, fmt.Errorf("minic: %w", cerr)
+	}
+
+	start = time.Now()
+	sp = trk.Begin("frontend.verify")
+	verr := ir.Verify(c.mod)
+	sp.End()
+	timing.Verify = time.Since(start)
+	if verr != nil {
+		return nil, fmt.Errorf("minic: lowering produced invalid IR: %w", verr)
+	}
+
+	c.stats.Functions = len(c.mod.Funcs)
+	c.stats.Instrs = c.mod.NumInstrs()
+	opts.Obs.Counter("frontend.funcs_lowered").Add(int64(c.stats.Functions))
+	opts.Obs.Counter("frontend.lines_compiled").Add(int64(c.stats.SourceLines))
+	return &Result{Module: c.mod, Stats: c.stats, Timing: timing}, nil
+}
+
+// frontPanic carries a panic out of a pool goroutine to the goroutine
+// that owns the pool, preserving the worker's stack, so the caller's
+// diag guard turns it into a structured error on the right goroutine.
+type frontPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p *frontPanic) String() string {
+	return fmt.Sprintf("frontend worker panic: %v\n%s", p.val, p.stack)
+}
+
+// runPool runs body on workers goroutines and waits for all of them.
+// The first worker panic is re-raised on the calling goroutine.
+func runPool(workers int, body func(w int)) {
+	var wg sync.WaitGroup
+	var first atomic.Pointer[frontPanic]
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					first.CompareAndSwap(nil, &frontPanic{val: r, stack: debug.Stack()})
+				}
+			}()
+			body(w)
+		}(w)
+	}
+	wg.Wait()
+	if p := first.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// funcOut is one function's lowering result slot: per-function stats
+// deltas (asm mapping counters) and the NoInline marks the body
+// requested (spawn targets), applied sequentially in module order so
+// the merged module and stats are identical for every worker count.
+type funcOut struct {
+	err      error
+	stats    Stats
+	noinline []*ir.Func
+}
+
+// compileFuncs lowers every function body, fanning out across the
+// compiler's worker count. Workers claim function indices from a
+// shared cursor and write into per-function slots; the sequential
+// merge consumes slots in module order, so stats, NoInline marks and
+// the first reported error all match the sequential frontend.
+func (c *compiler) compileFuncs(funcs []*FuncDecl) error {
+	workers := c.workers
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+	if workers <= 1 {
+		scratch := &lowerScratch{}
+		for _, fd := range funcs {
+			var out funcOut
+			c.compileFunc(fd, scratch, &out)
+			if out.err != nil {
+				return out.err
+			}
+			c.mergeFuncOut(&out)
+		}
+		return nil
+	}
+	outs := make([]funcOut, len(funcs))
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	runPool(workers, func(w int) {
+		trk := c.obs.Track(fmt.Sprintf("frontend.worker-%02d", w))
+		sp := trk.Begin("frontend.lower_shard")
+		scratch := &lowerScratch{}
+		lowered := 0
+		for !failed.Load() {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(funcs) {
+				break
+			}
+			c.compileFunc(funcs[i], scratch, &outs[i])
+			if outs[i].err != nil {
+				failed.Store(true)
+			}
+			lowered++
+		}
+		sp.Arg("funcs", lowered).End()
+	})
+	// The cursor hands out indices in increasing order, so when any
+	// slot errors, every lower index was claimed and finished: the
+	// first error in slot order is the error the sequential frontend
+	// would have reported.
+	for i := range outs {
+		if outs[i].err != nil {
+			return outs[i].err
+		}
+		c.mergeFuncOut(&outs[i])
+	}
+	return nil
+}
+
+func (c *compiler) mergeFuncOut(out *funcOut) {
+	c.stats.AsmMapped += out.stats.AsmMapped
+	c.stats.AsmOpaque += out.stats.AsmOpaque
+	for _, fn := range out.noinline {
+		fn.NoInline = true
+	}
+}

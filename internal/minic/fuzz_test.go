@@ -1,6 +1,8 @@
 package minic
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/diag"
@@ -52,6 +54,50 @@ func FuzzCompile(f *testing.F) {
 		printed := res.Module.String()
 		if _, perr := ir.ParseModule(printed); perr != nil {
 			t.Fatalf("printed AIR does not re-parse: %v\ninput:\n%s\nAIR:\n%s", perr, src, printed)
+		}
+	})
+}
+
+// FuzzParseChunked cross-checks the chunked-parallel parse against the
+// sequential parser on arbitrary token streams: same accept/reject
+// verdict, byte-identical error on reject, deep-equal AST on accept.
+// The input is replicated so small fuzz cases still clear the
+// minimum-token threshold that arms the chunked path (duplicate
+// definitions are legal at parse level; lowering catches them later).
+func FuzzParseChunked(f *testing.F) {
+	seeds := []string{
+		"int x;\nvoid main_thread(void) { x = 1; }\n",
+		"struct pair { int a; int b; };\nstruct pair p;\nint t[2] = {1, 2};\n",
+		"int helper(int x);\nint helper(int x) { return x + 1; }\n",
+		"void f(void) { while (1 { } }",
+		"}}}}",
+		"void f(void) { x = ; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4<<10 {
+			t.Skip("oversized input")
+		}
+		big := strings.Repeat(src+"\n", 8)
+		toks, err := Tokenize(big)
+		if err != nil {
+			return // lexer rejection precedes both parsers identically
+		}
+		seq, serr := (&Parser{toks: toks}).parseFile()
+		par, perr := parseTokens(toks, 4, nil)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("verdict drift: sequential err=%v, chunked err=%v\ninput:\n%s", serr, perr, big)
+		}
+		if serr != nil {
+			if serr.Error() != perr.Error() {
+				t.Fatalf("error drift: sequential %q, chunked %q\ninput:\n%s", serr, perr, big)
+			}
+			return
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("AST drift between sequential and chunked parse\ninput:\n%s", big)
 		}
 	})
 }

@@ -50,10 +50,30 @@ type Lexer struct {
 	pos  int
 	line int
 	col  int
+	// interned dedups identifier text so the AST holds one small
+	// string per distinct name instead of thousands of substrings
+	// pinning the source buffer. Keywords intern too (their map keys
+	// double as the canonical spelling).
+	interned map[string]string
 }
 
 // NewLexer returns a lexer over src.
 func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+// intern returns the canonical allocation for an identifier spelling.
+// The substring s is used only to probe the map, so the clone is paid
+// once per distinct identifier, not once per occurrence.
+func (l *Lexer) intern(s string) string {
+	if v, ok := l.interned[s]; ok {
+		return v
+	}
+	if l.interned == nil {
+		l.interned = make(map[string]string, 64)
+	}
+	c := strings.Clone(s)
+	l.interned[c] = c
+	return c
+}
 
 func (l *Lexer) peekByte() byte {
 	if l.pos >= len(l.src) {
@@ -121,16 +141,132 @@ func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9')
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
-// multi-byte punctuators, longest first.
-var puncts = []string{
-	"<<=", ">>=",
-	"++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
-	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
-	"+", "-", "*", "/", "%", "&", "|", "^", "!", "<", ">", "=",
-	"(", ")", "{", "}", "[", "]", ";", ",", ".", "~", ":",
+// punct matches the longest punctuator at l.pos, switching on the lead
+// byte instead of probing a table of prefixes — the per-token cost on
+// operator-dense source is one branch tree, not up to 33 HasPrefix
+// calls. Returns "" when the byte starts no punctuator.
+func (l *Lexer) punct() string {
+	s, i := l.src, l.pos
+	two := func(b byte) bool { return i+1 < len(s) && s[i+1] == b }
+	three := func(b byte) bool { return i+2 < len(s) && s[i+2] == b }
+	switch s[i] {
+	case '<':
+		if two('<') {
+			if three('=') {
+				return "<<="
+			}
+			return "<<"
+		}
+		if two('=') {
+			return "<="
+		}
+		return "<"
+	case '>':
+		if two('>') {
+			if three('=') {
+				return ">>="
+			}
+			return ">>"
+		}
+		if two('=') {
+			return ">="
+		}
+		return ">"
+	case '+':
+		if two('+') {
+			return "++"
+		}
+		if two('=') {
+			return "+="
+		}
+		return "+"
+	case '-':
+		if two('-') {
+			return "--"
+		}
+		if two('=') {
+			return "-="
+		}
+		if two('>') {
+			return "->"
+		}
+		return "-"
+	case '*':
+		if two('=') {
+			return "*="
+		}
+		return "*"
+	case '/':
+		if two('=') {
+			return "/="
+		}
+		return "/"
+	case '%':
+		if two('=') {
+			return "%="
+		}
+		return "%"
+	case '&':
+		if two('&') {
+			return "&&"
+		}
+		if two('=') {
+			return "&="
+		}
+		return "&"
+	case '|':
+		if two('|') {
+			return "||"
+		}
+		if two('=') {
+			return "|="
+		}
+		return "|"
+	case '^':
+		if two('=') {
+			return "^="
+		}
+		return "^"
+	case '=':
+		if two('=') {
+			return "=="
+		}
+		return "="
+	case '!':
+		if two('=') {
+			return "!="
+		}
+		return "!"
+	case '(':
+		return "("
+	case ')':
+		return ")"
+	case '{':
+		return "{"
+	case '}':
+		return "}"
+	case '[':
+		return "["
+	case ']':
+		return "]"
+	case ';':
+		return ";"
+	case ',':
+		return ","
+	case '.':
+		return "."
+	case '~':
+		return "~"
+	case ':':
+		return ":"
+	}
+	return ""
 }
 
-// Next returns the next token.
+// Next returns the next token. Error values are constructed only on
+// the failure path; the success path allocates only for the first
+// occurrence of each identifier (interning) and for escaped string
+// literals.
 func (l *Lexer) Next() (Token, error) {
 	if err := l.skipSpaceAndComments(); err != nil {
 		return Token{}, err
@@ -139,29 +275,47 @@ func (l *Lexer) Next() (Token, error) {
 		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
 	}
 	line, col := l.line, l.col
-	c := l.peekByte()
+	c := l.src[l.pos]
 	switch {
 	case isIdentStart(c):
+		// Identifiers contain no newline: scan bytes directly and fix
+		// the column once, instead of per-byte advance() calls.
 		start := l.pos
-		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
-			l.advance()
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
 		}
+		l.col += l.pos - start
 		text := l.src[start:l.pos]
 		kind := TokIdent
 		if keywords[text] {
 			kind = TokKeyword
 		}
-		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+		return Token{Kind: kind, Text: l.intern(text), Line: line, Col: col}, nil
 	case isDigit(c):
 		start := l.pos
-		for l.pos < len(l.src) && (isDigit(l.peekByte()) || l.peekByte() == 'x' ||
-			(l.peekByte() >= 'a' && l.peekByte() <= 'f') || (l.peekByte() >= 'A' && l.peekByte() <= 'F')) {
-			l.advance()
+		for l.pos < len(l.src) {
+			b := l.src[l.pos]
+			if !(isDigit(b) || b == 'x' || (b >= 'a' && b <= 'f') || (b >= 'A' && b <= 'F')) {
+				break
+			}
+			l.pos++
 		}
+		l.col += l.pos - start
 		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Line: line, Col: col}, nil
 	case c == '"':
 		l.advance()
+		// Fast path: an escape-free literal is a source substring.
+		start := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '"' && l.src[l.pos] != '\\' {
+			l.advance()
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '"' {
+			text := l.src[start:l.pos]
+			l.advance()
+			return Token{Kind: TokString, Text: text, Line: line, Col: col}, nil
+		}
 		var b strings.Builder
+		b.WriteString(l.src[start:l.pos])
 		for {
 			if l.pos >= len(l.src) {
 				return Token{}, fmt.Errorf("line %d: unterminated string", line)
@@ -178,21 +332,26 @@ func (l *Lexer) Next() (Token, error) {
 		}
 		return Token{Kind: TokString, Text: b.String(), Line: line, Col: col}, nil
 	}
-	for _, p := range puncts {
-		if strings.HasPrefix(l.src[l.pos:], p) {
-			for range p {
-				l.advance()
-			}
-			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
-		}
+	if p := l.punct(); p != "" {
+		// Punctuators contain no newline either.
+		l.pos += len(p)
+		l.col += len(p)
+		return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
 	}
 	return Token{}, fmt.Errorf("line %d:%d: unexpected character %q", line, col, string(c))
 }
 
-// Tokenize scans the entire source, returning all tokens (excluding EOF).
+// tokensPerByteEstimate sizes the token slice from the source length:
+// MiniC averages one token per ~4 bytes, so len/4 over-reserves
+// slightly and Tokenize almost never regrows.
+func tokensPerByteEstimate(n int) int { return n/4 + 8 }
+
+// Tokenize scans the entire source, returning all tokens (excluding
+// EOF). The token slice is preallocated from a source-length estimate
+// so lexing a module costs O(1) slice growths.
 func Tokenize(src string) ([]Token, error) {
 	l := NewLexer(src)
-	var toks []Token
+	toks := make([]Token, 0, tokensPerByteEstimate(len(src)))
 	for {
 		t, err := l.Next()
 		if err != nil {

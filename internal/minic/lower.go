@@ -2,10 +2,10 @@ package minic
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
-	"repro/internal/diag"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Stats reports frontend counters the atomig pipeline includes in its
@@ -26,43 +26,27 @@ type Stats struct {
 	Instrs    int
 }
 
-// Result is the output of Compile: the AIR module plus frontend stats.
-type Result struct {
-	Module *ir.Module
-	Stats  Stats
-}
-
-// Compile parses and lowers MiniC source into an AIR module named name.
-// Malformed source produces an error, never a panic: internal panics in
-// the lexer, parser or lowering are contained by the diag guard.
-func Compile(name, src string) (res *Result, err error) {
-	defer diag.Guard("minic.Compile", &err)
-	file, err := Parse(src)
-	if err != nil {
-		return nil, fmt.Errorf("minic: %w", err)
-	}
-	c := &compiler{
-		mod:     ir.NewModule(name),
-		structs: make(map[string]*ir.StructType),
-	}
-	c.stats.SourceLines = countSourceLines(src)
-	if err := c.compileFile(file); err != nil {
-		return nil, fmt.Errorf("minic: %w", err)
-	}
-	if err := ir.Verify(c.mod); err != nil {
-		return nil, fmt.Errorf("minic: lowering produced invalid IR: %w", err)
-	}
-	c.stats.Functions = len(c.mod.Funcs)
-	c.stats.Instrs = c.mod.NumInstrs()
-	return &Result{Module: c.mod, Stats: c.stats}, nil
-}
-
+// countSourceLines counts non-blank source lines in one pass, without
+// materializing a per-line slice (the old strings.Split allocated a
+// 100k-entry slice on million-line inputs).
 func countSourceLines(src string) int {
 	n := 0
-	for _, line := range strings.Split(src, "\n") {
-		if strings.TrimSpace(line) != "" {
-			n++
+	blank := true
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '\n':
+			if !blank {
+				n++
+			}
+			blank = true
+		case ' ', '\t', '\r', '\v', '\f':
+			// whitespace keeps the line blank
+		default:
+			blank = false
 		}
+	}
+	if !blank {
+		n++
 	}
 	return n
 }
@@ -71,6 +55,10 @@ type compiler struct {
 	mod     *ir.Module
 	structs map[string]*ir.StructType
 	stats   Stats
+	// workers and obs come from Options (compile.go): the per-function
+	// lowering fan-out and the frontend.* instrumentation seam.
+	workers int
+	obs     *obs.Provider
 }
 
 func (c *compiler) compileFile(f *File) error {
@@ -152,12 +140,10 @@ func (c *compiler) compileFile(f *File) error {
 			return fmt.Errorf("line %d: %w", fd.Line, err)
 		}
 	}
-	for _, fd := range f.Funcs {
-		if err := c.compileFunc(fd); err != nil {
-			return err
-		}
-	}
-	return nil
+	// Every function shell is registered and the struct/global tables
+	// are complete, so function bodies read only shared-immutable state
+	// and write only their own ir.Func: lowering fans out (compile.go).
+	return c.compileFuncs(f.Funcs)
 }
 
 // resolveType converts a syntactic type to an AIR type. Array dimensions
@@ -297,14 +283,30 @@ type loopCtx struct {
 	breakTo    *ir.Block
 }
 
+// lowerScratch is per-worker reusable state: scope maps and the block
+// name buffer survive across the functions one worker lowers, so the
+// steady-state cost of a function body is its instructions, not a
+// fresh map per lexical scope. Never shared between goroutines.
+type lowerScratch struct {
+	scopes  []map[string]place
+	nameBuf []byte
+}
+
 type funcLowerer struct {
-	c        *compiler
-	fn       *ir.Func
-	b        *ir.Builder
-	scopes   []map[string]place
+	c       *compiler
+	fn      *ir.Func
+	b       *ir.Builder
+	scratch *lowerScratch
+	// depth is the live prefix of scratch.scopes: maps above it are
+	// retained (cleared on reuse) rather than reallocated.
+	depth    int
 	loops    []loopCtx
 	blkSeq   int
 	nAllocas int
+	// stats and noinline land in this function's funcOut slot; the
+	// sequential merge (compile.go) applies them in module order.
+	stats    *Stats
+	noinline []*ir.Func
 }
 
 // alloca creates a stack slot in the function's entry block (clang -O0
@@ -325,9 +327,12 @@ func (fl *funcLowerer) alloca(ty ir.Type) *ir.Instr {
 	return in
 }
 
-func (c *compiler) compileFunc(fd *FuncDecl) error {
+// compileFunc lowers one function body into out. It touches only the
+// function's own ir.Func, the read-only module tables, and its private
+// scratch, so distinct functions lower concurrently (compile.go).
+func (c *compiler) compileFunc(fd *FuncDecl, scratch *lowerScratch, out *funcOut) {
 	fn := c.mod.Func(fd.Name)
-	fl := &funcLowerer{c: c, fn: fn, b: ir.NewBuilder(fn)}
+	fl := &funcLowerer{c: c, fn: fn, b: ir.NewBuilder(fn), scratch: scratch, stats: &out.stats}
 	fl.pushScope()
 	// clang -O0 style: copy every parameter into a stack slot so that
 	// address-of works uniformly and the dependency analysis sees local
@@ -338,7 +343,8 @@ func (c *compiler) compileFunc(fd *FuncDecl) error {
 		fl.define(p.PName, place{addr: slot, elem: p.Ty})
 	}
 	if err := fl.lowerBlock(fd.Body); err != nil {
-		return fmt.Errorf("function %s: %w", fd.Name, err)
+		out.err = fmt.Errorf("function %s: %w", fd.Name, err)
+		return
 	}
 	if !fl.b.Terminated() {
 		switch fn.RetTy.(type) {
@@ -349,17 +355,25 @@ func (c *compiler) compileFunc(fd *FuncDecl) error {
 		}
 	}
 	fl.popScope()
-	return nil
+	out.noinline = fl.noinline
 }
 
-func (fl *funcLowerer) pushScope() { fl.scopes = append(fl.scopes, make(map[string]place)) }
-func (fl *funcLowerer) popScope()  { fl.scopes = fl.scopes[:len(fl.scopes)-1] }
+func (fl *funcLowerer) pushScope() {
+	if fl.depth == len(fl.scratch.scopes) {
+		fl.scratch.scopes = append(fl.scratch.scopes, make(map[string]place))
+	} else {
+		clear(fl.scratch.scopes[fl.depth])
+	}
+	fl.depth++
+}
 
-func (fl *funcLowerer) define(name string, p place) { fl.scopes[len(fl.scopes)-1][name] = p }
+func (fl *funcLowerer) popScope() { fl.depth-- }
+
+func (fl *funcLowerer) define(name string, p place) { fl.scratch.scopes[fl.depth-1][name] = p }
 
 func (fl *funcLowerer) lookup(name string) (place, bool) {
-	for i := len(fl.scopes) - 1; i >= 0; i-- {
-		if p, ok := fl.scopes[i][name]; ok {
+	for i := fl.depth - 1; i >= 0; i-- {
+		if p, ok := fl.scratch.scopes[i][name]; ok {
 			return p, true
 		}
 	}
@@ -368,7 +382,12 @@ func (fl *funcLowerer) lookup(name string) (place, bool) {
 
 func (fl *funcLowerer) newBlock(kind string) *ir.Block {
 	fl.blkSeq++
-	return fl.b.NewBlock(fmt.Sprintf("%s%d", kind, fl.blkSeq))
+	// strconv.AppendInt into the reusable buffer: block naming was a
+	// fmt.Sprintf per basic block, visible on million-line profiles.
+	buf := append(fl.scratch.nameBuf[:0], kind...)
+	buf = strconv.AppendInt(buf, int64(fl.blkSeq), 10)
+	fl.scratch.nameBuf = buf
+	return fl.b.NewBlock(string(buf))
 }
 
 // ensureFlow starts a fresh unreachable block if the current one is

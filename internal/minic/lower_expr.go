@@ -297,6 +297,16 @@ var cmpOps = map[string]ir.Pred{
 	"==": ir.EQ, "!=": ir.NE, "<": ir.LT, "<=": ir.LE, ">": ir.GT, ">=": ir.GE,
 }
 
+// Memory orders of the explicit-order load/store builtins. Package-level
+// so lowerCall does not build a map literal per call site.
+var loadOrds = map[string]ir.MemOrder{
+	"__load_rlx": ir.Relaxed, "__load_acq": ir.Acquire, "__load_sc": ir.SeqCst,
+}
+
+var storeOrds = map[string]ir.MemOrder{
+	"__store_rlx": ir.Relaxed, "__store_rel": ir.Release, "__store_sc": ir.SeqCst,
+}
+
 func (fl *funcLowerer) lowerBinary(x *Binary) (ir.Value, error) {
 	if x.Op == "&&" || x.Op == "||" {
 		return fl.lowerShortCircuit(x)
@@ -431,31 +441,31 @@ func (fl *funcLowerer) lowerAsm(x *AsmExpr) (ir.Value, error) {
 	case "fence_sc":
 		in := fl.b.Fence(ir.SeqCst)
 		in.SetMark(ir.MarkFromAsm)
-		fl.c.stats.AsmMapped++
+		fl.stats.AsmMapped++
 		return ir.Const(0), nil
 	case "fence_acq":
 		in := fl.b.Fence(ir.Acquire)
 		in.SetMark(ir.MarkFromAsm)
-		fl.c.stats.AsmMapped++
+		fl.stats.AsmMapped++
 		return ir.Const(0), nil
 	case "fence_rel":
 		in := fl.b.Fence(ir.Release)
 		in.SetMark(ir.MarkFromAsm)
-		fl.c.stats.AsmMapped++
+		fl.stats.AsmMapped++
 		return ir.Const(0), nil
 	case "pause":
 		fl.b.Call(ir.Void, "pause")
-		fl.c.stats.AsmMapped++
+		fl.stats.AsmMapped++
 		return ir.Const(0), nil
 	case "compiler_barrier":
 		// Emit a marker: the barrier has no runtime semantics, but its
 		// placement is a synchronization hint (paper section 6 proposes
 		// compiler barriers as additional detection entry points).
 		fl.b.Call(ir.Void, "compiler_barrier")
-		fl.c.stats.AsmMapped++
+		fl.stats.AsmMapped++
 		return ir.Const(0), nil
 	}
-	fl.c.stats.AsmOpaque++
+	fl.stats.AsmOpaque++
 	fl.b.Call(ir.Void, "asm")
 	return ir.Const(0), nil
 }
@@ -548,10 +558,7 @@ func (fl *funcLowerer) lowerCall(x *Call) (ir.Value, error) {
 		if err := ptrArg(vs[0]); err != nil {
 			return nil, err
 		}
-		ord := map[string]ir.MemOrder{
-			"__load_rlx": ir.Relaxed, "__load_acq": ir.Acquire, "__load_sc": ir.SeqCst,
-		}[x.Name]
-		return fl.b.LoadOrd(vs[0], ord), nil
+		return fl.b.LoadOrd(vs[0], loadOrds[x.Name]), nil
 	case "__store_rlx", "__store_rel", "__store_sc":
 		vs, err := argVals(2)
 		if err != nil {
@@ -560,10 +567,7 @@ func (fl *funcLowerer) lowerCall(x *Call) (ir.Value, error) {
 		if err := ptrArg(vs[0]); err != nil {
 			return nil, err
 		}
-		ord := map[string]ir.MemOrder{
-			"__store_rlx": ir.Relaxed, "__store_rel": ir.Release, "__store_sc": ir.SeqCst,
-		}[x.Name]
-		fl.b.StoreOrd(vs[0], vs[1], ord)
+		fl.b.StoreOrd(vs[0], vs[1], storeOrds[x.Name])
 		return ir.Const(0), nil
 	case "spawn":
 		if len(x.Args) != 1 {
@@ -577,7 +581,10 @@ func (fl *funcLowerer) lowerCall(x *Call) (ir.Value, error) {
 		if fn == nil {
 			return nil, fmt.Errorf("line %d: spawn of unknown function %q", x.Line, id.Name)
 		}
-		fn.NoInline = true
+		// Deferred NoInline mark: writing fn.NoInline here would race
+		// with the goroutine lowering fn's own body, so the mark is
+		// recorded per-function and applied at the sequential merge.
+		fl.noinline = append(fl.noinline, fn)
 		fl.b.Call(ir.Void, "spawn", &ir.FuncRef{Fn: fn})
 		return ir.Const(0), nil
 	case "malloc":

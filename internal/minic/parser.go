@@ -82,44 +82,55 @@ func (p *Parser) expectIdent() (Token, error) {
 func (p *Parser) parseFile() (*File, error) {
 	f := &File{}
 	for p.cur().Kind != TokEOF {
-		// "struct Name { ... };" is a struct declaration; "struct Name x"
-		// begins a variable or function declaration.
-		if p.at(TokKeyword, "struct") && p.peekN(2).Text == "{" {
-			sd, err := p.parseStructDecl()
-			if err != nil {
-				return nil, err
-			}
-			f.Structs = append(f.Structs, sd)
-			continue
-		}
-		quals, ty, err := p.parseQualsAndTypeSpec()
-		if err != nil {
+		if err := p.parseDecl(f); err != nil {
 			return nil, err
 		}
-		stars := 0
-		for p.accept(TokPunct, "*") {
-			stars++
-		}
-		name, err := p.expectIdent()
-		if err != nil {
-			return nil, err
-		}
-		ty.Stars = stars
-		if p.at(TokPunct, "(") {
-			fd, err := p.parseFuncRest(ty, name)
-			if err != nil {
-				return nil, err
-			}
-			f.Funcs = append(f.Funcs, fd)
-			continue
-		}
-		vd, err := p.parseVarRest(quals, ty, name)
-		if err != nil {
-			return nil, err
-		}
-		f.Globals = append(f.Globals, vd)
 	}
 	return f, nil
+}
+
+// parseDecl parses one top-level declaration into f. It is the unit
+// the chunked parallel parser fans out over (split.go); the parser
+// carries no state across declarations, so per-chunk parses compose
+// into the same AST the sequential loop builds.
+func (p *Parser) parseDecl(f *File) error {
+	// "struct Name { ... };" is a struct declaration; "struct Name x"
+	// begins a variable or function declaration.
+	if p.at(TokKeyword, "struct") && p.peekN(2).Text == "{" {
+		sd, err := p.parseStructDecl()
+		if err != nil {
+			return err
+		}
+		f.Structs = append(f.Structs, sd)
+		return nil
+	}
+	quals, ty, err := p.parseQualsAndTypeSpec()
+	if err != nil {
+		return err
+	}
+	stars := 0
+	for p.accept(TokPunct, "*") {
+		stars++
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	ty.Stars = stars
+	if p.at(TokPunct, "(") {
+		fd, err := p.parseFuncRest(ty, name)
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, fd)
+		return nil
+	}
+	vd, err := p.parseVarRest(quals, ty, name)
+	if err != nil {
+		return err
+	}
+	f.Globals = append(f.Globals, vd)
+	return nil
 }
 
 type quals struct{ volatile, atomic bool }
@@ -582,28 +593,31 @@ var binPrec = map[string]int{
 
 func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
 
-var compoundOps = []string{"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
-
 func (p *Parser) parseAssign() (Expr, error) {
 	lhs, err := p.parseBinary(1)
 	if err != nil {
 		return nil, err
 	}
-	if p.accept(TokPunct, "=") {
+	t := p.cur()
+	if t.Kind != TokPunct {
+		return lhs, nil
+	}
+	if t.Text == "=" {
+		p.i++
 		rhs, err := p.parseAssign()
 		if err != nil {
 			return nil, err
 		}
 		return &Assign{LHS: lhs, RHS: rhs}, nil
 	}
-	for _, op := range compoundOps {
-		if p.accept(TokPunct, op) {
-			rhs, err := p.parseAssign()
-			if err != nil {
-				return nil, err
-			}
-			return &CompoundAssign{Op: op[:len(op)-1], LHS: lhs, RHS: rhs}, nil
+	switch t.Text {
+	case "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+		p.i++
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
 		}
+		return &CompoundAssign{Op: t.Text[:len(t.Text)-1], LHS: lhs, RHS: rhs}, nil
 	}
 	return lhs, nil
 }

@@ -28,7 +28,7 @@ func (s *Server) opLoad(ctx context.Context, req *Request) *Response {
 	if ctx.Err() != nil {
 		return errResp("", "load: %v", ctx.Err())
 	}
-	sess, err := newSession(req.Name, src, langOf(req.Lang, req.Name))
+	sess, err := newSession(req.Name, src, langOf(req.Lang, req.Name), s.opts.Workers, s.opts.Obs)
 	if err != nil {
 		return errResp(ErrBadRequest, "load: %v", err)
 	}

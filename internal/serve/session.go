@@ -74,8 +74,10 @@ func portOptions(optSalt string) atomig.Options {
 }
 
 // newSession compiles source (MiniC or AIR, by lang) and builds the
-// analyzed snapshot.
-func newSession(name, source, lang string) (*session, error) {
+// analyzed snapshot. workers is the frontend fan-out (the daemon's
+// Options.Workers); the compiled module is byte-identical for every
+// count, preserving the conformance contract.
+func newSession(name, source, lang string, workers int, prov *obs.Provider) (*session, error) {
 	var m *ir.Module
 	switch lang {
 	case "air":
@@ -85,7 +87,7 @@ func newSession(name, source, lang string) (*session, error) {
 		}
 		m = pm
 	case "c":
-		res, err := minic.Compile(name, source)
+		res, err := minic.CompileOpts(name, source, minic.Options{Workers: workers, Obs: prov})
 		if err != nil {
 			return nil, err
 		}
