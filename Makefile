@@ -5,7 +5,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline bench-frontend bench-weaken pipeline-smoke frontend-smoke obs-smoke serve-smoke weaken-smoke clean
+.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline bench-frontend bench-weaken pipeline-smoke frontend-smoke obs-smoke obs-live-smoke serve-smoke weaken-smoke clean
 
 # Module size for the pipeline byte-identical-output smoke. Big enough
 # to exercise the parallel fan-out, small enough for `make check`.
@@ -37,7 +37,7 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race bench-mc-smoke obs-smoke pipeline-smoke frontend-smoke serve-smoke weaken-smoke
+check: build vet test test-race bench-mc-smoke obs-smoke obs-live-smoke pipeline-smoke frontend-smoke serve-smoke weaken-smoke
 
 # Model-checker scaling sweep (docs/MODEL-CHECKER.md): exhaustive
 # exploration of the litmus+seqlock corpus at 1..8 workers, appending
@@ -135,6 +135,19 @@ obs-smoke:
 	$(GO) build -o bin/ ./cmd/atomig-mc ./cmd/atomig-bench
 	bin/atomig-mc -port -j 4 -corpus seqlock-gap -metrics bin/obs-metrics.json -trace bin/obs-trace.json
 	bin/atomig-bench -check-metrics bin/obs-metrics.json -check-trace bin/obs-trace.json
+
+# Module size for the live-telemetry smoke (mid-flight /metrics scrape
+# cross-checked against the end-of-run snapshot).
+OBS_LIVE_SMOKE_SLOC ?= 4000
+
+# End-to-end smoke of the live telemetry surface (docs/OBSERVABILITY.md
+# "Live HTTP exposition"): a daemon with -http is scraped mid-port, the
+# scrape validated and cross-checked against the final snapshot, and
+# /healthz walked ok -> degraded under shed load. Built binaries, not
+# `go run`, so exit codes survive intact.
+obs-live-smoke:
+	$(GO) build -o bin/ ./cmd/atomig ./cmd/atomig-bench
+	sh scripts/obs-live-smoke.sh bin/atomig bin/atomig-bench bin $(OBS_LIVE_SMOKE_SLOC)
 
 # Go allows one -fuzz pattern per invocation, so the targets run
 # sequentially. Crashers are written to testdata/fuzz/ as new

@@ -50,17 +50,18 @@ func main() {
 	genModule := flag.String("gen-module", "", "write the pipeline-scaling module's MiniC source to this file and exit")
 	budget := flag.Duration("budget", 5*time.Second, "per-check time budget for t2")
 	jsonOut := flag.String("json", "", "append machine-readable results to this file (mc-scaling)")
-	metricsPath := flag.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
-	tracePath := flag.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
-	pprofAddr := flag.String("pprof", "", "serve runtime profiles (net/http/pprof) on this address")
+	var of obs.CLIFlags
+	of.Register(flag.CommandLine)
 	checkMetrics := flag.String("check-metrics", "", "validate a -metrics snapshot file and exit")
 	checkTrace := flag.String("check-trace", "", "validate a -trace export file and exit")
+	checkProm := flag.String("check-prom", "", "validate a Prometheus /metrics scrape file and exit")
+	against := flag.String("against", "", "with -check-prom: cross-check the scrape's counters against this -metrics snapshot")
 	flag.Parse()
 
-	// Validator mode: check exported observability files (make obs-smoke)
-	// instead of running experiments.
-	if *checkMetrics != "" || *checkTrace != "" {
-		os.Exit(validateFiles(*checkMetrics, *checkTrace))
+	// Validator mode: check exported observability files (make obs-smoke,
+	// make obs-live-smoke) instead of running experiments.
+	if *checkMetrics != "" || *checkTrace != "" || *checkProm != "" {
+		os.Exit(validateFiles(*checkMetrics, *checkTrace, *checkProm, *against))
 	}
 
 	// Generator mode: emit the pipeline-scaling module source for
@@ -76,7 +77,11 @@ func main() {
 		return
 	}
 
-	prov := obs.NewCLI(*metricsPath, *tracePath, false)
+	prov, err := of.Provider(false, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atomig-bench:", err)
+		os.Exit(1)
+	}
 
 	// envelope wraps one experiment's rows with the host facts a reader
 	// needs to judge the numbers: the pinned GOMAXPROCS, the physical
@@ -91,15 +96,6 @@ func main() {
 			"oversubscribed":    bench.Oversubscribed(nil),
 			"rows":              rows,
 		}
-	}
-
-	if *pprofAddr != "" {
-		addr, err := obs.ServePprof(*pprofAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "atomig-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "pprof: listening on http://%s/debug/pprof/\n", addr)
 	}
 
 	run := func(id string) error {
@@ -252,17 +248,19 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+	if err := of.Close(prov); err != nil {
 		fmt.Fprintln(os.Stderr, "atomig-bench:", err)
 		os.Exit(1)
 	}
 }
 
 // validateFiles checks exported observability files against their
-// formats: the versioned metrics schema and the Chrome trace-event
-// well-formedness rules. Either path may be empty. Returns the process
-// exit code.
-func validateFiles(metricsPath, tracePath string) int {
+// formats: the versioned metrics schema, the Chrome trace-event
+// well-formedness rules, and the Prometheus text exposition (scraped
+// from a live /metrics; with -against, additionally cross-checked
+// against an end-of-run snapshot — every shared counter must be ≤ its
+// final value). Any path may be empty. Returns the process exit code.
+func validateFiles(metricsPath, tracePath, promPath, againstPath string) int {
 	check := func(path, kind string, validate func([]byte) error) bool {
 		data, err := os.ReadFile(path)
 		if err == nil {
@@ -281,6 +279,18 @@ func validateFiles(metricsPath, tracePath string) int {
 	}
 	if tracePath != "" {
 		ok = check(tracePath, "check-trace", obs.ValidateTrace) && ok
+	}
+	if promPath != "" {
+		validate := obs.ValidateProm
+		if againstPath != "" {
+			snap, err := os.ReadFile(againstPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "atomig-bench: check-prom: %v\n", err)
+				return 1
+			}
+			validate = func(data []byte) error { return obs.CheckPromAgainst(data, snap) }
+		}
+		ok = check(promPath, "check-prom", validate) && ok
 	}
 	if !ok {
 		return 1

@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -52,22 +53,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print a human-readable exploration summary")
 	resume := fs.String("resume", "", "resume token(s) from a prior budget-exhausted run (comma-separated)")
 	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel exploration workers (1 = sequential)")
-	metricsPath := fs.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
-	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
-	pprofAddr := fs.String("pprof", "", "serve runtime profiles (net/http/pprof) on this address")
+	var of obs.CLIFlags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	// -stats also reads the registry, so it forces a provider even when
 	// no export file was requested.
-	prov := obs.NewCLI(*metricsPath, *tracePath, *stats)
-	if *pprofAddr != "" {
-		addr, err := obs.ServePprof(*pprofAddr)
-		if err != nil {
-			return fail(stderr, err)
-		}
-		fmt.Fprintf(stderr, "pprof: listening on http://%s/debug/pprof/\n", addr)
+	prov, err := of.Provider(*stats, stderr)
+	if err != nil {
+		return fail(stderr, err)
 	}
 
 	mod, entryList, err := load(*corpusName, *entries, fs.Args(), *workers, prov)
@@ -164,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+	if err := of.Close(prov); err != nil {
 		return fail(stderr, err)
 	}
 	switch res.Verdict {
@@ -205,6 +201,18 @@ func printStats(w io.Writer, res *mc.Result, snap obs.Snapshot) {
 		fmt.Fprintf(w, "  unexplored frontier branches:    %d\n", res.Frontier)
 	} else {
 		fmt.Fprintln(w, "  state space fully explored")
+	}
+	if len(snap.Histograms) > 0 {
+		names := make([]string, 0, len(snap.Histograms))
+		for name := range snap.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "  distribution quantiles (approximate, bucket upper bounds):")
+		for _, name := range names {
+			h := snap.Histograms[name]
+			fmt.Fprintf(w, "    %-32s p50=%d p95=%d p99=%d (n=%d)\n", name, h.P50, h.P95, h.P99, h.Count)
+		}
 	}
 }
 

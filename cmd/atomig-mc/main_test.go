@@ -268,6 +268,22 @@ func TestStatsFormat(t *testing.T) {
 	if !strings.Contains(b.String(), "  unexplored frontier branches:    9\n") {
 		t.Errorf("frontier line drifted:\n%s", b.String())
 	}
+
+	// With histograms in the snapshot, the quantile section appears,
+	// sorted by name, rendering the v2 p50/p95/p99 fields.
+	snap.Histograms = map[string]obs.HistogramSnapshot{
+		"mc.fragment_executions": {Count: 100, Sum: 500, P50: 3, P95: 15, P99: 127},
+		"mc.execution_steps":     {Count: 7, Sum: 70, P50: 7, P95: 15, P99: 15},
+	}
+	b.Reset()
+	printStats(&b, res, snap)
+	wantQ := `  distribution quantiles (approximate, bucket upper bounds):
+    mc.execution_steps               p50=7 p95=15 p99=15 (n=7)
+    mc.fragment_executions           p50=3 p95=15 p99=127 (n=100)
+`
+	if !strings.Contains(b.String(), wantQ) {
+		t.Errorf("quantile section drifted:\ngot:\n%s\nwant substring:\n%s", b.String(), wantQ)
+	}
 }
 
 // A violation outranks a race on both verdict and exit code.

@@ -58,15 +58,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sweep := fs.Bool("sweep", false, "race-sweep every scheduler mode instead of one seeded run (implies -race)")
 	sweepSeeds := fs.Int("seeds", 4, "seeds per scheduler mode for -sweep")
 	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel workers for -sweep")
-	metricsPath := fs.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
-	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
+	var of obs.CLIFlags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	prov := obs.NewCLI(*metricsPath, *tracePath, false)
+	prov, err := of.Provider(false, stderr)
+	if err != nil {
+		return fail(stderr, err)
+	}
 	defer func() {
-		if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+		if err := of.Close(prov); err != nil {
 			fmt.Fprintln(stderr, "atomig-run:", err)
 		}
 	}()

@@ -39,7 +39,13 @@
 //	-serve                  run the incremental porting daemon on
 //	                        stdin/stdout (docs/SERVE.md); -socket adds
 //	                        a Unix socket listener, -queue bounds
-//	                        admission, -deadline/-grace bound requests
+//	                        admission, -deadline/-grace bound requests,
+//	                        -http serves live telemetry (/metrics,
+//	                        /healthz, net/http/pprof), -crash names the
+//	                        flight-recorder dump file
+//	-metrics/-trace/-log/-pprof
+//	                        observability exports and live telemetry
+//	                        (docs/OBSERVABILITY.md)
 //
 // Exit codes: 0 success, 2 usage or internal error (malformed input,
 // port failure, -serve startup failure). Exit code 1 is reserved for
@@ -92,13 +98,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	explainRaces := fs.Bool("explain-races", false, "detect races in the un-ported input and explain what to promote")
 	entries := fs.String("entries", "", "comma-separated thread entries for -explain-races and -O on file inputs")
 	jobs := fs.Int("j", 1, "pipeline worker count (output is byte-identical for every value)")
-	metricsPath := fs.String("metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
-	tracePath := fs.String("trace", "", "write a Chrome trace_event timeline (JSON) to this file")
+	var of obs.CLIFlags
+	of.Register(fs)
 	serveMode := fs.Bool("serve", false, "run the incremental porting daemon on stdin/stdout (docs/SERVE.md)")
 	socket := fs.String("socket", "", "with -serve: also listen on this Unix socket path")
 	queue := fs.Int("queue", 8, "with -serve: admission queue depth (requests beyond it are shed)")
 	deadline := fs.Duration("deadline", 30*time.Second, "with -serve: per-request deadline")
 	grace := fs.Duration("grace", 2*time.Second, "with -serve: watchdog grace past the deadline")
+	httpAddr := fs.String("http", "", "with -serve: serve live telemetry (/metrics, /healthz, net/http/pprof) on this address")
+	crashPath := fs.String("crash", "", "with -serve: write flight-recorder dumps to this file on watchdog, panic, or overload")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -106,7 +114,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *serveMode {
 		return runServe(stdin, stdout, stderr, fs.Args(), serveConfig{
 			socket: *socket, queue: *queue, deadline: *deadline, grace: *grace,
-			jobs: *jobs, metricsPath: *metricsPath, tracePath: *tracePath,
+			jobs: *jobs, httpAddr: *httpAddr, crashPath: *crashPath, flags: &of,
 		})
 	}
 
@@ -117,7 +125,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	prov := obs.NewCLI(*metricsPath, *tracePath, false)
+	prov, err := of.Provider(false, stderr)
+	if err != nil {
+		return fail(stderr, err)
+	}
 
 	sp := prov.Track("pipeline").Begin("pipeline.parse")
 	mod, err := loadModule(*corpusName, fs.Args(), *jobs, prov)
@@ -140,7 +151,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			}
 		}
 		code := explain(stdout, stderr, mod, *corpusName, *entries, weakened, prov)
-		if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+		if err := of.Close(prov); err != nil {
 			return fail(stderr, err)
 		}
 		return code
@@ -212,7 +223,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
-	if err := prov.Flush(*metricsPath, *tracePath); err != nil {
+	if err := of.Close(prov); err != nil {
 		return fail(stderr, err)
 	}
 	return 0
@@ -385,13 +396,14 @@ func fail(stderr io.Writer, err error) int {
 
 // serveConfig carries the -serve flag group.
 type serveConfig struct {
-	socket      string
-	queue       int
-	deadline    time.Duration
-	grace       time.Duration
-	jobs        int
-	metricsPath string
-	tracePath   string
+	socket    string
+	queue     int
+	deadline  time.Duration
+	grace     time.Duration
+	jobs      int
+	httpAddr  string
+	crashPath string
+	flags     *obs.CLIFlags
 }
 
 // runServe runs the incremental porting daemon: the JSON protocol on
@@ -408,14 +420,29 @@ func runServe(stdin io.Reader, stdout, stderr io.Writer, args []string, cfg serv
 	if cfg.deadline <= 0 || cfg.grace <= 0 {
 		return fail(stderr, fmt.Errorf("-serve: -deadline and -grace must be positive"))
 	}
-	prov := obs.NewCLI(cfg.metricsPath, cfg.tracePath, false)
+	// -http needs a real provider so /metrics serves the daemon's
+	// registry (not serve's private fallback).
+	prov, err := cfg.flags.Provider(cfg.httpAddr != "", stderr)
+	if err != nil {
+		return fail(stderr, err)
+	}
 	srv := serve.New(serve.Options{
 		QueueDepth: cfg.queue,
 		Deadline:   cfg.deadline,
 		Grace:      cfg.grace,
 		Workers:    cfg.jobs,
 		Obs:        prov,
+		CrashPath:  cfg.crashPath,
 	})
+
+	if cfg.httpAddr != "" {
+		addr, err := srv.ListenHTTP(cfg.httpAddr)
+		if err != nil {
+			return fail(stderr, fmt.Errorf("-serve: -http: %w", err))
+		}
+		// Announced on stderr so scripts binding ":0" can parse the port.
+		fmt.Fprintf(stderr, "http: listening on %s\n", addr)
+	}
 
 	listenErr := make(chan error, 1)
 	if cfg.socket != "" {
@@ -428,7 +455,7 @@ func runServe(stdin io.Reader, stdout, stderr io.Writer, args []string, cfg serv
 
 	// The stdio connection drives the daemon's lifetime: EOF or a
 	// shutdown op drains and exits.
-	err := srv.ServeConn(stdioConn{stdin, stdout})
+	err = srv.ServeConn(stdioConn{stdin, stdout})
 	srv.Shutdown()
 	srv.Drain()
 	if cfg.socket != "" {
@@ -437,7 +464,7 @@ func runServe(stdin io.Reader, stdout, stderr io.Writer, args []string, cfg serv
 		}
 		os.Remove(cfg.socket)
 	}
-	if ferr := prov.Flush(cfg.metricsPath, cfg.tracePath); ferr != nil && err == nil {
+	if ferr := cfg.flags.Close(prov); ferr != nil && err == nil {
 		err = ferr
 	}
 	if err != nil {

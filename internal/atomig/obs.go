@@ -26,4 +26,9 @@ func publishReport(p *obs.Provider, rep *Report) {
 	p.Counter("pipeline.accesses_transformed").Add(int64(rep.ImplicitAdded))
 	p.Counter("pipeline.fences_inserted").Add(int64(rep.ExplicitAdded))
 	p.Histogram("pipeline.port_duration_micros").Observe(rep.Duration.Microseconds())
+	p.Log().Event("pipeline.port_completed").
+		Str("module", rep.Module).
+		Int("cache_hits", int64(rep.CacheHits)).
+		Int("cache_misses", int64(rep.CacheMisses)).
+		Int("dur_us", rep.Duration.Microseconds()).Emit()
 }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestCatalogMatchesCode is the drift gate between the metric catalog
+// table in docs/OBSERVABILITY.md and the names actually registered in
+// the codebase: every `Counter("x.y")`/`Gauge`/`Histogram` call in
+// non-test source must have a catalog row, and every catalogued name
+// must still exist in the source. Registering a metric without
+// documenting it (or documenting a ghost) fails the build.
+func TestCatalogMatchesCode(t *testing.T) {
+	root := "../.."
+	inCode := registeredNames(t, root)
+	inDocs := cataloguedNames(t, filepath.Join(root, "docs", "OBSERVABILITY.md"))
+
+	for _, name := range sortedKeys(inCode) {
+		if !inDocs[name] {
+			t.Errorf("metric %q is registered in code but missing from the docs/OBSERVABILITY.md catalog", name)
+		}
+	}
+	for _, name := range sortedKeys(inDocs) {
+		if !inCode[name] {
+			t.Errorf("metric %q is in the docs/OBSERVABILITY.md catalog but no code registers it", name)
+		}
+	}
+	// Sanity: the scan found the stable core names, so an empty scan
+	// cannot masquerade as "no drift".
+	for _, anchor := range []string{"mc.executions_explored", "serve.requests_total", "weaken.runs_completed"} {
+		if !inCode[anchor] {
+			t.Fatalf("source scan lost anchor metric %q — scanner broken", anchor)
+		}
+	}
+}
+
+var registerRE = regexp.MustCompile(`\.(?:Counter|Gauge|Histogram)\(\s*"([a-z][a-z0-9_]*\.[a-z0-9_.]+)"\s*\)`)
+
+// registeredNames collects every literal metric name registered in
+// non-test Go source under root.
+func registeredNames(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	names := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range registerRE.FindAllSubmatch(data, -1) {
+			names[string(m[1])] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+var catalogNameRE = regexp.MustCompile("`([a-z][a-z0-9_]*\\.[a-z0-9_.]+)`")
+
+// cataloguedNames extracts the metric names from the catalog table:
+// backticked names in the first cell of each `| ... |` row (a row may
+// list several related names separated by slashes).
+func cataloguedNames(t *testing.T, docPath string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 3 {
+			continue
+		}
+		kind := strings.TrimSpace(cells[2])
+		switch kind {
+		case "counter", "gauge", "histogram":
+		default:
+			continue // prose tables, header rows
+		}
+		for _, m := range catalogNameRE.FindAllStringSubmatch(cells[1], -1) {
+			names[m[1]] = true
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("no catalog rows found in %s — table format changed?", docPath)
+	}
+	return names
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLIFlags is the one flag-plumbing helper shared by all four
+// commands: it registers the observability flag group (-metrics,
+// -trace, -pprof, -log), builds the matching provider, and tears it
+// down. Before this existed every main carried its own copy of the
+// pprof startup and flush epilogue; now a command does
+//
+//	var of obs.CLIFlags
+//	of.Register(fs)
+//	...
+//	prov, err := of.Provider(extra, stderr)
+//	defer of.Close(prov)
+type CLIFlags struct {
+	Metrics string // -metrics: JSON snapshot file
+	Trace   string // -trace: Chrome trace_event file
+	Pprof   string // -pprof: live telemetry HTTP address
+	Log     string // -log: JSON event log file, or "stderr"
+
+	logFile   *os.File     // owned when -log names a file
+	httpClose func() error // owned -pprof listener
+}
+
+// Register installs the flag group on fs.
+func (f *CLIFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Metrics, "metrics", "", "write a versioned metrics-registry snapshot (JSON) to this file")
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event timeline (JSON) to this file")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve live telemetry (/metrics, /healthz, net/http/pprof) on this address")
+	fs.StringVar(&f.Log, "log", "", `write structured JSON events to this file, or "stderr"`)
+}
+
+// Provider builds the provider the parsed flags ask for: nil when
+// every flag is off and no extra consumer (e.g. atomig-mc -stats)
+// needs a registry. -log attaches an event logger; -pprof starts the
+// telemetry listener (announced on stderr) serving this provider's
+// registry live.
+func (f *CLIFlags) Provider(extra bool, stderr io.Writer) (*Provider, error) {
+	p := NewCLI(f.Metrics, f.Trace, extra || f.Log != "" || f.Pprof != "")
+	if p == nil {
+		return nil, nil
+	}
+	if f.Log != "" {
+		w := io.Writer(stderr)
+		if f.Log != "stderr" {
+			file, err := os.Create(f.Log)
+			if err != nil {
+				return nil, fmt.Errorf("obs: -log: %w", err)
+			}
+			f.logFile = file
+			w = file
+		}
+		p.Logs = NewLogger(w)
+	}
+	if f.Pprof != "" {
+		addr, closeFn, err := ListenAndServe(f.Pprof, p, nil)
+		if err != nil {
+			f.closeOwned()
+			return nil, fmt.Errorf("obs: -pprof: %w", err)
+		}
+		f.httpClose = closeFn
+		fmt.Fprintf(stderr, "pprof: listening on http://%s/debug/pprof/\n", addr)
+	}
+	return p, nil
+}
+
+func (f *CLIFlags) closeOwned() {
+	if f.httpClose != nil {
+		f.httpClose()
+		f.httpClose = nil
+	}
+	if f.logFile != nil {
+		f.logFile.Close()
+		f.logFile = nil
+	}
+}
+
+// Close flushes the provider's exports to the flagged paths and
+// releases everything Provider opened. Safe on a nil provider and
+// after an error path.
+func (f *CLIFlags) Close(p *Provider) error {
+	err := p.Flush(f.Metrics, f.Trace)
+	f.closeOwned()
+	return err
+}

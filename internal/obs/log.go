@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+)
+
+// Logger is the structured JSON event log: one JSON object per line,
+// each carrying a wall-clock timestamp (`ts_us`, Unix microseconds), a
+// monotonic sequence number (`seq`), the event name (`ev`, following
+// the same `subsystem.noun_verbed` convention as metrics), and the
+// caller's typed fields. Events go to the sink writer (the `-log`
+// flag) and, when a flight recorder is attached, into its in-memory
+// ring — either destination may be absent.
+//
+// The nil contract matches the rest of the package: a nil *Logger (and
+// the nil *Ev it hands out) is a no-op with zero allocations, enforced
+// by TestNilSafety. Call sites read straight-line:
+//
+//	lg.Event("serve.request_admitted").Str("id", id).Int("slot", 3).Emit()
+type Logger struct {
+	mu  sync.Mutex // serializes sink writes
+	w   io.Writer  // may be nil: recorder-only logger
+	rec atomic.Pointer[Recorder]
+	seq atomic.Int64
+
+	nowUS func() int64 // test hook: Unix microseconds
+}
+
+// NewLogger returns a logger writing JSON lines to w. A nil w is
+// legal: events then reach only the attached flight recorder.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, nowUS: func() int64 { return time.Now().UnixMicro() }}
+}
+
+// SetRecorder attaches (or detaches, with nil) a flight recorder;
+// every subsequently emitted event is also appended to its ring.
+// Nil-safe and safe against concurrent Emit calls.
+func (l *Logger) SetRecorder(r *Recorder) {
+	if l != nil {
+		l.rec.Store(r)
+	}
+}
+
+// Recorder returns the attached flight recorder (nil when none).
+func (l *Logger) Recorder() *Recorder {
+	if l == nil {
+		return nil
+	}
+	return l.rec.Load()
+}
+
+// evPool recycles event builders so an enabled logger allocates only
+// for sink growth, not per event.
+var evPool = sync.Pool{New: func() any { return &Ev{buf: make([]byte, 0, 256)} }}
+
+// Ev is one event under construction. Obtain it from Logger.Event,
+// attach fields with Str/Int/Bool, and finish with Emit — every method
+// is nil-safe, so a disabled logger's call sites cost nil checks only.
+type Ev struct {
+	l   *Logger
+	ts  int64
+	seq int64
+	buf []byte
+}
+
+// Event starts an event with the given name. Nil-safe: a nil logger
+// yields a nil event whose methods all no-op.
+func (l *Logger) Event(name string) *Ev {
+	if l == nil {
+		return nil
+	}
+	e := evPool.Get().(*Ev)
+	e.l = l
+	e.ts = l.nowUS()
+	e.seq = l.seq.Add(1)
+	e.buf = append(e.buf[:0], `{"ts_us":`...)
+	e.buf = strconv.AppendInt(e.buf, e.ts, 10)
+	e.buf = append(e.buf, `,"seq":`...)
+	e.buf = strconv.AppendInt(e.buf, e.seq, 10)
+	e.buf = append(e.buf, `,"ev":`...)
+	e.buf = appendJSONString(e.buf, name)
+	return e
+}
+
+func (e *Ev) key(k string) {
+	e.buf = append(e.buf, ',')
+	e.buf = appendJSONString(e.buf, k)
+	e.buf = append(e.buf, ':')
+}
+
+// Str attaches a string field. Nil-safe.
+func (e *Ev) Str(k, v string) *Ev {
+	if e == nil {
+		return nil
+	}
+	e.key(k)
+	e.buf = appendJSONString(e.buf, v)
+	return e
+}
+
+// Int attaches an integer field. Nil-safe.
+func (e *Ev) Int(k string, v int64) *Ev {
+	if e == nil {
+		return nil
+	}
+	e.key(k)
+	e.buf = strconv.AppendInt(e.buf, v, 10)
+	return e
+}
+
+// Bool attaches a boolean field. Nil-safe.
+func (e *Ev) Bool(k string, v bool) *Ev {
+	if e == nil {
+		return nil
+	}
+	e.key(k)
+	e.buf = strconv.AppendBool(e.buf, v)
+	return e
+}
+
+// Emit closes the event and delivers it to the sink and the attached
+// flight recorder. The event must not be used afterwards. Nil-safe.
+func (e *Ev) Emit() {
+	if e == nil {
+		return
+	}
+	e.buf = append(e.buf, '}', '\n')
+	l := e.l
+	if r := l.rec.Load(); r != nil {
+		r.add(e.ts, e.seq, e.buf)
+	}
+	if l.w != nil {
+		l.mu.Lock()
+		l.w.Write(e.buf)
+		l.mu.Unlock()
+	}
+	e.l = nil
+	evPool.Put(e)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal: quotes and
+// backslashes escaped, control characters as \uXXXX, invalid UTF-8
+// replaced so the output is always valid JSON.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				buf = append(buf, '\\', '"')
+			case c == '\\':
+				buf = append(buf, '\\', '\\')
+			case c == '\n':
+				buf = append(buf, '\\', 'n')
+			case c == '\r':
+				buf = append(buf, '\\', 'r')
+			case c == '\t':
+				buf = append(buf, '\\', 't')
+			case c < 0x20:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			default:
+				buf = append(buf, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, `�`...)
+			i++
+			continue
+		}
+		buf = append(buf, s[i:i+size]...)
+		i += size
+	}
+	return append(buf, '"')
+}

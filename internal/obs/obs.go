@@ -18,12 +18,14 @@
 // match; the catalog lives in docs/OBSERVABILITY.md.
 package obs
 
-// Provider bundles the metrics registry and the (optional) tracer a
-// subsystem reports into. A nil Provider disables instrumentation
-// entirely; a Provider with a nil Tracer collects metrics only.
+// Provider bundles the metrics registry, the (optional) tracer, and
+// the (optional) structured event logger a subsystem reports into. A
+// nil Provider disables instrumentation entirely; a Provider with a
+// nil Tracer collects metrics only; a nil Logs drops events.
 type Provider struct {
 	Registry *Registry
 	Tracer   *Tracer
+	Logs     *Logger
 }
 
 // New returns a metrics-only provider.
@@ -57,6 +59,15 @@ func (p *Provider) Histogram(name string) *Histogram {
 		return nil
 	}
 	return p.Registry.Histogram(name)
+}
+
+// Log returns the provider's event logger; nil when the provider has
+// none, which turns every Event call site into a no-op.
+func (p *Provider) Log() *Logger {
+	if p == nil {
+		return nil
+	}
+	return p.Logs
 }
 
 // Track resolves a named trace track; nil when the provider or its

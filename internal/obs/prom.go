@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4) so a live daemon can be scraped,
+// and validates such scrapes (`atomig-bench -check-prom`). Metric
+// names are mapped from the internal `subsystem.noun_verbed`
+// convention to Prometheus conventions by PromName.
+
+// PromName converts an internal metric name to its Prometheus form:
+// an `atomig_` namespace prefix, dots and dashes folded to
+// underscores. `pipeline.ports_completed` → `atomig_pipeline_ports_completed`.
+func PromName(name string) string {
+	mapped := strings.Map(func(r rune) rune {
+		if r == '.' || r == '-' {
+			return '_'
+		}
+		return r
+	}, name)
+	return "atomig_" + mapped
+}
+
+// EncodeProm renders the snapshot in Prometheus text format: counters
+// and gauges as single samples, histograms as cumulative `le` bucket
+// series plus `_sum` and `_count`. Output is sorted by metric name so
+// scrapes diff cleanly.
+func EncodeProm(snap Snapshot) []byte {
+	var buf bytes.Buffer
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		fmt.Fprintf(&buf, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		fmt.Fprintf(&buf, "# TYPE %s gauge\n%s %d\n", pn, pn, snap.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		pn := PromName(name)
+		fmt.Fprintf(&buf, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.N
+			fmt.Fprintf(&buf, "%s_bucket{le=\"%d\"} %d\n", pn, b.Upper, cum)
+		}
+		// Count/buckets race under concurrent observation; +Inf must be
+		// the largest cumulative value to keep the series monotone.
+		inf := h.Count
+		if cum > inf {
+			inf = cum
+		}
+		fmt.Fprintf(&buf, "%s_bucket{le=\"+Inf\"} %d\n", pn, inf)
+		fmt.Fprintf(&buf, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(&buf, "%s_count %d\n", pn, inf)
+	}
+	return buf.Bytes()
+}
+
+var promNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name  string // metric name without the {le=...} suffix
+	le    string // bucket bound, "" for non-bucket samples
+	value float64
+}
+
+var promLineRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]*)"\})? (\S+)$`)
+
+// parseProm parses Prometheus text exposition into typed samples,
+// checking line-level syntax as it goes.
+func parseProm(data []byte) (types map[string]string, samples []promSample, err error) {
+	types = make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" {
+				if !promNameRE.MatchString(fields[2]) {
+					return nil, nil, fmt.Errorf("prom: line %d: bad metric name %q", lineNo, fields[2])
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, nil, fmt.Errorf("prom: line %d: unknown type %q", lineNo, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		m := promLineRE.FindStringSubmatch(line)
+		if m == nil {
+			return nil, nil, fmt.Errorf("prom: line %d: malformed sample %q", lineNo, line)
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("prom: line %d: bad value %q", lineNo, m[4])
+		}
+		samples = append(samples, promSample{name: m[1], le: m[3], value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("prom: %w", err)
+	}
+	return types, samples, nil
+}
+
+// ValidateProm checks that data is well-formed Prometheus text
+// exposition as EncodeProm produces it: every sample belongs to a
+// declared TYPE, histogram bucket series are cumulative, sorted by
+// bound and terminated by `+Inf`, and `_count` matches the `+Inf`
+// bucket.
+func ValidateProm(data []byte) error {
+	types, samples, err := parseProm(data)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("prom: no samples")
+	}
+	// Group histogram series back together by base name.
+	type histState struct {
+		lastLE   float64
+		lastCum  float64
+		infSeen  bool
+		infValue float64
+		count    float64
+		hasCount bool
+	}
+	hists := make(map[string]*histState)
+	histBase := func(sampleName string) (string, string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(sampleName, suf)
+			if base != sampleName && types[base] == "histogram" {
+				return base, suf
+			}
+		}
+		return "", ""
+	}
+	for _, s := range samples {
+		base, suf := histBase(s.name)
+		if base == "" {
+			if _, ok := types[s.name]; !ok {
+				return fmt.Errorf("prom: sample %q has no TYPE declaration", s.name)
+			}
+			if s.le != "" {
+				return fmt.Errorf("prom: non-histogram sample %q carries le", s.name)
+			}
+			continue
+		}
+		st := hists[base]
+		if st == nil {
+			st = &histState{lastLE: math.Inf(-1)}
+			hists[base] = st
+		}
+		switch suf {
+		case "_bucket":
+			if st.infSeen {
+				return fmt.Errorf("prom: histogram %q has buckets after +Inf", base)
+			}
+			if s.le == "+Inf" {
+				st.infSeen = true
+				st.infValue = s.value
+				if s.value < st.lastCum {
+					return fmt.Errorf("prom: histogram %q +Inf bucket %v below cumulative %v", base, s.value, st.lastCum)
+				}
+				continue
+			}
+			le, err := strconv.ParseFloat(s.le, 64)
+			if err != nil {
+				return fmt.Errorf("prom: histogram %q has bad le %q", base, s.le)
+			}
+			if le <= st.lastLE {
+				return fmt.Errorf("prom: histogram %q buckets not sorted at le=%v", base, le)
+			}
+			if s.value < st.lastCum {
+				return fmt.Errorf("prom: histogram %q not cumulative at le=%v", base, le)
+			}
+			st.lastLE, st.lastCum = le, s.value
+		case "_sum":
+			// No constraint beyond syntax: sums of negative observations
+			// cannot occur here (histograms clamp), but scrapes race.
+		case "_count":
+			st.count, st.hasCount = s.value, true
+		}
+	}
+	for base, st := range hists {
+		if !st.infSeen {
+			return fmt.Errorf("prom: histogram %q has no +Inf bucket", base)
+		}
+		if st.hasCount && st.count != st.infValue {
+			return fmt.Errorf("prom: histogram %q _count %v != +Inf bucket %v", base, st.count, st.infValue)
+		}
+	}
+	return nil
+}
+
+// CheckPromAgainst cross-checks a live scrape against an end-of-run
+// metrics snapshot: every counter present in both must be ≤ the
+// snapshot's final value (counters are monotonic, and the scrape
+// happened no later), and at least one counter must overlap — a scrape
+// that shares nothing with the run it claims to observe is wrong.
+func CheckPromAgainst(promData, metricsData []byte) error {
+	if err := ValidateProm(promData); err != nil {
+		return err
+	}
+	if err := ValidateMetrics(metricsData); err != nil {
+		return err
+	}
+	dec := bytes.NewReader(metricsData)
+	var snap Snapshot
+	if err := jsonDecodeStrict(dec, &snap); err != nil {
+		return fmt.Errorf("prom: %w", err)
+	}
+	final := make(map[string]int64, len(snap.Counters))
+	for name, v := range snap.Counters {
+		final[PromName(name)] = v
+	}
+	types, samples, err := parseProm(promData)
+	if err != nil {
+		return err
+	}
+	matched := 0
+	for _, s := range samples {
+		if types[s.name] != "counter" {
+			continue
+		}
+		want, ok := final[s.name]
+		if !ok {
+			continue
+		}
+		matched++
+		if s.value > float64(want) {
+			return fmt.Errorf("prom: counter %s scraped at %v exceeds final snapshot value %d", s.name, s.value, want)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("prom: scrape shares no counters with the snapshot")
+	}
+	return nil
+}

@@ -11,8 +11,15 @@ import (
 )
 
 // SchemaVersion identifies the metrics snapshot JSON schema. Bump it
-// when the snapshot shape changes; validators reject other versions.
-const SchemaVersion = "atomig.metrics/v1"
+// when the snapshot shape changes; validators accept the current and
+// the previous version. v2 added approximate p50/p95/p99 quantiles to
+// histogram snapshots.
+const SchemaVersion = "atomig.metrics/v2"
+
+// SchemaV1 is the previous snapshot schema: identical except histogram
+// snapshots carry no quantile fields. ValidateMetrics still accepts it
+// so archived -metrics files keep validating.
+const SchemaV1 = "atomig.metrics/v1"
 
 // nameRE is the metric naming convention: `subsystem.noun_verbed` —
 // a lowercase subsystem, a dot, then lowercase words joined by
@@ -239,11 +246,40 @@ type Snapshot struct {
 }
 
 // HistogramSnapshot is one histogram's exported state. Buckets are
-// sorted by upper bound and omit empty buckets.
+// sorted by upper bound and omit empty buckets. P50/P95/P99 are
+// approximate quantiles (schema v2): each is the upper bound of the
+// bucket the quantile falls in, so they are exact only up to the
+// power-of-two bucket resolution and always upper bounds of the true
+// value.
 type HistogramSnapshot struct {
 	Count   int64            `json:"count"`
 	Sum     int64            `json:"sum"`
+	P50     int64            `json:"p50,omitempty"`
+	P95     int64            `json:"p95,omitempty"`
+	P99     int64            `json:"p99,omitempty"`
 	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// Quantile returns the approximate q-quantile (0 < q ≤ 1) from the
+// snapshot's buckets: the upper bound of the first bucket at which the
+// cumulative count reaches ⌈q·count⌉. Returns 0 for an empty
+// histogram.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.N
+		if cum >= rank {
+			return b.Upper
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1].Upper
 }
 
 // BucketSnapshot is one non-empty histogram bucket: the inclusive
@@ -285,6 +321,11 @@ func (r *Registry) Snapshot() Snapshot {
 					hs.Buckets = append(hs.Buckets, BucketSnapshot{Upper: BucketUpper(b), N: n})
 				}
 			}
+			// Quantiles are derived from the bucket reads above, so they are
+			// self-consistent even under concurrent observation.
+			hs.P50 = hs.Quantile(0.50)
+			hs.P95 = hs.Quantile(0.95)
+			hs.P99 = hs.Quantile(0.99)
 			snap.Histograms[name] = hs
 		}
 		s.mu.RUnlock()

@@ -113,9 +113,11 @@ func TestNilSafety(t *testing.T) {
 	g := p.Gauge("mc.workers_active")
 	h := p.Histogram("mc.fragment_executions")
 	tk := p.Track("mc.worker-00")
-	if c != nil || g != nil || h != nil || tk != nil {
+	lg := p.Log()
+	if c != nil || g != nil || h != nil || tk != nil || lg != nil {
 		t.Fatal("nil provider handed out non-nil handles")
 	}
+	var rec *Recorder
 	if allocs := testing.AllocsPerRun(100, func() {
 		c.Add(1)
 		g.Set(7)
@@ -124,8 +126,14 @@ func TestNilSafety(t *testing.T) {
 		sp.Arg("execs", 3)
 		sp.End()
 		tk.Instant("mc.fragment_donated")
+		lg.Event("serve.request_admitted").Str("id", "r1").Int("slot", 3).Bool("ok", true).Emit()
+		lg.SetRecorder(rec)
+		rec.add(0, 0, nil)
 	}); allocs != 0 {
 		t.Errorf("disabled seam allocates %.1f objects per op, want 0", allocs)
+	}
+	if lg.Recorder() != nil || rec.Dump("x", nil) != nil {
+		t.Error("nil logger/recorder returned non-nil state")
 	}
 	if c.Value() != 0 || g.Value() != 0 {
 		t.Error("nil handles returned non-zero values")

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightSchema identifies the flight-recorder dump JSON schema.
+const FlightSchema = "atomig.flightrec/v1"
+
+// recorderStripes spreads concurrent appends across independent rings
+// so a storm of workers never serializes on one lock. Dumps merge the
+// stripes back into one timeline.
+const recorderStripes = 8
+
+// MaxRecordBytes caps one recorded event line. An oversized line is
+// replaced by a stub naming the original size, so a pathological event
+// cannot blow the recorder's memory bound or corrupt the dump.
+// Exported so tests can assert dump-size bounds against it.
+const MaxRecordBytes = 4096
+
+// Recorder is the bounded in-memory flight recorder: a lock-striped
+// ring buffer holding the last N emitted events (and completed spans,
+// when a tracer mirrors into it). It exists to answer "what was the
+// daemon doing just before this?" — the serve watchdog, panic
+// containment, and overload shedding dump it to a crash file.
+//
+// All methods are nil-safe; a nil recorder records nothing.
+type Recorder struct {
+	stripes [recorderStripes]recStripe
+	next    atomic.Uint64 // round-robin stripe cursor
+}
+
+type recStripe struct {
+	mu   sync.Mutex
+	buf  []record // ring of len cap(stripe); zero ts means empty slot
+	head int      // next write position
+}
+
+type record struct {
+	ts   int64
+	seq  int64
+	line []byte // one JSON object, newline-terminated
+}
+
+// NewRecorder returns a recorder retaining roughly the last `capacity`
+// events (rounded up to a multiple of the stripe count; capacity ≤ 0
+// selects the default of 1024).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	per := (capacity + recorderStripes - 1) / recorderStripes
+	r := &Recorder{}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]record, per)
+	}
+	return r
+}
+
+// add appends one event line. The line is copied: callers recycle
+// their buffers. Nil-safe.
+func (r *Recorder) add(ts, seq int64, line []byte) {
+	if r == nil {
+		return
+	}
+	if len(line) > MaxRecordBytes {
+		line = []byte(fmt.Sprintf(
+			"{\"ts_us\":%d,\"seq\":%d,\"ev\":\"obs.record_truncated\",\"original_bytes\":%d}\n",
+			ts, seq, len(line)))
+	}
+	s := &r.stripes[r.next.Add(1)%recorderStripes]
+	s.mu.Lock()
+	rec := &s.buf[s.head]
+	rec.ts, rec.seq = ts, seq
+	rec.line = append(rec.line[:0], line...)
+	s.head = (s.head + 1) % len(s.buf)
+	s.mu.Unlock()
+}
+
+// Dump renders the recorder's contents as one JSON document: the
+// retained events merged across stripes and sorted into timeline order
+// (timestamp, then sequence number), wrapped in an envelope naming the
+// dump reason and any caller tags (e.g. the wedged request's ID).
+// Nil-safe: a nil recorder dumps nothing and returns nil.
+func (r *Recorder) Dump(reason string, tags map[string]string) []byte {
+	if r == nil {
+		return nil
+	}
+	var recs []record
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		for _, rec := range s.buf {
+			if rec.line != nil {
+				recs = append(recs, record{ts: rec.ts, seq: rec.seq, line: append([]byte(nil), rec.line...)})
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].ts != recs[j].ts {
+			return recs[i].ts < recs[j].ts
+		}
+		return recs[i].seq < recs[j].seq
+	})
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"schema":`)
+	buf.Write(appendJSONString(nil, FlightSchema))
+	buf.WriteString(`,"reason":`)
+	buf.Write(appendJSONString(nil, reason))
+	if len(tags) > 0 {
+		keys := make([]string, 0, len(tags))
+		for k := range tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteString(`,"tags":{`)
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			buf.Write(appendJSONString(nil, k))
+			buf.WriteByte(':')
+			buf.Write(appendJSONString(nil, tags[k]))
+		}
+		buf.WriteByte('}')
+	}
+	buf.WriteString(`,"events":[`)
+	for i, rec := range recs {
+		if i > 0 {
+			buf.WriteString(",\n")
+		} else {
+			buf.WriteByte('\n')
+		}
+		buf.Write(bytes.TrimRight(rec.line, "\n"))
+	}
+	buf.WriteString("\n]}\n")
+	return buf.Bytes()
+}
+
+// flightDump mirrors the dump envelope for validation.
+type flightDump struct {
+	Schema string            `json:"schema"`
+	Reason string            `json:"reason"`
+	Tags   map[string]string `json:"tags,omitempty"`
+	Events []flightEvent     `json:"events"`
+}
+
+type flightEvent struct {
+	TSUS int64  `json:"ts_us"`
+	Seq  int64  `json:"seq"`
+	Ev   string `json:"ev"`
+}
+
+// ValidateFlight checks that data is a well-formed flight-recorder
+// dump: the schema matches, a reason is present, every event names an
+// `ev` and timestamps are non-decreasing.
+func ValidateFlight(data []byte) error {
+	var d flightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("flight: not a dump: %w", err)
+	}
+	if d.Schema != FlightSchema {
+		return fmt.Errorf("flight: schema %q, want %q", d.Schema, FlightSchema)
+	}
+	if d.Reason == "" {
+		return fmt.Errorf("flight: dump has no reason")
+	}
+	last := int64(-1)
+	for i, ev := range d.Events {
+		if ev.Ev == "" {
+			return fmt.Errorf("flight: event %d has no ev name", i)
+		}
+		if ev.TSUS < last {
+			return fmt.Errorf("flight: event %d (%s) out of order: ts_us %d after %d", i, ev.Ev, ev.TSUS, last)
+		}
+		last = ev.TSUS
+	}
+	return nil
+}
+
+// spanEvent formats a completed span as a flight-recorder event; the
+// tracer calls it for every Span.End when MirrorTo attached a logger,
+// so a flight dump interleaves completed spans with log events.
+func spanEvent(lg *Logger, track, name string, durUS int64) {
+	lg.Event("obs.span_completed").
+		Str("track", track).
+		Str("span", name).
+		Int("dur_us", durUS).
+		Emit()
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -48,6 +49,16 @@ type Tracer struct {
 	tracks  map[string]*Track
 	nextTID int
 	nextSeq int64
+	mirror  atomic.Pointer[Logger] // completed spans echo here (flight recorder)
+}
+
+// MirrorTo makes every subsequently completed span also emit one
+// compact `obs.span_completed` event into lg (and, through it, the
+// attached flight recorder). Nil-safe; pass nil to stop mirroring.
+func (t *Tracer) MirrorTo(lg *Logger) {
+	if t != nil {
+		t.mirror.Store(lg)
+	}
 }
 
 // NewTracer returns an empty tracer whose clock starts now.
@@ -63,14 +74,18 @@ func newTracerAt(nowNS func() int64) *Tracer {
 	return &Tracer{start: time.Now(), nowNS: nowNS, tracks: make(map[string]*Track)}
 }
 
-// record appends one event with the tracer's clock and sequence.
-func (t *Tracer) record(ev TraceEvent) {
+// record appends one event with the tracer's clock and sequence,
+// returning the nanosecond timestamp it stamped (span durations reuse
+// it rather than reading the clock twice).
+func (t *Tracer) record(ev TraceEvent) int64 {
 	t.mu.Lock()
-	ev.TS = float64(t.nowNS()) / 1e3
+	ns := t.nowNS()
+	ev.TS = float64(ns) / 1e3
 	ev.seq = t.nextSeq
 	t.nextSeq++
 	t.events = append(t.events, ev)
 	t.mu.Unlock()
+	return ns
 }
 
 // Track returns the track with the given name, creating it (and its
@@ -111,8 +126,8 @@ func (tk *Track) Begin(name string) *Span {
 	if tk == nil {
 		return nil
 	}
-	tk.t.record(TraceEvent{Name: name, Ph: "B", TID: tk.tid})
-	return &Span{tk: tk, name: name}
+	ns := tk.t.record(TraceEvent{Name: name, Ph: "B", TID: tk.tid})
+	return &Span{tk: tk, name: name, startNS: ns}
 }
 
 // Instant records a point event on the track.
@@ -125,10 +140,11 @@ func (tk *Track) Instant(name string) {
 
 // Span is an open trace span; close it with End.
 type Span struct {
-	tk   *Track
-	name string
-	mu   sync.Mutex
-	args map[string]any
+	tk      *Track
+	name    string
+	startNS int64
+	mu      sync.Mutex
+	args    map[string]any
 }
 
 // Arg attaches a key/value to the span (rendered on the closing event;
@@ -157,7 +173,11 @@ func (s *Span) End() {
 	args := s.args
 	s.args = nil
 	s.mu.Unlock()
-	s.tk.t.record(TraceEvent{Name: s.name, Ph: "E", TID: s.tk.tid, Args: args})
+	t := s.tk.t
+	endNS := t.record(TraceEvent{Name: s.name, Ph: "E", TID: s.tk.tid, Args: args})
+	if lg := t.mirror.Load(); lg != nil {
+		spanEvent(lg, s.tk.name, s.name, (endNS-s.startNS)/1e3)
+	}
 }
 
 // Events returns a copy of the recorded events sorted by timestamp

@@ -7,7 +7,12 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,7 +21,38 @@ import (
 
 	"repro/internal/appgen"
 	"repro/internal/leakcheck"
+	"repro/internal/obs"
 )
+
+// readFlightDump polls for the crash file (watchdog dumps land after
+// the client already has its answer), validates it, and decodes the
+// envelope.
+func readFlightDump(t *testing.T, path string) (data []byte, reason string, tags map[string]string) {
+	t.Helper()
+	for i := 0; i < 250; i++ {
+		if data, _ = os.ReadFile(path); len(data) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(data) == 0 {
+		t.Fatalf("no flight dump at %s", path)
+	}
+	if err := obs.ValidateFlight(data); err != nil {
+		t.Fatalf("flight dump invalid: %v", err)
+	}
+	if max := 2 * 1024 * obs.MaxRecordBytes; len(data) > max {
+		t.Errorf("flight dump is %d bytes, bound is %d", len(data), max)
+	}
+	var d struct {
+		Reason string            `json:"reason"`
+		Tags   map[string]string `json:"tags"`
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("flight dump envelope: %v", err)
+	}
+	return data, d.Reason, d.Tags
+}
 
 // TestChaosStorm fires six concurrent clients mixing good ports,
 // panic-injected ports, malformed lines, garbage deltas, stats, and
@@ -28,7 +64,8 @@ func TestChaosStorm(t *testing.T) {
 	src, _ := appgen.GenerateLarge(appgen.LargeSpec("chaos.c", 2000, 11))
 	ref := cliPortSource(t, "chaos.c", src)
 
-	srv := New(Options{QueueDepth: 16, Workers: 2})
+	crash := filepath.Join(t.TempDir(), "flight.json")
+	srv := New(Options{QueueDepth: 16, Workers: 2, CrashPath: crash})
 	srv.faultInject = func(ctx context.Context, req *Request) {
 		if strings.HasPrefix(req.ID, "boom") {
 			panic("chaos: injected fault")
@@ -78,6 +115,12 @@ func TestChaosStorm(t *testing.T) {
 	}
 	if !st.Healthy || st.Draining {
 		t.Errorf("daemon unhealthy after storm: %+v", st)
+	}
+
+	// The contained panics dumped the flight recorder; even mid-storm
+	// the dump must be a valid, bounded document.
+	if _, reason, _ := readFlightDump(t, crash); reason != "panic" {
+		t.Errorf("storm dump reason %q, want panic", reason)
 	}
 
 	// The poisoned cache must refill and still produce CLI-identical
@@ -170,10 +213,12 @@ func TestRequestDeadline(t *testing.T) {
 // stays responsive, and the wedged goroutine must still unwind.
 func TestWatchdogAnswersForWedgedRequest(t *testing.T) {
 	leakcheck.Check(t)
+	crash := filepath.Join(t.TempDir(), "flight.json")
 	srv := New(Options{
 		QueueDepth: 2,
 		Deadline:   100 * time.Millisecond,
 		Grace:      100 * time.Millisecond,
+		CrashPath:  crash,
 	})
 	srv.faultInject = func(ctx context.Context, req *Request) {
 		if strings.HasPrefix(req.ID, "wedge") {
@@ -193,6 +238,24 @@ func TestWatchdogAnswersForWedgedRequest(t *testing.T) {
 	if !st.Healthy {
 		t.Errorf("daemon unhealthy after watchdog fire")
 	}
+
+	// The forensic contract: the dump names the wedged request, both by
+	// the daemon-assigned rid and the client's id, and replays the
+	// events leading up to the wedge.
+	data, reason, tags := readFlightDump(t, crash)
+	if reason != "watchdog" {
+		t.Errorf("dump reason %q, want watchdog", reason)
+	}
+	if tags["request_id"] != "wedge-1" || tags["op"] != "stats" {
+		t.Errorf("dump tags %v do not name the wedged request", tags)
+	}
+	if !strings.HasPrefix(tags["rid"], "r") {
+		t.Errorf("dump tags %v carry no daemon rid", tags)
+	}
+	if !strings.Contains(string(data), "serve.request_admitted") {
+		t.Errorf("dump carries no admission events:\n%.400s", data)
+	}
+
 	// shutdown drains the still-sleeping wedged goroutine before
 	// answering; leakcheck then sees it gone.
 	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
@@ -238,4 +301,103 @@ func TestOverloadAndDrain(t *testing.T) {
 	}
 	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
 	srv.Drain()
+}
+
+// TestHTTPListener drives the live-telemetry surface through a full
+// daemon lifecycle: valid Prometheus and JSON exposition, a mid-flight
+// scrape whose counters cross-check against the end-of-run snapshot,
+// /healthz walking ok → degraded (queue full) → ok, and a shutdown
+// that stops the listener without leaking its goroutines.
+func TestHTTPListener(t *testing.T) {
+	leakcheck.Check(t)
+	prov := obs.New()
+	srv := New(Options{QueueDepth: 1, Obs: prov})
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.faultInject = func(ctx context.Context, req *Request) {
+		if strings.HasPrefix(req.ID, "hold") {
+			entered <- struct{}{}
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+		}
+	}
+	addr, err := srv.ListenHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	hc := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := hc.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+	health := func() obs.Health {
+		t.Helper()
+		_, body := get("/healthz")
+		var h obs.Health
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatalf("healthz: %v (%s)", err, body)
+		}
+		return h
+	}
+
+	c := connect(t, srv)
+	mustOK(t, c.call(&Request{ID: "load", Op: "load", Name: "small.c", Source: smallSrc}))
+	if h := health(); h.Status != "ok" {
+		t.Errorf("idle health = %+v, want ok", h)
+	}
+
+	// Hold the only admission slot: the daemon is mid-request AND the
+	// queue is full, so the scrape observes a live run and health
+	// degrades.
+	ch := c.expect("hold-1")
+	c.send(&Request{ID: "hold-1", Op: "port"})
+	<-entered
+	code, scrape := get("/metrics")
+	if code != http.StatusOK {
+		t.Errorf("/metrics status %d", code)
+	}
+	if err := obs.ValidateProm(scrape); err != nil {
+		t.Errorf("mid-flight scrape invalid: %v", err)
+	}
+	if h := health(); h.Status != "degraded" || h.Reason == "" {
+		t.Errorf("health under full queue = %+v, want degraded with reason", h)
+	}
+	_, mjson := get("/metrics.json")
+	if err := obs.ValidateMetrics(mjson); err != nil {
+		t.Errorf("/metrics.json invalid: %v", err)
+	}
+	close(gate)
+	if r := <-ch; !r.OK {
+		t.Fatalf("held port failed: %s: %s", r.ErrKind, r.Error)
+	}
+
+	// The mid-flight scrape must be consistent with the end-of-run v2
+	// snapshot: shared counters ≤ final values, with real overlap.
+	final, err := obs.EncodeMetrics(prov.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckPromAgainst(scrape, final); err != nil {
+		t.Errorf("mid-flight scrape inconsistent with final snapshot: %v", err)
+	}
+
+	// Shutdown stops the listener (the shutdown op drains httpWG before
+	// answering); the surface must actually be gone.
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+	if _, err := hc.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("HTTP listener still answering after shutdown drain")
+	}
 }

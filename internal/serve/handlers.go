@@ -68,6 +68,7 @@ func (s *Server) opPort(ctx context.Context, req *Request, sess *session) *Respo
 	}
 	s.c.cacheHits.Add(int64(rep.CacheHits))
 	s.c.cacheMiss.Add(int64(rep.CacheMisses))
+	s.logCache("port", rep)
 	resp := &Response{OK: true, Module: rep.Module, Funcs: len(ported.Funcs), Report: rep}
 	if req.Emit || req.Out != "" {
 		text := ported.String()
@@ -151,6 +152,7 @@ func (s *Server) opVerify(ctx context.Context, req *Request, sess *session) *Res
 	}
 	s.c.cacheHits.Add(int64(rep.CacheHits))
 	s.c.cacheMiss.Add(int64(rep.CacheMisses))
+	s.logCache("verify", rep)
 	opts := mc.Options{
 		Model:         memmodel.ModelWMM,
 		Entries:       req.Entries,
@@ -208,7 +210,12 @@ func (s *Server) opOptimize(ctx context.Context, req *Request, sess *session) *R
 	if rep != nil && !replayed {
 		s.c.cacheHits.Add(int64(rep.CacheHits))
 		s.c.cacheMiss.Add(int64(rep.CacheMisses))
+		s.logCache("optimize", rep)
 	}
+	// The memo decision — replayed the session's memoized result vs
+	// re-ran the checker — is operational state worth a log line.
+	s.lg.Event("serve.optimize_memoized").
+		Str("module", res.Module).Bool("replayed", replayed).Emit()
 	resp := &Response{
 		OK: true, Module: res.Module, Report: rep,
 		Verdict: res.Verdict, Reason: res.Reason,
@@ -227,11 +234,20 @@ func (s *Server) opOptimize(ctx context.Context, req *Request, sess *session) *R
 	return resp
 }
 
+// logCache emits the detection-cache outcome of one cached port — the
+// incremental-analysis signal (all hits = warm replay).
+func (s *Server) logCache(op string, rep *atomig.Report) {
+	s.lg.Event("serve.cache_consulted").
+		Str("op", op).Str("module", rep.Module).
+		Int("hits", int64(rep.CacheHits)).Int("misses", int64(rep.CacheMisses)).Emit()
+}
+
 // opStats snapshots the server counters; it doubles as the health
 // check (healthy = accepting work).
 func (s *Server) opStats() *Response {
 	st := &Stats{
 		Healthy:         !s.draining.Load(),
+		Status:          s.health().Status,
 		Draining:        s.draining.Load(),
 		InFlight:        s.live.Load(),
 		QueueDepth:      s.opts.QueueDepth,

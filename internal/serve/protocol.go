@@ -128,6 +128,8 @@ type Response struct {
 // serve.* counters plus session inventory.
 type Stats struct {
 	Healthy        bool     `json:"healthy"`
+	// Status is the /healthz verdict: ok, degraded, or draining.
+	Status         string   `json:"status,omitempty"`
 	Draining       bool     `json:"draining"`
 	InFlight       int64    `json:"in_flight"`
 	QueueDepth     int      `json:"queue_depth"`

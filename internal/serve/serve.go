@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"runtime/debug"
 	"sort"
@@ -53,6 +54,16 @@ type Options struct {
 	Workers int
 	// Obs, when non-nil, backs the serve.* metrics and request spans.
 	Obs *obs.Provider
+	// CrashPath, when non-empty, is where the flight recorder dumps its
+	// event tail when the watchdog fires, a panic is contained, or load
+	// is shed (overload dumps are throttled to one per second).
+	CrashPath string
+	// TroubleWindow is how long after a shed request or missed deadline
+	// /healthz keeps reporting degraded (0 = 10s).
+	TroubleWindow time.Duration
+	// FlightRecords bounds the flight recorder's in-memory event tail
+	// (0 = 1024).
+	FlightRecords int
 }
 
 // Server is one daemon instance. It may serve several connections
@@ -81,6 +92,33 @@ type Server struct {
 
 	c serveCounters
 
+	// opDur holds the per-op latency histograms, keyed by wire op name.
+	opDur map[string]*obs.Histogram
+
+	// lg/rec are the structured event log and the flight recorder. lg is
+	// never nil (a recorder-only logger is built when the provider has
+	// none), so handle() emits unconditionally; rec holds the bounded
+	// tail the crash paths dump.
+	lg  *obs.Logger
+	rec *obs.Recorder
+
+	// reqSeq numbers admitted requests: the server-generated rid
+	// ("r000042") that threads one request's spans, log events, and
+	// flight-recorder tail together even when the client sent no id.
+	reqSeq atomic.Int64
+
+	// troubleNS is the wall clock (UnixNano) of the last shed request or
+	// missed deadline; health() reports degraded within TroubleWindow.
+	troubleNS atomic.Int64
+
+	// dumpMu serializes crash-file writes; lastDumpNS throttles
+	// overload-triggered dumps.
+	dumpMu     sync.Mutex
+	lastDumpNS int64
+
+	// httpWG joins the -http listener's goroutines into Drain.
+	httpWG sync.WaitGroup
+
 	// faultInject, when non-nil, runs at the top of every execute with
 	// the request's context — the chaos test's seam for injected
 	// panics, stalls, and wedges. Never set in production.
@@ -101,6 +139,7 @@ type serveCounters struct {
 	cacheMiss  *obs.Counter
 	inflight   *obs.Gauge
 	durationMS *obs.Histogram
+	dumps      *obs.Counter
 }
 
 // New builds a Server. Fields of opts are defaulted in place.
@@ -116,6 +155,12 @@ func New(opts Options) *Server {
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = 1
+	}
+	if opts.TroubleWindow <= 0 {
+		opts.TroubleWindow = 10 * time.Second
+	}
+	if opts.FlightRecords <= 0 {
+		opts.FlightRecords = 1024
 	}
 	if opts.Obs == nil {
 		// stats/health must work even when no exporter is wired: back
@@ -146,8 +191,115 @@ func New(opts Options) *Server {
 		cacheMiss:  p.Counter("serve.cache_misses"),
 		inflight:   p.Gauge("serve.requests_inflight"),
 		durationMS: p.Histogram("serve.request_ms"),
+		dumps:      p.Counter("serve.flight_dumps_written"),
+	}
+	// Per-op latency histograms. Names are spelled out (not built from
+	// the wire op) so the catalog drift gate sees them and so
+	// "explain-races" maps onto a convention-legal name. cancel and
+	// shutdown bypass handle() and have no duration to record.
+	s.opDur = map[string]*obs.Histogram{
+		"load":          p.Histogram("serve.op_load_duration_micros"),
+		"edit":          p.Histogram("serve.op_edit_duration_micros"),
+		"port":          p.Histogram("serve.op_port_duration_micros"),
+		"dump":          p.Histogram("serve.op_dump_duration_micros"),
+		"explain-races": p.Histogram("serve.op_explain_races_duration_micros"),
+		"verify":        p.Histogram("serve.op_verify_duration_micros"),
+		"optimize":      p.Histogram("serve.op_optimize_duration_micros"),
+		"stats":         p.Histogram("serve.op_stats_duration_micros"),
+		"health":        p.Histogram("serve.op_health_duration_micros"),
+	}
+	// The flight recorder is always on (its memory is bounded); the
+	// event log rides the provider's logger when one is attached
+	// (-log), else a recorder-only logger so the crash tail exists
+	// regardless of flags. Completed trace spans mirror in too.
+	s.rec = obs.NewRecorder(opts.FlightRecords)
+	s.lg = p.Log()
+	if s.lg == nil {
+		s.lg = obs.NewLogger(nil)
+	}
+	s.lg.SetRecorder(s.rec)
+	if p.Tracer != nil {
+		p.Tracer.MirrorTo(s.lg)
 	}
 	return s
+}
+
+// rid generates the server-side request ID threaded through spans, log
+// events, and flight dumps.
+func (s *Server) rid() string {
+	return fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+}
+
+// markTrouble records a degraded-health signal (shed load or a missed
+// deadline); /healthz reports degraded for TroubleWindow afterwards.
+func (s *Server) markTrouble() {
+	s.troubleNS.Store(time.Now().UnixNano())
+}
+
+// health is the /healthz verdict: draining once shutdown began,
+// degraded while the queue is full or within TroubleWindow of shed
+// load / a missed deadline, ok otherwise.
+func (s *Server) health() obs.Health {
+	if s.draining.Load() {
+		return obs.Health{Status: "draining", Reason: "shutdown in progress"}
+	}
+	if int(s.live.Load()) >= s.opts.QueueDepth {
+		return obs.Health{Status: "degraded", Reason: "admission queue full"}
+	}
+	if t := s.troubleNS.Load(); t != 0 && time.Since(time.Unix(0, t)) < s.opts.TroubleWindow {
+		return obs.Health{Status: "degraded", Reason: "recent overload or deadline miss"}
+	}
+	return obs.Health{Status: "ok"}
+}
+
+// ListenHTTP mounts the live-telemetry surface (obs.Handler: /metrics,
+// /metrics.json, /healthz, /debug/pprof) on addr and returns the bound
+// address. The listener participates in the daemon's lifecycle: it
+// closes when shutdown commits, and Drain waits for its goroutines.
+func (s *Server) ListenHTTP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	hs := &http.Server{Handler: obs.Handler(s.opts.Obs, s.health)}
+	s.httpWG.Add(2)
+	go func() {
+		defer s.httpWG.Done()
+		<-s.quit
+		hs.Close()
+	}()
+	go func() {
+		defer s.httpWG.Done()
+		// Serve returns ErrServerClosed after the shutdown Close.
+		_ = hs.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// dumpFlight writes the flight recorder's tail to the crash file. The
+// reason and the triggering request's IDs go into the envelope tags;
+// overload dumps are throttled so a shed storm cannot thrash the disk.
+func (s *Server) dumpFlight(reason, rid string, req *Request) {
+	if s.opts.CrashPath == "" {
+		return
+	}
+	s.dumpMu.Lock()
+	defer s.dumpMu.Unlock()
+	now := time.Now().UnixNano()
+	if reason == "overload" && now-s.lastDumpNS < int64(time.Second) {
+		return
+	}
+	s.lastDumpNS = now
+	tags := map[string]string{"op": req.Op}
+	if rid != "" {
+		tags["rid"] = rid
+	}
+	if req.ID != "" {
+		tags["request_id"] = req.ID
+	}
+	if err := os.WriteFile(s.opts.CrashPath, s.rec.Dump(reason, tags), 0o644); err == nil {
+		s.c.dumps.Inc()
+	}
 }
 
 // Shutdown begins the drain: admission closes (new requests get a
@@ -161,8 +313,13 @@ func (s *Server) Shutdown() {
 // Done reports the shutdown channel for listener loops.
 func (s *Server) Done() <-chan struct{} { return s.quit }
 
-// Drain blocks until every admitted request has finished.
-func (s *Server) Drain() { s.inflight.Wait() }
+// Drain blocks until every admitted request has finished and the
+// -http listener (if mounted) has stopped. Call Shutdown first — the
+// listener only stops once the quit channel closes.
+func (s *Server) Drain() {
+	s.inflight.Wait()
+	s.httpWG.Wait()
+}
 
 // ServeConn runs the request loop on one connection until EOF or
 // shutdown. Responses are written line-buffered under a write mutex;
@@ -239,13 +396,19 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 			send(r)
 			continue
 		}
-		// Admission control: take a slot or shed the request now.
+		// Admission control: take a slot or shed the request now. A shed
+		// marks health degraded and dumps the flight tail (throttled) —
+		// sustained overload is exactly when the recent-event record
+		// matters.
 		var slot int
 		select {
 		case slot = <-s.slots:
 		default:
 			s.c.requests.Inc()
 			s.c.overloaded.Inc()
+			s.markTrouble()
+			s.lg.Event("serve.request_shed").Str("id", req.ID).Str("op", req.Op).Emit()
+			s.dumpFlight("overload", "", req)
 			r := errResp(ErrOverloaded, "queue full (%d in flight)", s.opts.QueueDepth)
 			r.ID = req.ID
 			send(r)
@@ -315,9 +478,12 @@ func (s *Server) ServeListener(l net.Listener) error {
 // panic containment, single-shot response.
 func (s *Server) handle(req *Request, slot int, send func(*Response)) {
 	start := time.Now()
+	rid := s.rid()
 	s.c.requests.Inc()
 	s.c.inflight.Add(1)
 	s.live.Add(1)
+	s.lg.Event("serve.request_admitted").
+		Str("rid", rid).Str("id", req.ID).Str("op", req.Op).Int("slot", int64(slot)).Emit()
 	defer func() {
 		s.c.inflight.Add(-1)
 		s.live.Add(-1)
@@ -350,10 +516,15 @@ func (s *Server) handle(req *Request, slot int, send func(*Response)) {
 				switch r.ErrKind {
 				case ErrDeadline:
 					s.c.deadlined.Inc()
+					s.markTrouble()
 				case ErrCanceled:
 					s.c.canceled.Inc()
 				}
 			}
+			s.lg.Event("serve.request_done").
+				Str("rid", rid).Str("id", req.ID).Str("op", req.Op).
+				Bool("ok", r.OK).Str("err_kind", r.ErrKind).
+				Int("dur_us", time.Since(start).Microseconds()).Emit()
 			send(r)
 		})
 	}
@@ -366,15 +537,23 @@ func (s *Server) handle(req *Request, slot int, send func(*Response)) {
 	// overloaded, not healthy).
 	wd := time.AfterFunc(deadline+s.opts.Grace, func() {
 		s.c.watchdog.Inc()
+		s.lg.Event("serve.watchdog_fired").
+			Str("rid", rid).Str("id", req.ID).Str("op", req.Op).Emit()
 		cancel()
 		reply(errResp(ErrDeadline, "request exceeded deadline %s and grace %s (watchdog)", deadline, s.opts.Grace))
+		// The forensic record of what the wedged request was doing —
+		// written after the client has its answer.
+		s.dumpFlight("watchdog", rid, req)
 	})
 	defer wd.Stop()
 
 	trk := s.opts.Obs.Track(fmt.Sprintf("serve.slot-%02d", slot))
-	sp := trk.Begin("serve.request").Arg("op", req.Op).Arg("id", req.ID)
-	resp := s.execute(ctx, req)
+	sp := trk.Begin("serve.request").Arg("op", req.Op).Arg("id", req.ID).Arg("rid", rid)
+	resp := s.execute(ctx, req, rid)
 	sp.Arg("ok", resp.OK).End()
+	if h := s.opDur[req.Op]; h != nil {
+		h.Observe(time.Since(start).Microseconds())
+	}
 
 	if !resp.OK && resp.ErrKind == "" {
 		// Map context outcomes onto typed kinds for uniform clients.
@@ -394,7 +573,7 @@ func (s *Server) handle(req *Request, slot int, send func(*Response)) {
 // any handler returns a structured internal error and evicts the
 // session's detection cache (it may hold entries published by the
 // crashed worker), leaving the daemon healthy.
-func (s *Server) execute(ctx context.Context, req *Request) (resp *Response) {
+func (s *Server) execute(ctx context.Context, req *Request, rid string) (resp *Response) {
 	sess := s.lookup(req.Session)
 	defer func() {
 		if r := recover(); r != nil {
@@ -407,6 +586,10 @@ func (s *Server) execute(ctx context.Context, req *Request) (resp *Response) {
 			// get a stable one-line error, operators get the detail.
 			s.opts.Obs.Track("serve.errors").Begin("serve.panic_contained").
 				Arg("op", req.Op).Arg("stack", string(debug.Stack())).End()
+			s.lg.Event("serve.panic_contained").
+				Str("rid", rid).Str("id", req.ID).Str("op", req.Op).
+				Str("panic", fmt.Sprint(r)).Emit()
+			s.dumpFlight("panic", rid, req)
 		}
 	}()
 	if s.faultInject != nil {

@@ -269,6 +269,14 @@ func Optimize(m *ir.Module, opts Options) (res *Result, err error) {
 		os.End()
 		if err == nil {
 			w.c.publish(w.res)
+			ev := opts.Obs.Log().Event("weaken.optimize_completed").
+				Str("module", m.Name).Str("arch", cost.Name).
+				Int("accepted", int64(w.res.Accepted)).
+				Int("fences_deleted", int64(w.res.FencesDeleted))
+			if w.res.Reason != "" {
+				ev = ev.Str("reason", w.res.Reason)
+			}
+			ev.Emit()
 		}
 	}()
 

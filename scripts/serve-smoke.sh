@@ -22,7 +22,9 @@ SLOC=${4:-8000}
 
 rm -f "$DIR/req" "$DIR/resp"
 mkfifo "$DIR/req"
-"$ATOMIG" -serve -j 1 <"$DIR/req" >"$DIR/resp" &
+# -log on: structured logging must not perturb the byte-identity
+# contract the warm re-port is compared under.
+"$ATOMIG" -serve -j 1 -log "$DIR/serve-log.jsonl" <"$DIR/req" >"$DIR/resp" &
 SRV=$!
 trap 'kill $SRV 2>/dev/null || true' EXIT
 exec 3>"$DIR/req"
