@@ -5,7 +5,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline bench-frontend bench-weaken pipeline-smoke frontend-smoke obs-smoke obs-live-smoke serve-smoke weaken-smoke clean
+.PHONY: all build vet test test-race check race-smoke fuzz-smoke bench-mc bench-mc-smoke bench-pipeline bench-frontend bench-weaken bench-stress pipeline-smoke frontend-smoke obs-smoke obs-live-smoke serve-smoke weaken-smoke stress-smoke clean
 
 # Module size for the pipeline byte-identical-output smoke. Big enough
 # to exercise the parallel fan-out, small enough for `make check`.
@@ -18,6 +18,10 @@ FRONTEND_SMOKE_SLOC ?= 100000
 # Module size for the daemon smoke (cold port, one-function edit,
 # warm re-port — all byte-compared against the CLI).
 SERVE_SMOKE_SLOC ?= 8000
+
+# Module size for the stress smoke (planted race found + minimized +
+# confirmed; defect-free twin sweeps clean).
+STRESS_SMOKE_SLOC ?= 20000
 
 
 
@@ -37,7 +41,7 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-check: build vet test test-race bench-mc-smoke obs-smoke obs-live-smoke pipeline-smoke frontend-smoke serve-smoke weaken-smoke
+check: build vet test test-race bench-mc-smoke obs-smoke obs-live-smoke pipeline-smoke frontend-smoke serve-smoke weaken-smoke stress-smoke
 
 # Model-checker scaling sweep (docs/MODEL-CHECKER.md): exhaustive
 # exploration of the litmus+seqlock corpus at 1..8 workers, appending
@@ -101,6 +105,21 @@ serve-smoke:
 bench-weaken:
 	$(GO) run ./cmd/atomig-bench -exp weaken -json BENCH_weaken.json
 
+# Schedule-fuzzing stress sweep (docs/STRESS.md): throughput over a
+# generated 100k+-line planted-defect module, detection rate vs
+# detector sampling fraction, and the stress-vs-exhaustive weakening
+# oracle comparison, appended to BENCH_stress.json.
+bench-stress:
+	$(GO) run ./cmd/atomig-bench -exp stress -json BENCH_stress.json
+
+# End-to-end smoke of the stress mode (docs/STRESS.md): a generated
+# module with a seeded race is ported, swept, auto-minimized and
+# checker-confirmed; its defect-free twin must sweep clean. Built
+# binaries, not `go run`, so exit codes survive intact.
+stress-smoke:
+	$(GO) build -o bin/ ./cmd/atomig ./cmd/atomig-bench ./cmd/atomig-mc
+	sh scripts/stress-smoke.sh bin/atomig bin/atomig-bench bin/atomig-mc bin $(STRESS_SMOKE_SLOC)
+
 # End-to-end smoke of the weakening optimizer (docs/WEAKENING.md):
 # port + -O the seqlock-gap and cna-lock flagships through the CLI,
 # asserting the baseline verdict holds and the static cost strictly
@@ -157,6 +176,7 @@ fuzz-smoke:
 	$(GO) test -run none -fuzz FuzzParseChunked -fuzztime $(FUZZTIME) ./internal/minic
 	$(GO) test -run none -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME) ./internal/ir
 	$(GO) test -run none -fuzz FuzzAliasExplore -fuzztime $(FUZZTIME) ./internal/alias
+	$(GO) test -run none -fuzz FuzzMinimize -fuzztime $(FUZZTIME) ./internal/stress
 
 clean:
 	$(GO) clean ./...

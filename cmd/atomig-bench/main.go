@@ -43,11 +43,13 @@ func appendJSON(path string, v any) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, mc-scaling, pipeline-scaling, frontend-scaling, weaken, all")
+	exp := flag.String("exp", "all", "experiment id: t1..t6, f1, f3..f7, figures, mc-scaling, pipeline-scaling, frontend-scaling, weaken, stress, all")
 	scale := flag.Int("scale", 20, "application scale divisor for t3 (1 = paper-sized)")
 	seed := flag.Int64("seed", 7, "generator seed for t3/t4 and the pipeline-scaling module")
 	sloc := flag.Int("sloc", bench.DefaultPipelineScalingSLOC, "generated module size for pipeline-scaling / -gen-module")
 	genModule := flag.String("gen-module", "", "write the pipeline-scaling module's MiniC source to this file and exit")
+	genStress := flag.String("gen-stress-module", "", "write a stress-harness module's MiniC source (entries lg_stress_t0..t2) to this file and exit")
+	plantRace := flag.Bool("plant-race", false, "with -gen-stress-module: plant the seeded seqlock-gap race")
 	budget := flag.Duration("budget", 5*time.Second, "per-check time budget for t2")
 	jsonOut := flag.String("json", "", "append machine-readable results to this file (mc-scaling)")
 	var of obs.CLIFlags
@@ -74,6 +76,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", *genModule, len(src))
+		return
+	}
+	if *genStress != "" {
+		src := bench.GenerateStressSource(*sloc, *seed, *plantRace)
+		if err := os.WriteFile(*genStress, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "atomig-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes, planted race: %t)\n", *genStress, len(src), *plantRace)
 		return
 	}
 
@@ -190,6 +201,19 @@ func main() {
 			fmt.Print(bench.FormatFrontendScaling(rows))
 			if *jsonOut != "" {
 				if err := appendJSON(*jsonOut, envelope("frontend-scaling", rows)); err != nil {
+					return err
+				}
+				fmt.Printf("appended results to %s\n", *jsonOut)
+			}
+			return nil
+		case "stress":
+			res, err := bench.StressExperiment(0, *seed, prov)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatStress(res))
+			if *jsonOut != "" {
+				if err := appendJSON(*jsonOut, envelope("stress", res)); err != nil {
 					return err
 				}
 				fmt.Printf("appended results to %s\n", *jsonOut)

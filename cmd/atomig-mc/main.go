@@ -8,11 +8,24 @@
 //	atomig-mc -corpus mp -model wmm -port
 //	atomig-mc -model tso -entries reader,writer file.c
 //
+// With -stress the exhaustive exploration is replaced by the
+// schedule-fuzzing stress engine (docs/STRESS.md): a seeded sweep of
+// controlled-random schedules with the race detector sampling -sample
+// of the plain locations — no verdict proof, but production-scale
+// throughput. -minimize reduces the first race found to a
+// litmus-sized program and confirms it exhaustively:
+//
+//	atomig-mc -stress -seeds 500 -sample 0.25 -j 8 -entries t0,t1 big.c
+//	atomig-mc -stress -minimize -corpus seqlock-gap
+//
 // Exit codes: 0 the program verified, 1 a violation was found, 2 usage
 // or internal error, 3 the exploration budget was exhausted before a
 // verdict (verdict unknown; a -resume token is printed so a later run
 // can continue the exploration), 4 race detection was on and the
 // program has a data race (but no outright violation, which wins).
+// Under -stress the same codes describe witnessed findings: 1 a
+// schedule violated an assertion, 4 a race was detected, 0 the sweep
+// was clean (which bounds nothing beyond the schedules run).
 package main
 
 import (
@@ -32,6 +45,7 @@ import (
 	"repro/internal/memmodel"
 	"repro/internal/minic"
 	"repro/internal/obs"
+	"repro/internal/stress"
 )
 
 func main() {
@@ -53,6 +67,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print a human-readable exploration summary")
 	resume := fs.String("resume", "", "resume token(s) from a prior budget-exhausted run (comma-separated)")
 	workers := fs.Int("j", runtime.GOMAXPROCS(0), "parallel exploration workers (1 = sequential)")
+	stressMode := fs.Bool("stress", false, "schedule-fuzzing stress sweep instead of exhaustive exploration (docs/STRESS.md)")
+	seeds := fs.Int("seeds", 256, "stress: schedules per scheduler mode")
+	sample := fs.Float64("sample", 1, "stress: fraction of plain locations the race detector observes (0,1]")
+	baseSeed := fs.Int64("base-seed", 1, "stress: base seed anchoring the schedule grid (replay = same base seed)")
+	minimize := fs.Bool("minimize", false, "stress: reduce the first race found to a litmus-sized program and confirm it exhaustively")
 	var of obs.CLIFlags
 	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +123,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, fmt.Errorf("unknown model %q", *model))
 	}
 
+	if *workers < 1 {
+		return fail(stderr, fmt.Errorf("-j %d: need at least one worker", *workers))
+	}
+	if *stressMode {
+		code := runStress(stdout, stderr, mod, mm, entryList,
+			*seeds, *sample, *baseSeed, *workers, *minimize, prov)
+		if err := of.Close(prov); err != nil {
+			return fail(stderr, err)
+		}
+		return code
+	}
+
 	opts := mc.Options{
 		Model:         mm,
 		Entries:       entryList,
@@ -113,9 +144,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DetectRaces:   *detectRaces,
 		Workers:       *workers,
 		Obs:           prov,
-	}
-	if *workers < 1 {
-		return fail(stderr, fmt.Errorf("-j %d: need at least one worker", *workers))
 	}
 	if *resume != "" {
 		for _, tok := range strings.Split(*resume, ",") {
@@ -178,6 +206,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 3
 	case mc.VerdictRace:
+		return 4
+	}
+	return 0
+}
+
+// runStress drives the schedule-fuzzing sweep and, on request, the
+// race minimizer. The printed findings carry their schedule provenance
+// (mode, ordinal, seed) — the whole reproduction recipe.
+func runStress(stdout, stderr io.Writer, mod *ir.Module, mm memmodel.Model,
+	entries []string, seeds int, sample float64, baseSeed int64,
+	workers int, minimize bool, prov *obs.Provider) int {
+	res, err := stress.Sweep(mod, stress.Options{
+		Model:    mm,
+		Entries:  entries,
+		Seeds:    seeds,
+		BaseSeed: baseSeed,
+		Sample:   sample,
+		Workers:  workers,
+		Obs:      prov,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	rate := float64(res.Schedules)
+	if s := res.Elapsed.Seconds(); s > 0 {
+		rate /= s
+	}
+	fmt.Fprintf(stdout, "model=%s stress schedules=%d steps=%d rate=%.0f/s step_limited=%d forwarded=%d sampled_out=%d\n",
+		mm, res.Schedules, res.Steps, rate, res.StepLimited, res.Forwarded, res.Skipped)
+	for _, f := range res.Findings {
+		fmt.Fprintf(stdout, "finding: %s\n", f)
+	}
+	races := res.Races()
+	if len(races) == 0 {
+		fmt.Fprintln(stdout, "races: none")
+	}
+	for _, r := range races {
+		fmt.Fprint(stdout, r)
+	}
+
+	if minimize {
+		var target *stress.Finding
+		for i := range res.Findings {
+			if res.Findings[i].Kind == stress.FindingRace {
+				target = &res.Findings[i]
+				break
+			}
+		}
+		if target == nil {
+			fmt.Fprintln(stdout, "minimize: no race finding to reduce")
+		} else {
+			mres, err := stress.Minimize(mod, stress.MinimizeOptions{
+				Entries: entries,
+				Target:  target.Report,
+				Workers: workers,
+				Obs:     prov,
+			})
+			if err != nil {
+				return fail(stderr, err)
+			}
+			fmt.Fprintf(stdout, "minimized: %d/%d funcs, %d/%d instrs (%d reductions, %d oracle checks)\n",
+				mres.Funcs, mres.OrigFuncs, mres.Instrs, mres.OrigInstrs, mres.Reductions, mres.Checks)
+			fmt.Fprintf(stdout, "reproduce: %s\n", mres.Schedule)
+			if mres.Confirm != nil {
+				fmt.Fprintf(stdout, "confirmed: verdict=%s executions=%d\n",
+					mres.Confirm.Verdict, mres.Confirm.Executions)
+			}
+			fmt.Fprint(stdout, mres.Module.String())
+		}
+	}
+
+	switch {
+	case len(res.Violations()) > 0:
+		return 1
+	case len(races) > 0:
 		return 4
 	}
 	return 0

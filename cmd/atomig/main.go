@@ -95,6 +95,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	arch := fs.String("arch", weaken.DefaultArch, "cost-model architecture for -O: "+strings.Join(weaken.ArchNames(), ", "))
 	oRaces := fs.Bool("O-races", true, "with -O: keep the race detector in the verification loop")
 	oExecs := fs.Int("O-execs", 0, "with -O: per-candidate execution budget (0 = default)")
+	oOracle := fs.String("O-oracle", "exhaustive", "with -O: verification oracle — exhaustive, screened (stress-screen candidates, exhaustively confirm survivors), or stress (docs/STRESS.md)")
+	oStressSeeds := fs.Int("O-stress-seeds", 0, "with -O: stress-oracle screening schedules per scheduler mode (0 = default)")
+	oSample := fs.Float64("O-sample", 0, "with -O: stress-oracle location-sampling fraction (0 = observe everything)")
 	explainRaces := fs.Bool("explain-races", false, "detect races in the un-ported input and explain what to promote")
 	entries := fs.String("entries", "", "comma-separated thread entries for -explain-races and -O on file inputs")
 	jobs := fs.Int("j", 1, "pipeline worker count (output is byte-identical for every value)")
@@ -143,8 +146,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		// site the optimizer weakened can never silently disagree.
 		var weakened []weaken.Decision
 		if *oWeaken {
+			oracle, err := weaken.ParseOracleMode(*oOracle)
+			if err != nil {
+				return fail(stderr, err)
+			}
 			weakened, err = portAndWeaken(mod, *corpusName, *entries, weakenConfig{
-				jobs: *jobs, arch: *arch, races: *oRaces, execs: *oExecs, prov: prov,
+				jobs: *jobs, arch: *arch, races: *oRaces, execs: *oExecs,
+				oracle: oracle, stressSeeds: *oStressSeeds, sample: *oSample, prov: prov,
 			})
 			if err != nil {
 				return fail(stderr, err)
@@ -201,11 +209,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			if err != nil {
 				return fail(stderr, err)
 			}
+			oracle, err := weaken.ParseOracleMode(*oOracle)
+			if err != nil {
+				return fail(stderr, err)
+			}
 			wopts := weaken.DefaultOptions(entryList)
 			wopts.Workers = *jobs
 			wopts.Arch = *arch
 			wopts.DetectRaces = *oRaces
 			wopts.MaxExecs = *oExecs
+			wopts.Oracle = oracle
+			wopts.StressSeeds = *oStressSeeds
+			wopts.StressSample = *oSample
 			wopts.Obs = prov
 			wres, err := weaken.Optimize(mod, wopts)
 			if err != nil {
@@ -282,11 +297,14 @@ func weakenEntries(corpusName, entries string) ([]string, error) {
 
 // weakenConfig carries the -O flag group.
 type weakenConfig struct {
-	jobs  int
-	arch  string
-	races bool
-	execs int
-	prov  *obs.Provider
+	jobs        int
+	arch        string
+	races       bool
+	execs       int
+	oracle      weaken.OracleMode
+	stressSeeds int
+	sample      float64
+	prov        *obs.Provider
 }
 
 // portAndWeaken ports a clone of mod and weakens it, returning the
@@ -310,6 +328,9 @@ func portAndWeaken(mod *ir.Module, corpusName, entries string, cfg weakenConfig)
 	wopts.Arch = cfg.arch
 	wopts.DetectRaces = cfg.races
 	wopts.MaxExecs = cfg.execs
+	wopts.Oracle = cfg.oracle
+	wopts.StressSeeds = cfg.stressSeeds
+	wopts.StressSample = cfg.sample
 	wopts.Obs = cfg.prov
 	wres, err := weaken.Optimize(ported, wopts)
 	if err != nil {
@@ -335,6 +356,10 @@ func printWeakenReport(w io.Writer, res *weaken.Result) {
 	fmt.Fprintf(w, "  functions in scope:        %d (%d unreachable, kept at ported strength)\n",
 		res.FuncsInScope, res.FuncsSkipped)
 	fmt.Fprintf(w, "  checker re-verifications:  %d\n", res.MCChecks)
+	if res.Oracle != "" {
+		fmt.Fprintf(w, "  oracle:                    %s (%d stress checks, %d schedules)\n",
+			res.Oracle, res.StressChecks, res.StressSchedules)
+	}
 	fmt.Fprintf(w, "  static cost (%s):       %d -> %d cycles (-%.1f%%)\n",
 		res.Arch, res.CostBefore, res.CostAfter, res.Reduction())
 	for _, d := range res.Decisions {

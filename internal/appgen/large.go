@@ -45,6 +45,50 @@ type ModuleSpec struct {
 	// the pipeline must leave untouched.
 	DataGlobals int
 	FillerFuncs int
+
+	// PlantRace adds a seeded seqlock-gap defect: @lg_gap_data is
+	// written by lg_gap_write under the @lg_gap_seq protocol and read
+	// correctly by lg_gap_read_sync (wait for the final generation, then
+	// read), but lg_gap_read skips the protocol entirely. The gap read
+	// is a real data race that survives a correct port — the port
+	// promotes the control location @lg_gap_seq, while the data location
+	// legitimately stays plain — and is recorded in GroundTruth.Racy.
+	// The stress harness (HarnessThreads) drives writer, synchronized
+	// reader and gap reader from three different threads so the race has
+	// a live window in most schedules.
+	PlantRace bool
+	// HarnessThreads, when > 0, emits that many entry functions
+	// lg_stress_t0..t{N-1} driving a deterministic subset of the
+	// module's sites. Each thread performs all its signal calls before
+	// any of its waits, so every cross-thread rendezvous terminates
+	// under any scheduler that eventually runs every runnable thread;
+	// the step budget backstops adversarial schedules. These entries are
+	// the stress harness: pass HarnessEntries() to stress.Sweep.
+	// Clamped up to 3 when PlantRace needs its three roles.
+	HarnessThreads int
+}
+
+// HarnessEntries returns the entry-function names GenerateLarge emits
+// for the spec's stress harness (empty when HarnessThreads is 0).
+func (s ModuleSpec) HarnessEntries() []string {
+	n := s.harnessThreads()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("lg_stress_t%d", i))
+	}
+	return out
+}
+
+// harnessThreads resolves the harness thread count: PlantRace needs the
+// writer, synchronized-reader and gap-reader roles on three distinct
+// threads (two of them sharing a thread would happens-before-order the
+// gap read through the seq protocol and close the planted window).
+func (s ModuleSpec) harnessThreads() int {
+	n := s.HarnessThreads
+	if n > 0 && s.PlantRace && n < 3 {
+		n = 3
+	}
+	return n
 }
 
 // GroundTruth is the promotion contract of a generated module: the
@@ -56,6 +100,10 @@ type GroundTruth struct {
 	// Fenced lists the optimistic-control locations whose accesses the
 	// port must additionally bracket with explicit seq_cst fences.
 	Fenced []alias.Loc
+	// Racy lists the locations that remain genuinely racy after a
+	// correct port (ModuleSpec.PlantRace): the detection targets of the
+	// stress-mode experiments. Empty without a planted defect.
+	Racy []alias.Loc
 }
 
 // LargeSpec derives a spec of roughly sloc source lines with the site
@@ -90,7 +138,14 @@ type largeGen struct {
 	s   ModuleSpec
 	b   strings.Builder
 	gt  GroundTruth
+	// structCells records each struct-spin site's (kind, cell) draw so
+	// the stress harness can drive only sites with a private cell (two
+	// sites sharing a cell signal conflicting state values, which would
+	// leave a harness wait spinning on a value the other site clobbered).
+	structCells []structCell
 }
+
+type structCell struct{ site, kind, cell int }
 
 func (g *largeGen) line(format string, args ...any) {
 	fmt.Fprintf(&g.b, format, args...)
@@ -129,6 +184,10 @@ func (g *largeGen) run() (string, GroundTruth) {
 	for i := 0; i < s.SeqlockSites; i++ {
 		g.line("int lg_seq%d;", i)
 		g.line("int lg_sdata%d;", i)
+	}
+	if s.PlantRace {
+		g.line("int lg_gap_seq;")
+		g.line("int lg_gap_data;")
 	}
 	for i := 0; i < s.VolatileVars; i++ {
 		g.line("volatile int lg_vol%d;", i)
@@ -186,10 +245,39 @@ func (g *largeGen) run() (string, GroundTruth) {
 		g.line("}")
 		g.promoted(global(fmt.Sprintf("lg_atom%d", i)))
 	}
+	if s.PlantRace {
+		g.plantGap()
+	}
 	for i := 0; i < s.FillerFuncs; i++ {
 		g.filler(i, nData)
 	}
+	if n := s.harnessThreads(); n > 0 {
+		g.harness(n)
+	}
 	return g.b.String(), g.gt
+}
+
+// plantGap emits the seeded defect: a seqlock-style writer, a correct
+// synchronized reader (spin for the final generation, then read — the
+// spin seeds the promotion of @lg_gap_seq), and the gap reader that
+// loads @lg_gap_data with no protocol at all. After a correct port the
+// gap read still races with the writer's (legitimately plain) data
+// store: the one race GroundTruth.Racy promises.
+func (g *largeGen) plantGap() {
+	g.line("void lg_gap_write(int v) {")
+	g.line("  lg_gap_seq = lg_gap_seq + 1;")
+	g.line("  lg_gap_data = v;")
+	g.line("  lg_gap_seq = lg_gap_seq + 1;")
+	g.line("}")
+	g.line("int lg_gap_read_sync(void) {")
+	g.line("  while (lg_gap_seq != 2) { }")
+	g.line("  return lg_gap_data;")
+	g.line("}")
+	g.line("int lg_gap_read(void) {")
+	g.line("  return lg_gap_data;")
+	g.line("}")
+	g.promoted(global("lg_gap_seq"))
+	g.gt.Racy = append(g.gt.Racy, global("lg_gap_data"))
 }
 
 // scalarSpin emits a wait/signal pair on @lg_flag_i. The signal store
@@ -208,6 +296,7 @@ func (g *largeGen) scalarSpin(i int) {
 // must NOT be promoted (field granularity).
 func (g *largeGen) structSpin(i, k int) {
 	cell := g.rng.Intn(8)
+	g.structCells = append(g.structCells, structCell{site: i, kind: k, cell: cell})
 	g.line("void lg_nspin_wait%d(void) {", i)
 	g.line("  struct lgn%d *n = &lgn%d_cells[%d];", k, k, cell)
 	g.line("  while (n->state != %d) { }", i%5+1)
@@ -252,6 +341,102 @@ func (g *largeGen) seqlock(i int) {
 	g.line("  lg_sdata%d = v;", i)
 	g.line("  lg_seq%d = lg_seq%d + 1;", i, i)
 	g.line("}")
+}
+
+// harness emits the lg_stress_t* entry functions. The assignment is a
+// pure function of the spec: site j's signal/write runs on thread j%n
+// and the matching wait/read on thread (j+1)%n, every thread performs
+// all of its signals and writes before any of its waits and reads (so
+// rendezvous cannot deadlock regardless of interleaving), filler runs
+// on thread 0 only (its @lg_data_* traffic is plain and must stay
+// single-threaded to keep the ported module race-free apart from the
+// planted gap), and only struct-spin sites with a private (kind, cell)
+// participate. The per-thread call lists are capped so one schedule
+// executes a handful of sites, not the whole module — that is what
+// keeps a 100k-line module sweepable at thousands of schedules per
+// second.
+func (g *largeGen) harness(n int) {
+	s := g.s
+	sig := make([][]string, n)   // phase 1: signals and writes
+	mid := make([][]string, n)   // phase 2: unsynchronized reads (the planted gap)
+	waitp := make([][]string, n) // phase 3: waits and synchronized reads
+
+	cap2 := func(total, per int) int {
+		if total > per {
+			return per
+		}
+		return total
+	}
+
+	// Scalar spin pairs.
+	for j := 0; j < cap2(s.SpinSites, 2*n); j++ {
+		sig[j%n] = append(sig[j%n], fmt.Sprintf("lg_spin_signal%d();", j))
+		waitp[(j+1)%n] = append(waitp[(j+1)%n], fmt.Sprintf("lg_spin_wait%d();", j))
+	}
+	// Struct spins: only sites whose (kind, cell) is private.
+	seen := map[[2]int]int{}
+	for _, sc := range g.structCells {
+		seen[[2]int{sc.kind, sc.cell}]++
+	}
+	used := 0
+	for _, sc := range g.structCells {
+		if seen[[2]int{sc.kind, sc.cell}] != 1 || used >= n {
+			continue
+		}
+		sig[used%n] = append(sig[used%n], fmt.Sprintf("lg_nspin_signal%d();", sc.site))
+		waitp[(used+1)%n] = append(waitp[(used+1)%n], fmt.Sprintf("lg_nspin_wait%d();", sc.site))
+		used++
+	}
+	// Nested spins.
+	for j := 0; j < cap2(s.NestedSpinSites, n); j++ {
+		sig[j%n] = append(sig[j%n], fmt.Sprintf("lg_nest_signal%d();", j))
+		waitp[(j+1)%n] = append(waitp[(j+1)%n], fmt.Sprintf("lg_nest_wait%d();", j))
+	}
+	// Seqlocks: one writer per site, one synchronized reader. The
+	// harness waits for the final (even, == 2) generation instead of
+	// calling the optimistic lg_seq_read: the optimistic retry loop
+	// reads @lg_sdata_* concurrently with the writer — a benign retry
+	// race that would pollute the planted-race ground truth.
+	for j := 0; j < cap2(s.SeqlockSites, n); j++ {
+		sig[j%n] = append(sig[j%n], fmt.Sprintf("lg_seq_write%d(%d);", j, j*13+5))
+		waitp[(j+1)%n] = append(waitp[(j+1)%n], fmt.Sprintf("acc = acc + lg_h_seqwait%d();", j))
+		g.line("int lg_h_seqwait%d(void) {", j)
+		g.line("  while (lg_seq%d != 2) { }", j)
+		g.line("  return lg_sdata%d;", j)
+		g.line("}")
+	}
+	if s.PlantRace {
+		sig[0] = append(sig[0], "lg_gap_write(7);")
+		waitp[1%n] = append(waitp[1%n], "acc = acc + lg_gap_read_sync();")
+		// The gap read runs in phase 2 of thread 2: after its own
+		// signals (which create no incoming happens-before edges) and
+		// before any of its waits, so no synchronization orders it
+		// against the writer. The small loop widens the race window and
+		// gives the minimizer an iteration count to shrink.
+		mid[2%n] = append(mid[2%n],
+			"for (int k = 0; k < 3; k = k + 1) { acc = acc + lg_gap_read(); }")
+	}
+	// Filler on thread 0 only, behind a shrinkable loop.
+	for j := 0; j < cap2(s.FillerFuncs, 2); j++ {
+		mid[0] = append(mid[0],
+			fmt.Sprintf("for (int k = 0; k < 2; k = k + 1) { acc = acc + lg_compute%d(k, %d); }", j, j+1))
+	}
+
+	for t := 0; t < n; t++ {
+		g.line("int lg_stress_t%d(void) {", t)
+		g.line("  int acc = 0;")
+		for _, c := range sig[t] {
+			g.line("  %s", c)
+		}
+		for _, c := range mid[t] {
+			g.line("  %s", c)
+		}
+		for _, c := range waitp[t] {
+			g.line("  %s", c)
+		}
+		g.line("  return acc;")
+		g.line("}")
+	}
 }
 
 // filler emits plain sequential compute over locals and @lg_data_*.

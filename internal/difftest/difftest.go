@@ -162,11 +162,15 @@ func Run(src string, entries []string, opts Options) (*Result, error) {
 	cCells := opts.Obs.Counter("difftest.cells_completed")
 	sp = trk.Begin("difftest.grid").Arg("cells", cells)
 	err = gridRun(cells, opts.Workers, func(i int) error {
+		// The caller's seed anchors the cell; vm.GridSeed folds the mode
+		// in so no two grid cells hand their schedulers the same RNG
+		// stream (reusing the bare seed across modes would replay the
+		// same PickNondet sequence in every mode of a column).
 		mode, seed := modes[i/len(seeds)], seeds[i%len(seeds)]
 		snap, returns, err := execute(ported, vm.Options{
 			Model:      memmodel.ModelWMM,
 			Entries:    entries,
-			Controller: vm.NewScheduler(mode, seed),
+			Controller: vm.NewScheduler(mode, vm.GridSeed(seed, mode, 0)),
 			MaxSteps:   maxSteps,
 			Watchdog:   true,
 			Obs:        opts.Obs,

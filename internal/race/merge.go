@@ -20,10 +20,12 @@ func (r *Report) Key() string {
 // trace that exposed it.
 func (d *Detector) ExecNewReports() []*Report { return d.reports[d.execStart:] }
 
-// adopt replaces the detector's findings with an externally merged
+// Adopt replaces the detector's findings with an externally merged
 // list, rebuilding the dedup index so the detector keeps deduplicating
-// correctly if it is reused for further sweeps.
-func (d *Detector) adopt(reports []*Report) {
+// correctly if it is reused for further sweeps. The parallel sweeps
+// (race.Sweep, stress.Sweep) use it to publish MergeReports output
+// through a regular detector.
+func (d *Detector) Adopt(reports []*Report) {
 	d.reports = append(d.reports[:0], reports...)
 	d.seen = make(map[string]*Report, len(reports))
 	for _, r := range reports {

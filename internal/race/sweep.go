@@ -44,6 +44,15 @@ type SweepOptions struct {
 	Obs *obs.Provider
 }
 
+// sweepBaseSeed anchors the sweep's schedule-seed derivation. Every
+// (mode, seed) grid cell gets vm.GridSeed(sweepBaseSeed, mode, s+1):
+// a pure function of the cell, never of the worker that claims it, so
+// no two cells — across modes or across workers — replay the same
+// schedule (the pre-GridSeed derivation recycled 1..Seeds for every
+// mode, handing the random mode's RNG stream a sibling in each of the
+// other modes' PickNondet streams).
+const sweepBaseSeed = 1
+
 // SweepResult is the outcome of a race sweep.
 type SweepResult struct {
 	// Detector holds the deduplicated race reports.
@@ -90,7 +99,7 @@ func Sweep(m *ir.Module, opts SweepOptions) (*SweepResult, error) {
 			res, err := vm.Run(m, vm.Options{
 				Model:      opts.Model,
 				Entries:    opts.Entries,
-				Controller: vm.NewScheduler(mode, int64(s)+1),
+				Controller: vm.NewScheduler(mode, vm.GridSeed(sweepBaseSeed, mode, int64(s)+1)),
 				MaxSteps:   opts.MaxSteps,
 				Costs:      vm.DefaultCosts(),
 				Hook:       det,
@@ -158,7 +167,7 @@ func sweepParallel(m *ir.Module, opts SweepOptions, modes []vm.SchedMode, seeds 
 				res, err := vm.Run(m, vm.Options{
 					Model:      opts.Model,
 					Entries:    opts.Entries,
-					Controller: vm.NewScheduler(mode, int64(seed)+1),
+					Controller: vm.NewScheduler(mode, vm.GridSeed(sweepBaseSeed, mode, int64(seed)+1)),
 					MaxSteps:   opts.MaxSteps,
 					Costs:      vm.DefaultCosts(),
 					Hook:       det,
@@ -190,7 +199,7 @@ func sweepParallel(m *ir.Module, opts SweepOptions, modes []vm.SchedMode, seeds 
 		}
 	}
 	merged := New(opts.Model, Options{MaxReports: opts.MaxReports})
-	merged.adopt(MergeReports(merged.opts.MaxReports, lists...))
+	merged.Adopt(MergeReports(merged.opts.MaxReports, lists...))
 	out := &SweepResult{Detector: merged}
 	for i := range cells {
 		if cells[i].err != nil {

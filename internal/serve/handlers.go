@@ -13,6 +13,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/memmodel"
 	"repro/internal/race"
+	"repro/internal/stress"
 	"repro/internal/weaken"
 )
 
@@ -181,6 +182,69 @@ func (s *Server) opVerify(ctx context.Context, req *Request, sess *session) *Res
 	}
 }
 
+// opStress ports the module (cached) and runs the schedule-fuzzing
+// stress sweep on the result (internal/stress): the plain-execution
+// fast path, every scheduler mode x Seeds schedules, the detector
+// sampling Sample of the plain locations. The verdict is a witness —
+// "pass" here means the sweep was clean, not that the program is.
+func (s *Server) opStress(ctx context.Context, req *Request, sess *session) *Response {
+	if sess == nil {
+		return errResp(ErrNoModule, "no module loaded in session %q", sessionName(req))
+	}
+	if len(req.Entries) == 0 {
+		return errResp(ErrBadRequest, "stress needs entries")
+	}
+	ported, rep, err := sess.port(ctx, s.opts.Workers, s.opts.Obs)
+	if err != nil {
+		return portError(err)
+	}
+	s.c.cacheHits.Add(int64(rep.CacheHits))
+	s.c.cacheMiss.Add(int64(rep.CacheMisses))
+	s.logCache("stress", rep)
+	res, err := stress.Sweep(ported, stress.Options{
+		Model:   memmodel.ModelWMM,
+		Entries: req.Entries,
+		Seeds:   req.Seeds,
+		Sample:  req.Sample,
+		Workers: s.opts.Workers,
+		Context: ctx,
+		Obs:     s.opts.Obs,
+	})
+	if err != nil {
+		return errResp(ErrBadRequest, "stress: %v", err)
+	}
+	info := &StressInfo{
+		Schedules:   res.Schedules,
+		Steps:       res.Steps,
+		StepLimited: res.StepLimited,
+		Forwarded:   res.Forwarded,
+		Skipped:     res.Skipped,
+	}
+	if sec := res.Elapsed.Seconds(); sec > 0 {
+		info.RatePerSec = float64(res.Schedules) / sec
+	}
+	for _, f := range res.Findings {
+		info.Findings = append(info.Findings, f.String())
+	}
+	verdict := "pass"
+	switch {
+	case len(res.Violations()) > 0:
+		verdict = "violated"
+	case res.Detector.Races() > 0:
+		verdict = "racy"
+	}
+	return &Response{
+		OK:         true,
+		Module:     rep.Module,
+		Report:     rep,
+		Verdict:    verdict,
+		Violations: res.Violations(),
+		Races:      res.Detector.Races(),
+		Executions: res.Schedules,
+		Stress:     info,
+	}
+}
+
 // opOptimize ports the module (cached) and runs the checker-in-the-
 // loop weakening optimizer on the ported clone (internal/weaken). The
 // session memoizes the result per (options, module) — a repeat request
@@ -197,6 +261,15 @@ func (s *Server) opOptimize(ctx context.Context, req *Request, sess *session) *R
 	wopts.Arch = req.Arch
 	wopts.DetectRaces = !req.NoRaces
 	wopts.MaxExecs = req.MaxExecs
+	if req.Oracle != "" {
+		oracle, err := weaken.ParseOracleMode(req.Oracle)
+		if err != nil {
+			return errResp(ErrBadRequest, "optimize: %v", err)
+		}
+		wopts.Oracle = oracle
+		wopts.StressSeeds = req.Seeds
+		wopts.StressSample = req.Sample
+	}
 	if req.TimeBudgetMS > 0 {
 		wopts.TimeBudget = time.Duration(req.TimeBudgetMS) * time.Millisecond
 	}

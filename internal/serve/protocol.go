@@ -17,7 +17,7 @@ type Request struct {
 	// ID correlates the response; opaque to the server.
 	ID string `json:"id"`
 	// Op selects the operation: load, edit, port, dump, explain-races,
-	// verify, optimize, stats, health, cancel, shutdown.
+	// verify, stress, optimize, stats, health, cancel, shutdown.
 	Op string `json:"op"`
 
 	// Session names the module session (default "default"): load
@@ -51,11 +51,21 @@ type Request struct {
 	MaxExecs     int   `json:"max_execs,omitempty"`
 	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
 
+	// stress: schedules per scheduler mode (0 = 256) and the detector's
+	// location-sampling fraction (0 = observe everything); see
+	// docs/STRESS.md. Seeds doubles as the optimize stress-oracle
+	// screening budget when Oracle is "screened" or "stress".
+	Seeds  int     `json:"seeds,omitempty"`
+	Sample float64 `json:"sample,omitempty"`
+
 	// optimize: static cost-model architecture ("" = weaken.DefaultArch)
 	// and the race-detection opt-out (detection is on by default; see
-	// docs/WEAKENING.md for when to disable it).
+	// docs/WEAKENING.md for when to disable it). Oracle selects the
+	// verification oracle: "" or "exhaustive", "screened", "stress"
+	// (docs/STRESS.md).
 	Arch    string `json:"arch,omitempty"`
 	NoRaces bool   `json:"no_races,omitempty"`
+	Oracle  string `json:"oracle,omitempty"`
 
 	// DeadlineMS overrides the server's per-request deadline (bounded
 	// above by it — a client cannot extend past the server cap).
@@ -120,8 +130,26 @@ type Response struct {
 	Optimize *weaken.Result `json:"optimize,omitempty"`
 	Replayed bool           `json:"replayed,omitempty"`
 
+	// stress: the sweep summary; Races/Executions/Violations above are
+	// populated too (Executions counts schedules).
+	Stress *StressInfo `json:"stress,omitempty"`
+
 	// stats / health
 	Stats *Stats `json:"stats,omitempty"`
+}
+
+// StressInfo is the stress op's sweep summary: throughput, sampling
+// effect, and every finding with its replayable schedule provenance.
+type StressInfo struct {
+	Schedules   int     `json:"schedules"`
+	Steps       int64   `json:"steps"`
+	StepLimited int     `json:"step_limited,omitempty"`
+	Forwarded   int64   `json:"forwarded"`
+	Skipped     int64   `json:"skipped,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	// Findings renders each race/violation with the mode, ordinal and
+	// seed that exposed it — the whole reproduction recipe.
+	Findings []string `json:"findings,omitempty"`
 }
 
 // Stats is the health/stats payload: a consistent snapshot of the

@@ -204,6 +204,7 @@ func New(opts Options) *Server {
 		"dump":          p.Histogram("serve.op_dump_duration_micros"),
 		"explain-races": p.Histogram("serve.op_explain_races_duration_micros"),
 		"verify":        p.Histogram("serve.op_verify_duration_micros"),
+		"stress":        p.Histogram("serve.op_stress_duration_micros"),
 		"optimize":      p.Histogram("serve.op_optimize_duration_micros"),
 		"stats":         p.Histogram("serve.op_stats_duration_micros"),
 		"health":        p.Histogram("serve.op_health_duration_micros"),
@@ -608,6 +609,8 @@ func (s *Server) execute(ctx context.Context, req *Request, rid string) (resp *R
 		return s.opExplain(ctx, req, sess)
 	case "verify":
 		return s.opVerify(ctx, req, sess)
+	case "stress":
+		return s.opStress(ctx, req, sess)
 	case "optimize":
 		return s.opOptimize(ctx, req, sess)
 	case "stats", "health":

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"runtime"
 	"strings"
 	"sync"
@@ -488,6 +489,44 @@ func TestVerifyAndExplain(t *testing.T) {
 	}
 	if v.Report == nil || v.Report.CacheHits == 0 {
 		t.Errorf("verify did not reuse the warm detection cache: %+v", v.Report)
+	}
+
+	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))
+}
+
+// TestStressOp: the schedule-fuzzing sweep over the ported session
+// module — a clean verdict on the ported program, the full sweep
+// summary, and byte-identical findings on a repeat call (the grid is
+// seeded, so the op is deterministic).
+func TestStressOp(t *testing.T) {
+	leakcheck.Check(t)
+	_, c := startServer(t, Options{})
+	mustOK(t, c.call(&Request{ID: "load", Op: "load", Name: "small.c", Source: smallSrc}))
+
+	if r := c.call(&Request{ID: "s0", Op: "stress"}); r.OK || r.ErrKind != ErrBadRequest {
+		t.Errorf("stress without entries: got ok=%t kind=%q, want bad_request", r.OK, r.ErrKind)
+	}
+
+	req := &Request{ID: "s1", Op: "stress", Entries: []string{"reader", "writer"}, Seeds: 20}
+	s1 := mustOK(t, c.call(req))
+	if s1.Stress == nil {
+		t.Fatal("stress response lacks the sweep summary")
+	}
+	if s1.Verdict != "pass" {
+		t.Errorf("ported program stressed %q; findings: %v", s1.Verdict, s1.Stress.Findings)
+	}
+	if s1.Stress.Schedules == 0 || s1.Stress.Steps == 0 || s1.Stress.Forwarded == 0 {
+		t.Errorf("empty sweep summary: %+v", s1.Stress)
+	}
+	if s1.Executions != s1.Stress.Schedules {
+		t.Errorf("Executions=%d != Schedules=%d", s1.Executions, s1.Stress.Schedules)
+	}
+
+	req2 := *req
+	req2.ID = "s2"
+	s2 := mustOK(t, c.call(&req2))
+	if s2.Stress.Steps != s1.Stress.Steps || !reflect.DeepEqual(s2.Stress.Findings, s1.Stress.Findings) {
+		t.Errorf("stress op not deterministic:\nfirst  %+v\nsecond %+v", s1.Stress, s2.Stress)
 	}
 
 	mustOK(t, c.call(&Request{ID: "bye", Op: "shutdown"}))

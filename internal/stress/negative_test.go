@@ -1,0 +1,153 @@
+package stress
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/mc"
+	"repro/internal/memmodel"
+)
+
+// The negative-control suite: stress's value depends as much on NOT
+// reporting races as on finding them. A stress finding is a real
+// execution, so a correctly ported, mc-verified-race-free program must
+// sweep clean under every scheduler mode and seed — any report here is
+// a detector or engine false positive, the one failure class the
+// contract rules out (docs/STRESS.md).
+
+// portedCorpus compiles and ports one corpus program.
+func portedCorpus(t *testing.T, name string) (*ir.Module, []string) {
+	t.Helper()
+	p := corpus.Get(name)
+	if p == nil {
+		t.Fatalf("program %q not in corpus", name)
+	}
+	m, err := p.Compile()
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	if _, err := atomig.Port(m, atomig.DefaultOptions()); err != nil {
+		t.Fatalf("%s: port: %v", name, err)
+	}
+	return m, p.MCEntries
+}
+
+// negativeSweep runs the control sweep: all scheduler modes at 200
+// seeds each (>= 1000 schedules total).
+func negativeSweep(t *testing.T, m *ir.Module, entries []string) *Result {
+	t.Helper()
+	res, err := Sweep(m, Options{Entries: entries, Seeds: 200, Workers: 8})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.Schedules < 1000 {
+		t.Fatalf("only %d schedules; the control needs >= 1000", res.Schedules)
+	}
+	return res
+}
+
+// TestNegativeControlCorpus sweeps every ported corpus program the
+// checker verifies race-free and requires a completely clean result:
+// zero races, zero violations, across all modes and >= 1000 seeded
+// schedules each.
+func TestNegativeControlCorpus(t *testing.T) {
+	// Ported and mc-verified race-free: the conformance and weakening
+	// suites (TestLitmusConformance, BENCH_weaken.json) establish the
+	// exhaustive verdicts these controls are negative against.
+	controls := []string{
+		"mp", "seqlock-gap", "cna-lock", "tas", "dcl-spin",
+		"ck_spinlock_ticket", "ck_spinlock_mcs", "ck_spinlock_cas",
+	}
+	for _, name := range controls {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, entries := portedCorpus(t, name)
+			res := negativeSweep(t, m, entries)
+			if v := res.Violations(); len(v) > 0 {
+				t.Errorf("%d violations on a verified port:\n%s", len(v), v[0])
+			}
+			for _, r := range res.Races() {
+				t.Errorf("false positive on a race-free port: %s", r.Key())
+			}
+		})
+	}
+}
+
+// TestNegativeControlBenign covers the ported programs whose only
+// races are the benign optimistic-read retries the paper's port
+// intentionally leaves plain: every reported race must sit on the
+// known optimistic data location, and there must be no violations.
+func TestNegativeControlBenign(t *testing.T) {
+	g := func(name string) alias.Loc { return alias.Loc{Kind: alias.LocGlobal, Name: name} }
+	cases := []struct {
+		program string
+		allowed []alias.Loc
+	}{
+		{"seqlock", []alias.Loc{g("msg")}},
+		{"ck_sequence", []alias.Loc{g("d0"), g("d1")}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.program, func(t *testing.T) {
+			t.Parallel()
+			m, entries := portedCorpus(t, c.program)
+			res := negativeSweep(t, m, entries)
+			if v := res.Violations(); len(v) > 0 {
+				t.Errorf("%d violations on a verified port:\n%s", len(v), v[0])
+			}
+			for _, r := range res.Races() {
+				ok := false
+				for _, a := range c.allowed {
+					if r.Loc == a {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("race outside the benign optimistic set %v: %s", c.allowed, r.Key())
+				}
+			}
+		})
+	}
+}
+
+// TestStressKeysSubsetOfExhaustive pins the no-false-positives claim
+// against the ground truth directly: on the plain litmus programs at
+// the port's documented detection boundary (lb, corr — no
+// synchronization pattern, races survive porting), every race key a
+// stress sweep reports must appear in the exhaustive checker's
+// race-detection report for the same module.
+func TestStressKeysSubsetOfExhaustive(t *testing.T) {
+	for _, name := range []string{"lb", "corr"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, entries := portedCorpus(t, name)
+			mres, err := mc.Check(m, mc.Options{
+				Model: memmodel.ModelWMM, Entries: entries, DetectRaces: true,
+			})
+			if err != nil {
+				t.Fatalf("mc: %v", err)
+			}
+			exact := make(map[string]bool, len(mres.Races))
+			for _, r := range mres.Races {
+				exact[r.Key()] = true
+			}
+			if len(exact) == 0 {
+				t.Fatalf("exhaustive check found no races; the boundary program should keep them")
+			}
+			res := negativeSweep(t, m, entries)
+			if len(res.Races()) == 0 {
+				t.Fatalf("stress found none of the %d exhaustive races", len(exact))
+			}
+			for _, r := range res.Races() {
+				if !exact[r.Key()] {
+					t.Errorf("stress race %s not in the exhaustive set (false positive)", r.Key())
+				}
+			}
+		})
+	}
+}

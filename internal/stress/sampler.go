@@ -1,0 +1,119 @@
+// The location sampler: the stress engine's answer to detector
+// overhead on production-scale modules.
+//
+// Attaching the full happens-before detector to every access of a
+// 100k-line module costs more than the execution itself. The sampler
+// sits between the VM's hook seam and the detector and forwards only a
+// configurable fraction of *plain, effectively-relaxed* locations —
+// with a soundness boundary chosen so sampling can only lose findings,
+// never invent them:
+//
+//   - Every synchronization-relevant event is always forwarded: atomic
+//     accesses, plain accesses whose model-effective ordering acquires
+//     or releases (under TSO/SC plain accesses carry implicit sync;
+//     under WMM they do not), all fences, spawns, joins and barriers.
+//     The detector's happens-before graph is therefore always complete:
+//     an edge it would have built at Sample = 1 is never missing, so a
+//     pair it reports as unordered really is unordered — no false
+//     positives.
+//   - Plain relaxed locations are sampled all-or-nothing: either every
+//     access to a location is forwarded or none is. Skipping half a
+//     location's accesses could report a race whose other half was a
+//     synchronizing accident the detector never saw; skipping whole
+//     locations only hides races on the skipped locations — false
+//     negatives, the accepted currency of stress testing.
+//
+// The per-location decision hashes the address against a per-schedule
+// salt, so different schedules observe different location subsets and a
+// long sweep's aggregate coverage approaches 1 even at small fractions
+// (docs/STRESS.md quantifies the detection-rate trade on the planted
+// corpus).
+package stress
+
+import (
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+	"repro/internal/race"
+	"repro/internal/vm"
+)
+
+// sampler forwards a sampled subset of events to the wrapped detector.
+type sampler struct {
+	det       *race.Detector
+	model     memmodel.Model
+	threshold uint64 // forward plain location iff mix(addr^salt) < threshold
+	salt      uint64
+	all       bool // Sample == 1: no per-access hashing at all
+	forwarded int64
+	skipped   int64
+}
+
+// newSampler wraps det, forwarding the given fraction of plain
+// locations (all synchronization-relevant events always pass through).
+func newSampler(det *race.Detector, model memmodel.Model, fraction float64) *sampler {
+	s := &sampler{det: det, model: model}
+	if fraction <= 0 || fraction >= 1 {
+		s.all = true
+		return s
+	}
+	s.threshold = uint64(fraction * float64(1<<63) * 2)
+	return s
+}
+
+// begin resets the per-schedule salt; call before each execution.
+func (s *sampler) begin(salt uint64) { s.salt = salt }
+
+// observes decides the location's fate for this schedule:
+// all-or-nothing per address.
+func (s *sampler) observes(a memmodel.Addr) bool {
+	return mix(uint64(a)^s.salt) < s.threshold
+}
+
+// syncRelevant reports whether the event can create or require a
+// happens-before edge under the model — such events must always reach
+// the detector (see the package comment's soundness boundary).
+func (s *sampler) syncRelevant(ev vm.AccessEvent) bool {
+	if ev.Ord.Atomic() {
+		return true
+	}
+	switch ev.Kind {
+	case vm.AccessLoad:
+		return memmodel.EffectiveOrd(s.model, int(ev.Ord), false).Acquires()
+	case vm.AccessStore:
+		return memmodel.EffectiveOrd(s.model, int(ev.Ord), true).Releases()
+	default:
+		// RMW / CAS-fail: intrinsically atomic.
+		return true
+	}
+}
+
+// OnAccess implements vm.Hook.
+func (s *sampler) OnAccess(ev vm.AccessEvent) {
+	if !s.all && !s.syncRelevant(ev) && !s.observes(ev.Addr) {
+		s.skipped++
+		return
+	}
+	s.forwarded++
+	s.det.OnAccess(ev)
+}
+
+// OnFence implements vm.Hook.
+func (s *sampler) OnFence(thread int, ord ir.MemOrder) { s.det.OnFence(thread, ord) }
+
+// OnSpawn implements vm.Hook.
+func (s *sampler) OnSpawn(parent, child int) { s.det.OnSpawn(parent, child) }
+
+// OnJoin implements vm.Hook.
+func (s *sampler) OnJoin(t, joined int) { s.det.OnJoin(t, joined) }
+
+// OnBarrier implements vm.Hook.
+func (s *sampler) OnBarrier(participants []int) { s.det.OnBarrier(participants) }
+
+// mix is the splitmix64 finalizer (the same mixer vm.GridSeed uses),
+// applied to addresses and salts for the per-location sampling draw.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,527 @@
+// Package stress is the schedule-fuzzing stress mode: production-scale
+// race testing beyond the model checker's exhaustive reach (in the
+// spirit of C11Tester's controlled-random testing over a weak-memory
+// execution engine).
+//
+// Where internal/mc enumerates every interleaving of a litmus-sized
+// program, stress runs plain executions — no state-space exploration,
+// no choice-trace bookkeeping — of arbitrarily large modules under a
+// grid of seeded adversarial schedules (the vm scheduler modes), with
+// the happens-before detector attached behind a per-location sampler
+// that bounds its per-step overhead. Each worker owns one pooled VM
+// (recycled through vm.Reset between schedules, the model checker's
+// own allocation-free replay seam), so a 100k-line module sweeps at
+// thousands of schedules per second.
+//
+// The contract is asymmetric, and docs/STRESS.md spells it out:
+// a stress finding is a real execution, so every reported race or
+// violation is true (no false positives — the sampler only ever skips
+// whole plain locations, never half of one); a clean sweep is evidence,
+// not proof. Findings are minimized (Minimize) into litmus-sized
+// programs the model checker then confirms exhaustively, and the
+// engine doubles as the weakening optimizer's screening oracle
+// (weaken.Options.Oracle).
+//
+// Determinism: the schedule of grid cell i is a pure function of
+// (BaseSeed, mode, ordinal) via vm.GridSeed — never of the worker that
+// claims the cell — and findings are assembled in grid order with
+// earliest-cell attribution, so the result is byte-identical for every
+// Workers value and every run.
+package stress
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/ir"
+	"repro/internal/memmodel"
+	"repro/internal/obs"
+	"repro/internal/race"
+	"repro/internal/vm"
+)
+
+// Options configures a stress sweep.
+type Options struct {
+	// Model is the memory model executions run under (default ModelWMM:
+	// stress hunts the weak behaviors TSO code misses).
+	Model memmodel.Model
+	// Entries are the functions started as initial threads; required.
+	Entries []string
+	// Modes are the scheduler modes to sweep; nil selects all of them.
+	Modes []vm.SchedMode
+	// Seeds is the number of schedules per mode (0 = 256).
+	Seeds int
+	// BaseSeed anchors the schedule derivation: cell (mode, s) runs
+	// under vm.GridSeed(BaseSeed, mode, s+1). Two sweeps with the same
+	// BaseSeed replay the same schedules; 0 selects 1.
+	BaseSeed int64
+	// Sample is the fraction of plain (non-synchronizing) locations the
+	// race detector observes, 0 < Sample <= 1; 0 selects 1 (observe
+	// everything). Synchronization-relevant accesses are always
+	// forwarded regardless — see sampler.go for the soundness boundary.
+	Sample float64
+	// MaxSteps bounds each schedule's instruction count (0 = 200_000).
+	MaxSteps int64
+	// Workers fans the schedule grid out across that many goroutines,
+	// each owning one pooled VM and a private detector (0 or 1 =
+	// sequential). The result is identical for every value.
+	Workers int
+	// MaxReports caps the distinct races retained (0 = 32).
+	MaxReports int
+	// StopWhen, when non-nil, stops the sweep early once a finding
+	// satisfies the predicate (the minimizer's reproduction oracle stops
+	// on its target race). Whether the grid contains a satisfying
+	// finding is deterministic; the Schedules count of a stopped sweep
+	// is not (in-flight workers finish their cells).
+	StopWhen func(Finding) bool
+	// Context, when non-nil, cancels the sweep between schedules.
+	Context context.Context
+	// Obs, when non-nil, records the stress.* counters and spans
+	// (docs/OBSERVABILITY.md).
+	Obs *obs.Provider
+}
+
+// Schedule identifies one seeded schedule of the grid: everything
+// needed to replay it exactly.
+type Schedule struct {
+	// Mode is the scheduler mode.
+	Mode vm.SchedMode `json:"mode"`
+	// Ordinal is the 1-based seed ordinal within the mode.
+	Ordinal int `json:"ordinal"`
+	// Seed is the derived scheduler seed (vm.GridSeed of the sweep's
+	// BaseSeed, Mode and Ordinal) — vm.NewScheduler(Mode, Seed) replays
+	// the schedule.
+	Seed int64 `json:"seed"`
+	// Cell is the grid index the schedule occupied in its sweep.
+	Cell int `json:"cell"`
+}
+
+func (s Schedule) String() string {
+	return fmt.Sprintf("%s#%d (seed %d)", s.Mode, s.Ordinal, s.Seed)
+}
+
+// FindingKind classifies a finding.
+type FindingKind int
+
+// Finding kinds.
+const (
+	// FindingRace is a data race witnessed by the happens-before
+	// detector.
+	FindingRace FindingKind = iota
+	// FindingViolation is an outright execution failure: assertion
+	// violation or deadlock.
+	FindingViolation
+)
+
+func (k FindingKind) String() string {
+	if k == FindingViolation {
+		return "violation"
+	}
+	return "race"
+}
+
+// Finding is one stress discovery with its schedule provenance: the
+// seed that exposed it replays it.
+type Finding struct {
+	Kind     FindingKind
+	Schedule Schedule
+	// Report is the race (FindingRace); nil for violations.
+	Report *race.Report
+	// Msg is the failure message (FindingViolation).
+	Msg string
+}
+
+func (f Finding) String() string {
+	if f.Kind == FindingViolation {
+		return fmt.Sprintf("violation under %s: %s", f.Schedule, f.Msg)
+	}
+	return fmt.Sprintf("race under %s: %s", f.Schedule, f.Report.Key())
+}
+
+// Result reports a stress sweep.
+type Result struct {
+	// Schedules is the number of schedules executed.
+	Schedules int
+	// Steps is the total instruction count across all schedules.
+	Steps int64
+	// Findings lists every distinct discovery in grid order. A race is
+	// attributed to the earliest grid cell that exposed it (the
+	// attribution is worker-count-invariant).
+	Findings []Finding
+	// Detector holds the merged distinct race reports.
+	Detector *race.Detector
+	// StepLimited counts schedules cut short by the step budget —
+	// possible livelocks, not findings.
+	StepLimited int
+	// Forwarded and Skipped count detector-visible vs sampled-out
+	// accesses (Skipped is 0 at Sample = 1).
+	Forwarded, Skipped int64
+	// VMResets and VMAllocs count pooled-VM recycling vs fresh builds.
+	VMResets, VMAllocs int64
+	// Stopped reports an early exit (StopWhen hit or context canceled).
+	Stopped bool
+	// Elapsed is the sweep wall clock.
+	Elapsed time.Duration
+}
+
+// Races returns the distinct races found.
+func (r *Result) Races() []*race.Report { return r.Detector.Reports() }
+
+// Violations returns the violation findings' messages, in grid order.
+func (r *Result) Violations() []string {
+	var out []string
+	for _, f := range r.Findings {
+		if f.Kind == FindingViolation {
+			out = append(out, fmt.Sprintf("%s: %s", f.Schedule, f.Msg))
+		}
+	}
+	return out
+}
+
+// resolve applies the option defaults.
+func (o *Options) resolve() {
+	if o.Model == 0 {
+		o.Model = memmodel.ModelWMM
+	}
+	if o.Modes == nil {
+		o.Modes = vm.AllSchedModes()
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 256
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.Sample <= 0 || o.Sample > 1 {
+		o.Sample = 1
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 200_000
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.MaxReports == 0 {
+		o.MaxReports = 32
+	}
+}
+
+// cell is one schedule's recorded outcome, written only by the worker
+// that claimed it.
+type cell struct {
+	ran        bool
+	steps      int64
+	stepLimit  bool
+	violation  string // empty when the execution passed
+	newReports []*race.Report
+	err        error
+}
+
+// Sweep runs the schedule grid over the module's entry threads.
+// Execution failures and races are findings, not errors; the error
+// return is reserved for engine failures, with the earliest grid cell's
+// error winning (what a sequential sweep would have reported).
+func Sweep(m *ir.Module, opts Options) (res *Result, err error) {
+	defer diag.Guard("stress.Sweep", &err)
+	if len(opts.Entries) == 0 {
+		return nil, fmt.Errorf("stress: no entry functions")
+	}
+	opts.resolve()
+	start := time.Now()
+
+	cells := make([]cell, len(opts.Modes)*opts.Seeds)
+	workers := opts.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	cSched := opts.Obs.Counter("stress.schedules_run")
+	cForwarded := opts.Obs.Counter("stress.accesses_forwarded")
+	cSkipped := opts.Obs.Counter("stress.accesses_skipped")
+	hSteps := opts.Obs.Histogram("stress.schedule_steps")
+	sp := opts.Obs.Track("stress").Begin("stress.sweep").
+		Arg("module", m.Name).Arg("cells", len(cells)).
+		Arg("sample", fmt.Sprintf("%g", opts.Sample)).Arg("workers", workers)
+	defer sp.End()
+
+	out := &Result{}
+	// stopAt is the lowest grid cell whose finding satisfied StopWhen
+	// (or -1 on context cancel); workers stop claiming cells past it.
+	stopAt := int64(len(cells))
+	var next atomic.Int64
+	var stop atomic.Int64
+	stop.Store(stopAt)
+	var resets, allocs atomic.Int64
+	dets := make([]*race.Detector, workers)
+	smps := make([]*sampler, workers)
+
+	worker := func(w int) {
+		// 4x headroom over the resolved cap so a single saturated worker
+		// does not make the merged (sorted, capped) set depend on how
+		// the grid was partitioned.
+		det := race.New(opts.Model, race.Options{MaxReports: 4 * opts.MaxReports, Obs: opts.Obs})
+		dets[w] = det
+		smp := newSampler(det, opts.Model, opts.Sample)
+		smps[w] = smp
+		ctl := &reseed{}
+		var v *vm.VM
+		runCell := func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					cells[i].err = &diag.InternalError{
+						Stage: "stress.Sweep", Value: r, Stack: string(debug.Stack()),
+					}
+				}
+			}()
+			sc := scheduleOf(opts, i)
+			ctl.inner = vm.NewScheduler(sc.Mode, sc.Seed)
+			smp.begin(mix(uint64(sc.Seed)))
+			det.BeginExec()
+			var err error
+			if v == nil {
+				v, err = vm.New(m, vm.Options{
+					Model:      opts.Model,
+					Entries:    opts.Entries,
+					Controller: ctl,
+					MaxSteps:   opts.MaxSteps,
+					Costs:      vm.DefaultCosts(),
+					Hook:       smp,
+				})
+				allocs.Add(1)
+			} else {
+				err = v.Reset()
+				resets.Add(1)
+			}
+			if err != nil {
+				cells[i].err = fmt.Errorf("stress (%s): %w", sc, err)
+				return
+			}
+			res, err := v.Run()
+			if err != nil {
+				cells[i].err = fmt.Errorf("stress (%s): %w", sc, err)
+				return
+			}
+			c := &cells[i]
+			c.ran = true
+			c.steps = res.Steps
+			cSched.Inc()
+			hSteps.Observe(res.Steps)
+			switch res.Status {
+			case vm.StatusAssertFailed, vm.StatusDeadlock:
+				c.violation = fmt.Sprintf("%s: %s", res.Status, res.FailMsg)
+			case vm.StatusStepLimit:
+				c.stepLimit = true
+			}
+			c.newReports = append([]*race.Report(nil), det.ExecNewReports()...)
+			if opts.StopWhen != nil && cellStops(opts, sc, c) {
+				// Lower the stop watermark to this cell (keep the minimum).
+				for {
+					cur := stop.Load()
+					if cur <= int64(i) || stop.CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+			}
+		}
+		for {
+			if opts.Context != nil && opts.Context.Err() != nil {
+				stop.Store(-1)
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= len(cells) || int64(i) > stop.Load() {
+				return
+			}
+			runCell(i)
+		}
+	}
+
+	if workers <= 1 {
+		worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) { defer wg.Done(); worker(w) }(w)
+		}
+		wg.Wait()
+	}
+
+	// Merge: distinct races by canonical key, findings in grid order
+	// with earliest-cell attribution. The earliest grid cell exposing a
+	// race always records it (no earlier cell of its worker could have
+	// deduplicated it away) and its recorded report depends only on that
+	// cell's deterministic execution, so taking the first recording
+	// cell's report as the representative is worker-count-invariant —
+	// unlike MergeReports' first-list-wins choice, whose clock vectors
+	// would leak the grid partitioning. Occurrence counts still sum
+	// across every worker's detector: the total is per-cell work, not
+	// per-worker work.
+	counts := make(map[string]int)
+	for _, det := range dets {
+		if det == nil {
+			continue
+		}
+		for _, r := range det.Reports() {
+			counts[r.Key()] += r.Count
+		}
+	}
+	reps := make(map[string]*race.Report, len(counts))
+	var mergedList []*race.Report
+	for i := range cells {
+		c := &cells[i]
+		if c.err != nil {
+			out.Schedules = countRan(cells[:i])
+			out.Elapsed = time.Since(start)
+			return out, c.err
+		}
+		if !c.ran {
+			continue
+		}
+		sc := scheduleOf(opts, i)
+		if c.stepLimit {
+			out.StepLimited++
+		}
+		if c.violation != "" {
+			out.Findings = append(out.Findings, Finding{
+				Kind: FindingViolation, Schedule: sc, Msg: c.violation,
+			})
+		}
+		for _, r := range c.newReports {
+			k := r.Key()
+			if reps[k] != nil {
+				continue
+			}
+			rep := new(race.Report)
+			*rep = *r
+			rep.Count = counts[k]
+			reps[k] = rep
+			mergedList = append(mergedList, rep)
+			out.Findings = append(out.Findings, Finding{
+				Kind: FindingRace, Schedule: sc, Report: rep,
+			})
+		}
+		out.Steps += c.steps
+	}
+	sorted := append([]*race.Report(nil), mergedList...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key() < sorted[j].Key() })
+	if len(sorted) > opts.MaxReports {
+		sorted = sorted[:opts.MaxReports]
+	}
+	merged := race.New(opts.Model, race.Options{MaxReports: opts.MaxReports})
+	merged.Adopt(sorted)
+	out.Detector = merged
+	out.Schedules = countRan(cells)
+	out.Stopped = stop.Load() < int64(len(cells))
+	out.VMResets, out.VMAllocs = resets.Load(), allocs.Load()
+	// Each worker's sampler accumulated its tallies locally; fold them in.
+	for _, s := range smps {
+		if s != nil {
+			out.Forwarded += s.forwarded
+			out.Skipped += s.skipped
+		}
+	}
+	cForwarded.Add(out.Forwarded)
+	cSkipped.Add(out.Skipped)
+	out.Elapsed = time.Since(start)
+	if races, viols := out.tallyFindings(); races+viols > 0 {
+		opts.Obs.Counter("stress.races_found").Add(int64(races))
+		opts.Obs.Counter("stress.violations_found").Add(int64(viols))
+		opts.Obs.Log().Event("stress.findings").
+			Str("module", m.Name).Int("races", int64(races)).Int("violations", int64(viols)).Emit()
+	}
+	sp.Arg("schedules", out.Schedules).Arg("findings", len(out.Findings))
+	return out, nil
+}
+
+// tallyFindings counts findings by kind.
+func (r *Result) tallyFindings() (races, violations int) {
+	for _, f := range r.Findings {
+		if f.Kind == FindingRace {
+			races++
+		} else {
+			violations++
+		}
+	}
+	return
+}
+
+// scheduleOf maps a grid cell index to its schedule (mode-major, like
+// race.Sweep).
+func scheduleOf(opts Options, i int) Schedule {
+	mode := opts.Modes[i/opts.Seeds]
+	ordinal := i%opts.Seeds + 1
+	return Schedule{
+		Mode:    mode,
+		Ordinal: ordinal,
+		Seed:    vm.GridSeed(opts.BaseSeed, mode, int64(ordinal)),
+		Cell:    i,
+	}
+}
+
+// cellStops reports whether any of the cell's findings satisfies the
+// sweep's StopWhen predicate.
+func cellStops(opts Options, sc Schedule, c *cell) bool {
+	if c.violation != "" && opts.StopWhen(Finding{Kind: FindingViolation, Schedule: sc, Msg: c.violation}) {
+		return true
+	}
+	for _, r := range c.newReports {
+		if opts.StopWhen(Finding{Kind: FindingRace, Schedule: sc, Report: r}) {
+			return true
+		}
+	}
+	return false
+}
+
+// countRan counts executed cells.
+func countRan(cells []cell) int {
+	n := 0
+	for i := range cells {
+		if cells[i].ran {
+			n++
+		}
+	}
+	return n
+}
+
+// reseed is the pooled VM's controller shell: the worker swaps the
+// seeded scheduler behind it between Reset calls, so one VM serves
+// every schedule of the worker's share of the grid.
+type reseed struct{ inner vm.Scheduler }
+
+func (r *reseed) PickThread(runnable []int) int { return r.inner.PickThread(runnable) }
+func (r *reseed) PickRead(a memmodel.Addr, eligible []int) int {
+	return r.inner.PickRead(a, eligible)
+}
+func (r *reseed) PickNondet(max int) int { return r.inner.PickNondet(max) }
+
+// Replay re-executes one schedule exactly — same scheduler seed, same
+// sampling salt — with a fresh full-history detector, optionally with
+// the visible-operation trace enabled. The returned detector holds
+// exactly the races that schedule exposes.
+func Replay(m *ir.Module, opts Options, sc Schedule, trace bool) (*vm.Result, *race.Detector, error) {
+	opts.resolve()
+	det := race.New(opts.Model, race.Options{MaxReports: opts.MaxReports, Obs: opts.Obs})
+	smp := newSampler(det, opts.Model, opts.Sample)
+	smp.begin(mix(uint64(sc.Seed)))
+	res, err := vm.Run(m, vm.Options{
+		Model:        opts.Model,
+		Entries:      opts.Entries,
+		Controller:   vm.NewScheduler(sc.Mode, sc.Seed),
+		MaxSteps:     opts.MaxSteps,
+		Costs:        vm.DefaultCosts(),
+		Hook:         smp,
+		TraceVisible: trace,
+		Obs:          opts.Obs,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("stress replay (%s): %w", sc, err)
+	}
+	return res, det, nil
+}

@@ -81,6 +81,36 @@ func ParseSchedMode(s string) (SchedMode, error) {
 	return 0, fmt.Errorf("unknown scheduler mode %q (want %s)", s, strings.Join(names, ", "))
 }
 
+// GridSeed derives the scheduler seed for one cell of a (mode, seed)
+// sweep grid from a base seed. Sweeps (race.Sweep, difftest, the stress
+// engine) must not hand the same RNG seed to two grid cells: two
+// schedulers of the same mode seeded identically replay the same
+// schedule, so a grid that recycles seed values across modes or workers
+// silently halves its coverage while reporting the full execution
+// count. GridSeed is a pure function of (base, mode, seed) — no
+// per-worker state — so the derived seed set is identical for every
+// worker count and partitioning, and a splitmix64-style finalizer
+// spreads the cells across the full 64-bit space (collisions between
+// distinct cells are 2^-64 events; TestGridSeedDistinct pins
+// distinctness over the grids the sweeps actually use).
+func GridSeed(base int64, mode SchedMode, seed int64) int64 {
+	x := uint64(base)
+	x = splitmix(x + 0x9e3779b97f4a7c15*uint64(mode+1))
+	x = splitmix(x + uint64(seed))
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15 // rand.NewSource(0) is valid but keep seeds nonzero for legibility
+	}
+	return int64(x)
+}
+
+// splitmix is the splitmix64 finalizer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // NewScheduler returns the seeded scheduler for the mode. The same
 // (mode, seed) pair always produces the same decision sequence.
 func NewScheduler(mode SchedMode, seed int64) Scheduler {

@@ -173,3 +173,28 @@ func TestStarvedThreadStillFinishes(t *testing.T) {
 		}
 	}
 }
+
+// TestGridSeedDistinct pins GridSeed's no-recycling contract over the
+// grids the stress sweeps actually use: across base seeds 1..4, every
+// scheduler mode, and ordinals 1..2048, no two cells may derive the
+// same scheduler seed (and none may be zero) — a recycled seed would
+// replay a schedule while reporting it as fresh coverage.
+func TestGridSeedDistinct(t *testing.T) {
+	seen := make(map[int64][3]int64)
+	for base := int64(1); base <= 4; base++ {
+		for _, mode := range AllSchedModes() {
+			for ord := int64(1); ord <= 2048; ord++ {
+				s := GridSeed(base, mode, ord)
+				if s == 0 {
+					t.Fatalf("GridSeed(%d, %s, %d) = 0", base, mode, ord)
+				}
+				cell := [3]int64{base, int64(mode), ord}
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("GridSeed collision: (%d, %s, %d) and (%d, %v, %d) both derive %d",
+						base, mode, ord, prev[0], SchedMode(prev[1]), prev[2], s)
+				}
+				seen[s] = cell
+			}
+		}
+	}
+}

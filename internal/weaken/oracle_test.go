@@ -1,0 +1,210 @@
+package weaken_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/atomig"
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/weaken"
+)
+
+// portedCorpus compiles and ports one corpus program.
+func portedCorpus(t *testing.T, name string) (*ir.Module, *corpus.Program) {
+	t.Helper()
+	p := corpus.Get(name)
+	orig, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ported, _, err := atomig.PortClone(orig, atomig.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ported, p
+}
+
+// TestOracleEquivalence: stress-screening then exhaustively confirming
+// accepts exactly the same final weakened module as exhaustive-only.
+// Screening acceptance is regression-only, so the stress screen passes
+// a superset of what the exhaustive screen passes, and the strict
+// exhaustive merge check remains the gate for every commit — the two
+// modes' outputs are byte-identical, while the screened mode spends
+// far fewer exhaustive checks.
+func TestOracleEquivalence(t *testing.T) {
+	cases := []struct {
+		program     string
+		detectRaces bool
+	}{
+		// The ported seqlock keeps a benign retry race, so the
+		// conformance suite (and this test) weakens it verdict-only.
+		{"seqlock", false},
+		{"seqlock-gap", true},
+		{"cna-lock", true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.program, func(t *testing.T) {
+			t.Parallel()
+			ported, p := portedCorpus(t, tc.program)
+
+			run := func(oracle weaken.OracleMode) (*ir.Module, *weaken.Result) {
+				opts := weaken.DefaultOptions(p.MCEntries)
+				opts.DetectRaces = tc.detectRaces
+				opts.Oracle = oracle
+				opts.Workers = 4
+				m, res, err := weaken.OptimizeClone(ported, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", oracle, err)
+				}
+				if res.Reason != "" {
+					t.Fatalf("%s refused: %s", oracle, res.Reason)
+				}
+				return m, res
+			}
+			exM, exRes := run(weaken.OracleExhaustive)
+			scM, scRes := run(weaken.OracleScreened)
+
+			if got, want := scM.String(), exM.String(); got != want {
+				t.Errorf("screened module differs from exhaustive:\n--- exhaustive\n%s\n--- screened\n%s", want, got)
+			}
+			if got, want := decisionLog(scRes), decisionLog(exRes); got != want {
+				t.Errorf("screened decisions differ:\n--- exhaustive\n%s\n--- screened\n%s", want, got)
+			}
+			if scRes.Verdict != exRes.Verdict {
+				t.Errorf("verdict %q != %q", scRes.Verdict, exRes.Verdict)
+			}
+			if scRes.Oracle != "screened" || exRes.Oracle != "" {
+				t.Errorf("oracle provenance: screened=%q exhaustive=%q", scRes.Oracle, exRes.Oracle)
+			}
+			if scRes.StressChecks == 0 {
+				t.Error("screened run recorded no stress checks: seam inert")
+			}
+			if scRes.MCChecks >= exRes.MCChecks {
+				t.Errorf("screening saved no exhaustive checks: %d (screened) >= %d (exhaustive)",
+					scRes.MCChecks, exRes.MCChecks)
+			}
+			t.Logf("exhaustive: %d mc checks; screened: %d mc + %d stress (cost %d -> %d, %.1f%%)",
+				exRes.MCChecks, scRes.MCChecks, scRes.StressChecks,
+				scRes.CostBefore, scRes.CostAfter, scRes.Reduction())
+		})
+	}
+}
+
+// decisionLog renders the accepted weakening set for comparison.
+func decisionLog(res *weaken.Result) string {
+	var b strings.Builder
+	for _, d := range res.Decisions {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestOracleStressRescuesUnknown: a budget too small for the
+// exhaustive checker refuses the run ("baseline unknown"); the stress
+// oracle, whose verdicts are witnesses rather than proofs, weakens the
+// same program under the same tiny exploration budget end to end.
+func TestOracleStressRescuesUnknown(t *testing.T) {
+	ported, p := portedCorpus(t, "seqlock-gap")
+
+	opts := weaken.DefaultOptions(p.MCEntries)
+	opts.MaxExecs = 20 // far below the program's state space
+	_, refused, err := weaken.OptimizeClone(ported, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(refused.Reason, "baseline unknown") {
+		t.Fatalf("exhaustive run under a starvation budget should refuse, got reason %q", refused.Reason)
+	}
+
+	opts.Oracle = weaken.OracleStress
+	opts.Workers = 4
+	_, res, err := weaken.OptimizeClone(ported, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != "" {
+		t.Fatalf("stress oracle refused: %s", res.Reason)
+	}
+	if res.Verdict != "stress-clean" {
+		t.Fatalf("verdict %q, want stress-clean", res.Verdict)
+	}
+	if res.Oracle != "stress" {
+		t.Fatalf("oracle provenance %q, want stress", res.Oracle)
+	}
+	if res.CostAfter >= res.CostBefore {
+		t.Fatalf("no cost reduction: %d -> %d", res.CostBefore, res.CostAfter)
+	}
+	if res.MCChecks != 0 {
+		t.Fatalf("stress oracle ran %d exhaustive checks", res.MCChecks)
+	}
+	if res.StressChecks == 0 {
+		t.Fatal("stress oracle recorded no stress checks")
+	}
+	t.Logf("stress oracle: cost %d -> %d (%.1f%%), %d stress checks / %d schedules",
+		res.CostBefore, res.CostAfter, res.Reduction(), res.StressChecks, res.StressSchedules)
+}
+
+// TestOracleStressDeterministicAcrossWorkers: the stress oracle keeps
+// the determinism contract — the weakened module is byte-identical at
+// every screening fan-out.
+func TestOracleStressDeterministicAcrossWorkers(t *testing.T) {
+	ported, p := portedCorpus(t, "seqlock-gap")
+	var want string
+	for _, workers := range []int{1, 4} {
+		opts := weaken.DefaultOptions(p.MCEntries)
+		opts.Oracle = weaken.OracleStress
+		opts.Workers = workers
+		opts.StressSeeds = 16
+		m, res, err := weaken.OptimizeClone(ported, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reason != "" {
+			t.Fatalf("refused: %s", res.Reason)
+		}
+		got := m.String() + decisionLog(res)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("stress-oracle output differs at %d workers", workers)
+		}
+	}
+}
+
+// TestParseOracleMode: every mode round-trips; junk is rejected.
+func TestParseOracleMode(t *testing.T) {
+	for _, m := range weaken.AllOracleModes() {
+		got, err := weaken.ParseOracleMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %s: got %v, %v", m, got, err)
+		}
+	}
+	if _, err := weaken.ParseOracleMode("fuzzy"); err == nil {
+		t.Error("junk oracle name parsed")
+	}
+}
+
+// TestSaltOracleFields: the oracle configuration is part of the cache
+// fingerprint, and the default (exhaustive) fingerprint is unchanged
+// from before the seam existed.
+func TestSaltOracleFields(t *testing.T) {
+	base := weaken.DefaultOptions([]string{"t0"})
+	if s := base.Salt(); strings.Contains(s, "oracle=") {
+		t.Errorf("default salt mentions the oracle: %s", s)
+	}
+	a := base
+	a.Oracle = weaken.OracleScreened
+	b := a
+	b.StressSeeds = 64
+	c := a
+	c.StressSample = 0.5
+	salts := map[string]bool{base.Salt(): true, a.Salt(): true, b.Salt(): true, c.Salt(): true}
+	if len(salts) != 4 {
+		t.Errorf("oracle fields do not all change the salt: %v", salts)
+	}
+}

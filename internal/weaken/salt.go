@@ -9,8 +9,9 @@ import (
 // Per-candidate budget defaults, applied by Optimize and mirrored by
 // Salt so a zero value and the explicit default fingerprint alike.
 const (
-	defaultMaxExecs   = 200_000
-	defaultTimeBudget = 30 * time.Second
+	defaultMaxExecs    = 200_000
+	defaultTimeBudget  = 30 * time.Second
+	defaultStressSeeds = 32
 )
 
 // Salt fingerprints every Options field that can change the optimizer's
@@ -37,7 +38,26 @@ func (o Options) Salt() string {
 	if budget == 0 {
 		budget = defaultTimeBudget
 	}
-	return fmt.Sprintf("weaken/v1|model=%d|arch=%s|races=%t|execs=%d|steps=%d|budget=%s|entries=%s",
+	s := fmt.Sprintf("weaken/v1|model=%d|arch=%s|races=%t|execs=%d|steps=%d|budget=%s|entries=%s",
 		o.Model, arch, o.DetectRaces, execs, o.MaxStepsPerExec, budget,
 		strings.Join(o.Entries, ","))
+	// The oracle segment appears only for non-default oracles, so every
+	// fingerprint minted before the seam exists is still valid.
+	if o.Oracle != OracleExhaustive {
+		seeds := o.StressSeeds
+		if seeds == 0 {
+			seeds = defaultStressSeeds
+		}
+		confirm := o.StressConfirmSeeds
+		if confirm == 0 {
+			confirm = 4 * seeds
+		}
+		sample := o.StressSample
+		if sample <= 0 || sample >= 1 {
+			sample = 1
+		}
+		s += fmt.Sprintf("|oracle=%s|sseeds=%d|sconfirm=%d|ssample=%g",
+			o.Oracle, seeds, confirm, sample)
+	}
+	return s
 }

@@ -82,6 +82,26 @@ type Options struct {
 	// ladder step strictly decreases it, so accepted weakenings
 	// monotonically lower the module cost.
 	Arch string
+	// Oracle selects the verification oracle (oracle.go,
+	// docs/STRESS.md). OracleExhaustive (the default) re-verifies every
+	// candidate with the bounded-exhaustive checker. OracleScreened
+	// keeps the exhaustive baseline and merge but screens candidates
+	// with the stress engine — the same final module, at a fraction of
+	// the checker time. OracleStress runs every check on the stress
+	// engine, for programs beyond exhaustive reach; acceptance then
+	// means "no regression witnessed under the schedule budget", not a
+	// proof.
+	Oracle OracleMode
+	// StressSeeds is the stress oracle's screening budget: schedules
+	// per scheduler mode per check (0 = 32).
+	StressSeeds int
+	// StressConfirmSeeds is the heavier budget OracleStress spends on
+	// the baseline and merge checks (0 = 4 × StressSeeds).
+	StressConfirmSeeds int
+	// StressSample is the stress oracle's per-location sampling
+	// fraction, 0 < f <= 1 (0 = 1: observe every location; see
+	// stress.Options.Sample for the soundness boundary).
+	StressSample float64
 	// Context, when non-nil, cancels the optimization between
 	// candidate verifications; the module is left in the last
 	// verified state (every committed weakening has already been
@@ -141,9 +161,13 @@ type Result struct {
 	// influences the weakened module, only wall clock.
 	Workers int `json:"workers"`
 	// Verdict is the baseline verdict of the input module, which every
-	// accepted candidate preserved ("verified" or "racy"); the final
-	// module re-verifies to exactly this verdict.
+	// accepted candidate preserved ("verified" or "racy"; under the
+	// stress oracle "stress-clean" or "stress-racy" — a witness, not a
+	// proof); the final module re-verifies to exactly this verdict.
 	Verdict string `json:"verdict"`
+	// Oracle names the verification oracle when it is not the default
+	// exhaustive checker ("screened" or "stress").
+	Oracle string `json:"oracle,omitempty"`
 	// Reason is set when the optimizer refused to run (baseline
 	// violated or unknown); the module is unchanged.
 	Reason string `json:"reason,omitempty"`
@@ -177,11 +201,16 @@ type Result struct {
 	// order per round.
 	Decisions []Decision `json:"decisions,omitempty"`
 
-	// MCChecks and MCExecutions total the checker work spent
+	// MCChecks and MCExecutions total the exhaustive checker work spent
 	// (baseline + screening + merge); MCTime is its wall clock.
 	MCChecks     int           `json:"mc_checks"`
 	MCExecutions int           `json:"mc_executions"`
 	MCTime       time.Duration `json:"mc_time_ns"`
+	// StressChecks and StressSchedules total the stress oracle's work;
+	// StressTime is its wall clock. All zero under OracleExhaustive.
+	StressChecks    int           `json:"stress_checks,omitempty"`
+	StressSchedules int           `json:"stress_schedules,omitempty"`
+	StressTime      time.Duration `json:"stress_time_ns,omitempty"`
 	// Duration is the whole optimization's wall clock.
 	Duration time.Duration `json:"duration_ns"`
 }
@@ -245,6 +274,12 @@ func Optimize(m *ir.Module, opts Options) (res *Result, err error) {
 	if opts.TimeBudget == 0 {
 		opts.TimeBudget = defaultTimeBudget
 	}
+	if opts.StressSeeds == 0 {
+		opts.StressSeeds = defaultStressSeeds
+	}
+	if opts.StressConfirmSeeds == 0 {
+		opts.StressConfirmSeeds = 4 * opts.StressSeeds
+	}
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
@@ -258,6 +293,9 @@ func Optimize(m *ir.Module, opts Options) (res *Result, err error) {
 		m: m, opts: opts, cost: cost,
 		res: &Result{Module: m.Name, Arch: cost.Name, Workers: workers},
 		c:   newCounters(opts.Obs),
+	}
+	if opts.Oracle != OracleExhaustive {
+		w.res.Oracle = opts.Oracle.String()
 	}
 	w.res.CostBefore = w.scopeCost()
 	w.res.CostAfter = w.res.CostBefore
@@ -283,20 +321,31 @@ func Optimize(m *ir.Module, opts Options) (res *Result, err error) {
 	// Baseline: the verdict every weakening must preserve.
 	bs := trk.Begin("weaken.baseline")
 	var bel time.Duration
-	w.base, bel, err = w.check(m)
+	var bstress bool
+	w.base, bel, bstress, err = w.verify(m, roleBaseline)
 	bs.Arg("verdict", verdictName(w.base, err)).End()
 	if err != nil {
 		return nil, fmt.Errorf("weaken: baseline check: %w", err)
 	}
-	w.note(w.base.Executions, bel)
-	w.res.Verdict = w.base.Verdict.String()
+	if bstress {
+		w.noteStress(w.base.Executions, bel)
+		w.res.Verdict = stressVerdictName(w.base.Verdict)
+	} else {
+		w.note(w.base.Executions, bel)
+		w.res.Verdict = w.base.Verdict.String()
+	}
 	switch w.base.Verdict {
 	case mc.VerdictFail:
 		w.res.Reason = "baseline violated: refusing to optimize a program whose specification does not hold"
+		if bstress {
+			w.res.Reason = "baseline violated (stress witness): refusing to optimize a program whose specification does not hold"
+		}
 		w.res.Duration = time.Since(start)
 		return w.res, nil
 	case mc.VerdictUnknown:
-		w.res.Reason = fmt.Sprintf("baseline unknown (%s): raise the budget to establish a verdict to preserve", w.base.Reason)
+		// Unreachable under the stress oracle: a sweep always returns a
+		// witnessed verdict.
+		w.res.Reason = fmt.Sprintf("baseline unknown (%s): raise the budget to establish a verdict to preserve, or screen with -O-oracle=stress", w.base.Reason)
 		w.res.Duration = time.Since(start)
 		return w.res, nil
 	}
@@ -548,10 +597,11 @@ func (w *weakener) round(workers int) (bool, error) {
 // screenOutcome is one candidate's screening verdict plus the checker
 // work it cost, carried back to the sequential aggregation step.
 type screenOutcome struct {
-	ran     bool // the candidate was actually verified (vs. skipped on cancel)
-	pass    bool
-	execs   int
-	elapsed time.Duration
+	ran      bool // the candidate was actually verified (vs. skipped on cancel)
+	pass     bool
+	stressed bool // the stress oracle screened it (accounting bucket)
+	execs    int
+	elapsed  time.Duration
 }
 
 // screen checks every candidate of a round independently against a
@@ -615,7 +665,11 @@ func (w *weakener) screen(cands []candidate, workers int) ([]bool, error) {
 	for i, o := range outs {
 		pass[i] = o.pass
 		if o.ran {
-			w.note(o.execs, o.elapsed)
+			if o.stressed {
+				w.noteStress(o.execs, o.elapsed)
+			} else {
+				w.note(o.execs, o.elapsed)
+			}
 			w.tally(o.pass)
 		}
 	}
@@ -645,11 +699,14 @@ func (w *weakener) screenOne(c candidate) (screenOutcome, error) {
 	} else {
 		blk.Instrs[pos].Ord = c.ord
 	}
-	res, el, err := w.check(clone)
+	res, el, stressed, err := w.verify(clone, roleScreen)
 	if err != nil {
 		return screenOutcome{}, err
 	}
-	return screenOutcome{ran: true, pass: w.accepted(res), execs: res.Executions, elapsed: el}, nil
+	return screenOutcome{
+		ran: true, pass: w.acceptFor(res, stressed), stressed: stressed,
+		execs: res.Executions, elapsed: el,
+	}, nil
 }
 
 // commit applies one screened candidate to the live module and
@@ -680,7 +737,7 @@ func (w *weakener) commit(c candidate) (bool, error) {
 			s.in.Ord = prev
 		}
 	}
-	res, el, err := w.check(w.m)
+	res, el, stressed, err := w.verify(w.m, roleMerge)
 	if err != nil {
 		// Options.Context promises the module is left in the last
 		// verified state — a hard checker error must not strand the
@@ -688,8 +745,12 @@ func (w *weakener) commit(c candidate) (bool, error) {
 		revert()
 		return false, err
 	}
-	w.note(res.Executions, el)
-	ok := w.accepted(res)
+	if stressed {
+		w.noteStress(res.Executions, el)
+	} else {
+		w.note(res.Executions, el)
+	}
+	ok := w.acceptFor(res, stressed)
 	w.tally(ok)
 	if !ok {
 		revert()
